@@ -1,0 +1,130 @@
+//! Walker's alias method: O(n) preprocessing, O(1) weighted sampling.
+//!
+//! Wedge sampling picks nodes ∝ C(d_v, 2) and path sampling picks edges
+//! ∝ (d_u−1)(d_v−1); both need many independent draws from a fixed
+//! discrete distribution — the textbook alias-table use case (and the
+//! preprocessing cost the paper's §6.3.2 charges them with).
+
+use rand::Rng;
+
+/// Alias table over indices `0..n` with the given non-negative weights.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table. At least one weight must be positive; negative
+    /// weights are rejected.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        assert!(weights.iter().all(|&w| w >= 0.0), "negative weight");
+        let n = weights.len();
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "all weights are zero");
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // leftovers are numerically ~1
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table is empty (never: constructor requires n ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws an index with probability proportional to its weight.
+    pub fn sample(&self, rng: &mut dyn rand::RngCore) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_weights_empirically() {
+        let weights = [1.0, 0.0, 3.0, 6.0];
+        let table = AliasTable::new(&weights);
+        let mut rng = rand_pcg::Pcg64::seed_from_u64(5);
+        let n = 200_000;
+        let mut counts = [0u64; 4];
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let got = counts[i] as f64 / n as f64;
+            let want = w / total;
+            assert!((got - want).abs() < 0.01, "i={i}: {got:.4} vs {want:.4}");
+        }
+    }
+
+    #[test]
+    fn uniform_weights() {
+        let table = AliasTable::new(&[2.0; 7]);
+        let mut rng = rand_pcg::Pcg64::seed_from_u64(9);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[table.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(table.len(), 7);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn single_outcome() {
+        let table = AliasTable::new(&[0.5]);
+        let mut rng = rand_pcg::Pcg64::seed_from_u64(1);
+        assert_eq!(table.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "all weights are zero")]
+    fn rejects_all_zero() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn rejects_negative() {
+        let _ = AliasTable::new(&[1.0, -0.1]);
+    }
+}

@@ -1,0 +1,238 @@
+//! 3-path sampling (Jha, Seshadhri, Pinar [14]) — the full-access baseline
+//! for 4-node graphlet counts (§6.3.2).
+//!
+//! An edge e = (u, v) is drawn ∝ τ_e = (d_u − 1)(d_v − 1) (alias table,
+//! O(|E|) preprocessing), then uniform outside neighbors u′ of u and v′ of
+//! v complete a non-induced 3-path. For each 4-node type t containing p_t
+//! 3-paths, `E[1{sample induces t}] = p_t · N_t / S` with S = Σ_e τ_e, so
+//! `N̂_t = frac_t · S / p_t`. The multipliers p_t are the Hamilton-path
+//! counts — i.e. the paper's α⁴/2 under SRW(1) (Table 2): the same
+//! combinatorial object surfacing in both methods.
+//!
+//! The 3-star contains no 3-path, so it is estimated by the companion
+//! *centered sampler*: v ∝ C(d_v, 3) plus a uniform neighbor triple, with
+//! per-type star-embedding multipliers (0, 1, 0, 1, 2, 4).
+
+use crate::alias::AliasTable;
+use gx_graph::{Graph, GraphAccess, NodeId};
+use gx_graphlets::alpha::alpha_table;
+use gx_graphlets::classify_nodes;
+use gx_walks::rng_from_seed;
+use rand::Rng;
+
+/// Result of a path sampling run.
+#[derive(Debug, Clone)]
+pub struct PathSamplingEstimate {
+    /// Estimated induced counts of the six 4-node types (paper order).
+    pub counts: Vec<f64>,
+    /// 3-path samples drawn.
+    pub path_samples: usize,
+    /// Star samples drawn.
+    pub star_samples: usize,
+}
+
+impl PathSamplingEstimate {
+    /// Concentration estimates derived from the counts.
+    pub fn concentrations(&self) -> Vec<f64> {
+        let total: f64 = self.counts.iter().sum();
+        if total <= 0.0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c / total).collect()
+    }
+}
+
+/// Number of non-induced 3-stars inside each induced 4-node type
+/// (Σ_x C(deg_x, 3) within the type).
+const STAR_EMBEDDINGS: [f64; 6] = [0.0, 1.0, 0.0, 1.0, 2.0, 4.0];
+
+/// Runs 3-path sampling (`path_samples` draws) plus centered star
+/// sampling (`star_samples` draws).
+pub fn path_sampling_counts(
+    g: &Graph,
+    path_samples: usize,
+    star_samples: usize,
+    seed: u64,
+) -> PathSamplingEstimate {
+    let mut rng = rng_from_seed(seed);
+    let mut counts = vec![0.0f64; 6];
+
+    // ---- 3-path sampler for the five path-containing types ----
+    let edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+    let tau: Vec<f64> = edges
+        .iter()
+        .map(|&(u, v)| ((g.degree(u) - 1) * (g.degree(v) - 1)) as f64)
+        .collect();
+    let s_total: f64 = tau.iter().sum();
+    if s_total > 0.0 && path_samples > 0 {
+        let table = AliasTable::new(&tau);
+        let mut freq = [0u64; 6];
+        for _ in 0..path_samples {
+            let (u, v) = edges[table.sample(&mut rng)];
+            let u2 = sample_neighbor_excluding(g, u, v, &mut rng);
+            let v2 = sample_neighbor_excluding(g, v, u, &mut rng);
+            if u2 == v2 || u2 == v || v2 == u {
+                continue; // degenerate: fewer than 4 distinct nodes
+            }
+            let id = classify_nodes(g, &[u2, u, v, v2]).expect("3-path union is connected");
+            freq[id.index as usize] += 1;
+        }
+        // p_t = α⁴_t/2 under SRW(1) = Hamilton paths of the type.
+        let alphas = alpha_table(4, 1);
+        for t in 0..6 {
+            let p_t = alphas[t] as f64 / 2.0;
+            if p_t > 0.0 {
+                counts[t] = freq[t] as f64 / path_samples as f64 * s_total / p_t;
+            }
+        }
+    }
+
+    // ---- centered star sampler for the 3-star ----
+    let star_weights: Vec<f64> = (0..g.num_nodes())
+        .map(|v| {
+            let d = g.degree(v as NodeId) as f64;
+            d * (d - 1.0) * (d - 2.0) / 6.0
+        })
+        .collect();
+    let s3_total: f64 = star_weights.iter().sum();
+    if s3_total > 0.0 && star_samples > 0 {
+        let table = AliasTable::new(&star_weights);
+        let mut freq = [0u64; 6];
+        for _ in 0..star_samples {
+            let v = table.sample(&mut rng) as NodeId;
+            let (a, b, c) = sample_three_distinct_neighbors(g, v, &mut rng);
+            let id = classify_nodes(g, &[v, a, b, c]).expect("star union is connected");
+            freq[id.index as usize] += 1;
+        }
+        // Only the star estimate is taken from this sampler; the others
+        // come from the (lower-variance) path sampler above.
+        counts[1] = freq[1] as f64 / star_samples as f64 * s3_total / STAR_EMBEDDINGS[1];
+    }
+
+    PathSamplingEstimate { counts, path_samples, star_samples }
+}
+
+fn sample_neighbor_excluding<G: GraphAccess>(
+    g: &G,
+    v: NodeId,
+    exclude: NodeId,
+    rng: &mut dyn rand::RngCore,
+) -> NodeId {
+    let d = g.degree(v);
+    debug_assert!(d >= 2, "τ weighting guarantees a non-excluded neighbor");
+    loop {
+        let w = g.neighbor_at(v, rng.gen_range(0..d));
+        if w != exclude {
+            return w;
+        }
+    }
+}
+
+fn sample_three_distinct_neighbors<G: GraphAccess>(
+    g: &G,
+    v: NodeId,
+    rng: &mut dyn rand::RngCore,
+) -> (NodeId, NodeId, NodeId) {
+    let d = g.degree(v);
+    debug_assert!(d >= 3, "C(d,3) weighting guarantees 3 neighbors");
+    let i = rng.gen_range(0..d);
+    let j = {
+        let mut j = rng.gen_range(0..d - 1);
+        if j >= i {
+            j += 1;
+        }
+        j
+    };
+    let mut k = rng.gen_range(0..d - 2);
+    for bound in [i.min(j), i.max(j)] {
+        if k >= bound {
+            k += 1;
+        }
+    }
+    (g.neighbor_at(v, i), g.neighbor_at(v, j), g.neighbor_at(v, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gx_exact::four_node_counts;
+    use gx_graph::generators::{classic, erdos_renyi_gnm, holme_kim};
+    use rand::SeedableRng;
+
+    #[test]
+    fn converges_on_er_graph() {
+        let mut rng = rand_pcg::Pcg64::seed_from_u64(4);
+        let g = erdos_renyi_gnm(150, 600, &mut rng);
+        let est = path_sampling_counts(&g, 200_000, 100_000, 11);
+        let exact = four_node_counts(&g);
+        for t in 0..6 {
+            let x = exact.counts[t] as f64;
+            if x == 0.0 {
+                continue;
+            }
+            let rel = (est.counts[t] - x).abs() / x;
+            assert!(rel < 0.1, "type {t}: {} vs {x} (rel {rel:.3})", est.counts[t]);
+        }
+    }
+
+    #[test]
+    fn converges_on_clustered_graph() {
+        let mut rng = rand_pcg::Pcg64::seed_from_u64(6);
+        let g = holme_kim(300, 3, 0.6, &mut rng);
+        let est = path_sampling_counts(&g, 300_000, 150_000, 13);
+        let exact = four_node_counts(&g);
+        // clique (rarest, the Figure-7b quantity) within 15%
+        let x = exact.counts[5] as f64;
+        assert!(x > 0.0);
+        let rel = (est.counts[5] - x).abs() / x;
+        assert!(rel < 0.15, "clique: {} vs {x}", est.counts[5]);
+        // star from the centered sampler within 10%
+        let x = exact.counts[1] as f64;
+        let rel = (est.counts[1] - x).abs() / x;
+        assert!(rel < 0.10, "star: {} vs {x}", est.counts[1]);
+    }
+
+    #[test]
+    fn star_graph_has_no_paths() {
+        // every edge touches a leaf: τ ≡ 0, so path-type counts are 0 and
+        // only the star sampler contributes.
+        let g = classic::star(10);
+        let est = path_sampling_counts(&g, 1000, 1000, 3);
+        assert_eq!(est.counts[0], 0.0);
+        let exact = four_node_counts(&g);
+        assert!((est.counts[1] - exact.counts[1] as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_graph_has_no_stars() {
+        let g = classic::path(10);
+        let est = path_sampling_counts(&g, 20_000, 1000, 5);
+        assert_eq!(est.counts[1], 0.0);
+        let exact = four_node_counts(&g);
+        let rel = (est.counts[0] - exact.counts[0] as f64).abs() / exact.counts[0] as f64;
+        assert!(rel < 0.05, "{} vs {}", est.counts[0], exact.counts[0]);
+    }
+
+    #[test]
+    fn concentrations_normalize() {
+        let est = PathSamplingEstimate {
+            counts: vec![1.0, 1.0, 0.0, 0.0, 0.0, 2.0],
+            path_samples: 1,
+            star_samples: 1,
+        };
+        let c = est.concentrations();
+        assert!((c.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((c[5] - 0.5).abs() < 1e-12);
+        let zero = PathSamplingEstimate { counts: vec![0.0; 6], path_samples: 0, star_samples: 0 };
+        assert_eq!(zero.concentrations(), vec![0.0; 6]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut rng = rand_pcg::Pcg64::seed_from_u64(8);
+        let g = erdos_renyi_gnm(60, 200, &mut rng);
+        let a = path_sampling_counts(&g, 5000, 5000, 21);
+        let b = path_sampling_counts(&g, 5000, 5000, 21);
+        assert_eq!(a.counts, b.counts);
+    }
+}

@@ -1,0 +1,144 @@
+//! Wedge sampling (Seshadhri, Pinar, Kolda [32]) — the full-access
+//! baseline for triadic measures (§6.3.2).
+//!
+//! A uniform wedge is drawn by picking a center v ∝ C(d_v, 2) (alias
+//! table, O(|V|) preprocessing) and a uniform pair of its neighbors. The
+//! fraction q of *closed* wedges gives triangles = q·W/3 and induced
+//! wedges (3-paths) = (1−q)·W, where W = Σ_v C(d_v, 2).
+
+use crate::alias::AliasTable;
+use gx_graph::stats::wedge_count;
+use gx_graph::{Graph, GraphAccess, NodeId};
+use gx_walks::rng_from_seed;
+use rand::Rng;
+
+/// Result of a wedge sampling run.
+#[derive(Debug, Clone)]
+pub struct WedgeEstimate {
+    /// Fraction of sampled wedges that were closed (binomial estimate).
+    pub closed_fraction: f64,
+    /// Total wedges W (exact, from the preprocessing pass).
+    pub total_wedges: u64,
+    /// Wedge samples drawn.
+    pub samples: usize,
+}
+
+impl WedgeEstimate {
+    /// Estimated counts [induced wedges (g3_1), triangles (g3_2)].
+    pub fn counts(&self) -> [f64; 2] {
+        let w = self.total_wedges as f64;
+        [(1.0 - self.closed_fraction) * w, self.closed_fraction * w / 3.0]
+    }
+
+    /// Estimated concentrations [c³₁, c³₂].
+    pub fn concentrations(&self) -> [f64; 2] {
+        let [p, t] = self.counts();
+        let total = p + t;
+        if total == 0.0 {
+            return [0.0, 0.0];
+        }
+        [p / total, t / total]
+    }
+
+    /// Estimated global clustering coefficient 3T/W = q.
+    pub fn clustering_coefficient(&self) -> f64 {
+        self.closed_fraction
+    }
+}
+
+/// Runs wedge sampling with `samples` independent wedges.
+pub fn wedge_sampling(g: &Graph, samples: usize, seed: u64) -> WedgeEstimate {
+    let n = g.num_nodes();
+    assert!(n > 0, "empty graph");
+    // Preprocessing: node weights C(d_v, 2) (the O(|V|) cost of §6.3.2).
+    let weights: Vec<f64> = (0..n)
+        .map(|v| {
+            let d = g.degree(v as NodeId) as f64;
+            d * (d - 1.0) / 2.0
+        })
+        .collect();
+    let table = AliasTable::new(&weights);
+    let total_wedges = wedge_count(g);
+    let mut rng = rng_from_seed(seed);
+    let mut closed = 0u64;
+    for _ in 0..samples {
+        let v = table.sample(&mut rng) as NodeId;
+        let d = g.degree(v);
+        // uniform unordered pair of distinct neighbors
+        let i = rng.gen_range(0..d);
+        let j = {
+            let mut j = rng.gen_range(0..d - 1);
+            if j >= i {
+                j += 1;
+            }
+            j
+        };
+        let a = g.neighbor_at(v, i);
+        let b = g.neighbor_at(v, j);
+        if g.has_edge(a, b) {
+            closed += 1;
+        }
+    }
+    WedgeEstimate {
+        closed_fraction: closed as f64 / samples.max(1) as f64,
+        total_wedges,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gx_exact::{three_node_counts, triangle_count};
+    use gx_graph::generators::{classic, holme_kim};
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_on_complete_graph() {
+        // K6: every wedge is closed.
+        let est = wedge_sampling(&classic::complete(6), 2000, 1);
+        assert_eq!(est.closed_fraction, 1.0);
+        let [paths, triangles] = est.counts();
+        assert_eq!(paths, 0.0);
+        assert_eq!(triangles, 20.0); // C(6,3)
+        assert_eq!(est.concentrations(), [0.0, 1.0]);
+    }
+
+    #[test]
+    fn exact_on_triangle_free_graph() {
+        let est = wedge_sampling(&classic::petersen(), 2000, 2);
+        assert_eq!(est.closed_fraction, 0.0);
+        assert_eq!(est.counts()[0], 30.0);
+        assert_eq!(est.clustering_coefficient(), 0.0);
+    }
+
+    #[test]
+    fn converges_on_clustered_graph() {
+        let mut rng = rand_pcg::Pcg64::seed_from_u64(3);
+        let g = holme_kim(500, 3, 0.6, &mut rng);
+        let est = wedge_sampling(&g, 100_000, 7);
+        let exact = three_node_counts(&g);
+        let conc = est.concentrations();
+        let want = exact.concentrations();
+        assert!((conc[1] - want[1]).abs() < 0.01, "{} vs {}", conc[1], want[1]);
+        // count estimates within 5%
+        let t_est = est.counts()[1];
+        let t = triangle_count(&g) as f64;
+        assert!((t_est - t).abs() / t < 0.05, "{t_est} vs {t}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = classic::lollipop(5, 3);
+        let a = wedge_sampling(&g, 1000, 42);
+        let b = wedge_sampling(&g, 1000, 42);
+        assert_eq!(a.closed_fraction, b.closed_fraction);
+    }
+
+    #[test]
+    fn zero_samples_degenerate() {
+        let est = wedge_sampling(&classic::complete(4), 0, 1);
+        assert_eq!(est.closed_fraction, 0.0);
+        assert_eq!(est.concentrations()[0], 1.0); // all mass on paths: W>0
+    }
+}

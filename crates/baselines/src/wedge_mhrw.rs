@@ -1,0 +1,150 @@
+//! Adapted wedge sampling for restricted access (paper Appendix F,
+//! Algorithm 4).
+//!
+//! A Metropolis–Hastings walk targets π(v) ∝ C(d_v, 2); at every step a
+//! uniform pair of the current node's neighbors is checked for closure.
+//! Per the paper's §6.3.3 accounting, each step must explore three nodes'
+//! neighborhoods (the center and the two wedge endpoints) — 3× the API
+//! cost of the framework's SRW-based methods at equal step budgets, which
+//! is the point of Figure 8.
+
+use gx_graph::{GraphAccess, NodeId};
+use gx_walks::{rng_from_seed, MhWalk};
+use rand::Rng;
+
+/// Result of an Algorithm-4 run.
+#[derive(Debug, Clone)]
+pub struct WedgeMhrwEstimate {
+    /// Closed wedges observed.
+    pub closed: u64,
+    /// Open wedges observed.
+    pub open: u64,
+    /// Steps taken.
+    pub steps: usize,
+}
+
+impl WedgeMhrwEstimate {
+    /// ĉ³₁ = 3Ĉ₁ / (3Ĉ₁ + Ĉ₂) (Algorithm 4, line 17).
+    pub fn c31(&self) -> f64 {
+        let denom = 3.0 * self.open as f64 + self.closed as f64;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        3.0 * self.open as f64 / denom
+    }
+
+    /// ĉ³₂ = Ĉ₂ / (3Ĉ₁ + Ĉ₂) (Algorithm 4, line 17).
+    pub fn c32(&self) -> f64 {
+        let denom = 3.0 * self.open as f64 + self.closed as f64;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        self.closed as f64 / denom
+    }
+
+    /// API calls charged: 3 per step (§6.3.3).
+    pub fn api_calls(&self) -> u64 {
+        3 * self.steps as u64
+    }
+}
+
+/// Runs Algorithm 4 for `steps` steps from a random valid start.
+pub fn wedge_mhrw<G: GraphAccess>(g: &G, steps: usize, seed: u64) -> WedgeMhrwEstimate {
+    let mut rng = rng_from_seed(seed);
+    // line 3: a random node with d_v ≥ 2
+    let n = g.num_nodes();
+    assert!(n > 0, "empty graph");
+    let start = loop {
+        let v = rng.gen_range(0..n as NodeId);
+        if g.degree(v) >= 2 {
+            break v;
+        }
+    };
+    let choose2 = |d: usize| (d * d.saturating_sub(1)) as f64 / 2.0;
+    let mut walk = MhWalk::new(g, start, choose2);
+    let mut est = WedgeMhrwEstimate { closed: 0, open: 0, steps };
+    for _ in 0..steps {
+        let v = walk.current();
+        let d = g.degree(v);
+        // lines 5–9: uniform random pair of neighbors of v_t
+        let i = rng.gen_range(0..d);
+        let j = {
+            let mut j = rng.gen_range(0..d - 1);
+            if j >= i {
+                j += 1;
+            }
+            j
+        };
+        let a = g.neighbor_at(v, i);
+        let b = g.neighbor_at(v, j);
+        if g.has_edge(a, b) {
+            est.closed += 1;
+        } else {
+            est.open += 1;
+        }
+        // lines 10–15: MH transition with acceptance (d_w−1)/(d_v−1)
+        walk.step(&mut rng);
+    }
+    est
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gx_exact::three_node_counts;
+    use gx_graph::generators::{classic, holme_kim};
+    use gx_graph::ApiGraph;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_on_complete_graph() {
+        let est = wedge_mhrw(&classic::complete(6), 2000, 1);
+        assert_eq!(est.open, 0);
+        assert_eq!(est.c32(), 1.0);
+        assert_eq!(est.c31(), 0.0);
+    }
+
+    #[test]
+    fn exact_on_triangle_free_graph() {
+        let est = wedge_mhrw(&classic::petersen(), 2000, 2);
+        assert_eq!(est.closed, 0);
+        assert_eq!(est.c31(), 1.0);
+        assert_eq!(est.c32(), 0.0);
+    }
+
+    #[test]
+    fn converges_on_clustered_graph() {
+        let mut rng = rand_pcg::Pcg64::seed_from_u64(5);
+        let g = holme_kim(400, 3, 0.5, &mut rng);
+        let est = wedge_mhrw(&g, 150_000, 9);
+        let want = three_node_counts(&g).concentrations();
+        assert!((est.c32() - want[1]).abs() < 0.01, "{} vs {}", est.c32(), want[1]);
+        assert!((est.c31() - want[0]).abs() < 0.01);
+    }
+
+    #[test]
+    fn concentrations_sum_to_one() {
+        let g = classic::lollipop(4, 3);
+        let est = wedge_mhrw(&g, 10_000, 3);
+        assert!((est.c31() + est.c32() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn api_accounting_is_3x() {
+        let g = classic::lollipop(4, 3);
+        let est = wedge_mhrw(&g, 500, 3);
+        assert_eq!(est.api_calls(), 1500);
+        // and the metered wrapper confirms ~3 distinct-node touches/step
+        let api = ApiGraph::new(&g);
+        let _ = wedge_mhrw(&api, 500, 3);
+        let per_step = api.stats().total_requests as f64 / 500.0;
+        assert!(per_step >= 3.0, "measured {per_step} requests/step");
+    }
+
+    #[test]
+    fn zero_steps() {
+        let est = wedge_mhrw(&classic::complete(4), 0, 1);
+        assert_eq!(est.c31(), 0.0);
+        assert_eq!(est.c32(), 0.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Estimator configuration.
+
+/// Configuration of one estimator instance, following the paper's method
+/// naming: `SRW{d}[CSS][NB]` for graphlet size k.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EstimatorConfig {
+    /// Graphlet size to estimate (3..=6).
+    pub k: usize,
+    /// Walk on `G(d)`; `1 ≤ d ≤ k`. `d = k − 1` is PSRW; `d = k` is the
+    /// plain subgraph random walk of [36] (l = 1).
+    pub d: usize,
+    /// Corresponding state sampling (§4.1). A no-op when `l ≤ 2` (the
+    /// inclusion probabilities coincide, paper footnote 4).
+    pub css: bool,
+    /// Non-backtracking walk (§4.2).
+    pub non_backtracking: bool,
+    /// Walk steps discarded before sampling starts (the paper's burn-in
+    /// discussion in §6.2.2). Zero by default: the estimator is
+    /// asymptotically unbiased regardless.
+    pub burn_in: usize,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        Self { k: 3, d: 1, css: false, non_backtracking: false, burn_in: 0 }
+    }
+}
+
+impl EstimatorConfig {
+    /// Window length `l = k − d + 1`.
+    pub fn l(&self) -> usize {
+        self.k - self.d + 1
+    }
+
+    /// Panics if the configuration is out of the supported domain.
+    pub fn validate(&self) {
+        assert!((3..=6).contains(&self.k), "k={} unsupported (3..=6)", self.k);
+        assert!(
+            self.d >= 1 && self.d <= self.k,
+            "d={} must be in 1..=k (k={})",
+            self.d,
+            self.k
+        );
+    }
+
+    /// The paper's method name, e.g. `SRW2CSS`, `SRW1CSSNB`.
+    pub fn name(&self) -> String {
+        let mut s = format!("SRW{}", self.d);
+        if self.css {
+            s.push_str("CSS");
+        }
+        if self.non_backtracking {
+            s.push_str("NB");
+        }
+        s
+    }
+
+    /// The PSRW configuration for graphlet size `k` (d = k − 1), the
+    /// state-of-the-art baseline the paper compares against.
+    pub fn psrw(k: usize) -> Self {
+        Self { k, d: k - 1, ..Default::default() }
+    }
+
+    /// The paper's recommended configuration per k (§6.2.1 findings):
+    /// SRW1CSSNB for k = 3, SRW2CSS for k = 4, 5.
+    pub fn recommended(k: usize) -> Self {
+        if k == 3 {
+            Self { k, d: 1, css: true, non_backtracking: true, burn_in: 0 }
+        } else {
+            Self { k, d: 2, css: true, non_backtracking: false, burn_in: 0 }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_follow_paper_convention() {
+        let cfg = EstimatorConfig { k: 3, d: 1, css: true, non_backtracking: true, burn_in: 0 };
+        assert_eq!(cfg.name(), "SRW1CSSNB");
+        assert_eq!(EstimatorConfig::psrw(4).name(), "SRW3");
+        assert_eq!(EstimatorConfig::psrw(5).name(), "SRW4");
+        assert_eq!(EstimatorConfig::recommended(4).name(), "SRW2CSS");
+        assert_eq!(EstimatorConfig::recommended(3).name(), "SRW1CSSNB");
+    }
+
+    #[test]
+    fn window_length() {
+        assert_eq!(EstimatorConfig { k: 4, d: 2, ..Default::default() }.l(), 3);
+        assert_eq!(EstimatorConfig::psrw(5).l(), 2);
+        assert_eq!(EstimatorConfig { k: 3, d: 3, ..Default::default() }.l(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in 1..=k")]
+    fn validate_rejects_d_above_k() {
+        EstimatorConfig { k: 3, d: 4, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn validate_rejects_k7() {
+        EstimatorConfig { k: 7, d: 1, ..Default::default() }.validate();
+    }
+}

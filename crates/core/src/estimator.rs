@@ -1,0 +1,242 @@
+//! Algorithm 1: unbiased estimation of graphlet statistics.
+
+use crate::config::EstimatorConfig;
+use crate::css::CssWeights;
+use crate::pie::pie_tilde;
+use crate::result::Estimate;
+use crate::window::NodeWindow;
+use gx_graph::GraphAccess;
+use gx_graphlets::{alpha::alpha_table, classify_mask, num_graphlets};
+use gx_walks::{
+    effective_degree, random_start_edge, random_start_node, random_start_state, rng_from_seed,
+    G2Walk, GdWalk, SrwWalk, StateWalk, WalkRng,
+};
+
+/// Runs the estimator with a walk chosen by `cfg.d` (SRW on `G`, the O(1)
+/// edge walk on `G(2)`, or the enumerating walk on `G(d ≥ 3)`), starting
+/// from a random state drawn with `seed`.
+///
+/// `steps` is the sample budget n of Algorithm 1: the number of windows
+/// scored, matching the paper's "random walk steps" (e.g. 20K in §6).
+pub fn estimate<G: GraphAccess>(
+    g: &G,
+    cfg: &EstimatorConfig,
+    steps: usize,
+    seed: u64,
+) -> Estimate {
+    cfg.validate();
+    let mut rng = rng_from_seed(seed);
+    match cfg.d {
+        1 => {
+            let start = random_start_node(g, &mut rng);
+            let walk = SrwWalk::new(g, start, cfg.non_backtracking);
+            estimate_with_walk(g, cfg, walk, steps, rng)
+        }
+        2 => {
+            let (u, v) = random_start_edge(g, &mut rng);
+            let walk = G2Walk::new(g, u, v, cfg.non_backtracking);
+            estimate_with_walk(g, cfg, walk, steps, rng)
+        }
+        _ => {
+            let start = random_start_state(g, cfg.d, &mut rng);
+            let walk = GdWalk::new(g, &start, cfg.non_backtracking);
+            estimate_with_walk(g, cfg, walk, steps, rng)
+        }
+    }
+}
+
+/// Runs Algorithm 1 with a caller-supplied walk (any [`StateWalk`] whose
+/// `d` matches `cfg.d`).
+pub fn estimate_with_walk<G: GraphAccess, W: StateWalk>(
+    g: &G,
+    cfg: &EstimatorConfig,
+    mut walk: W,
+    steps: usize,
+    mut rng: WalkRng,
+) -> Estimate {
+    cfg.validate();
+    assert_eq!(walk.d(), cfg.d, "walk dimension must match configuration");
+    let k = cfg.k;
+    let l = cfg.l();
+    let alphas = alpha_table(k, cfg.d);
+    let m = num_graphlets(k);
+    let mut raw = vec![0.0f64; m];
+    let mut css = if cfg.css { Some(CssWeights::new(cfg.d)) } else { None };
+
+    for _ in 0..cfg.burn_in {
+        walk.step(&mut rng);
+    }
+    // Prime the window with the first l states (Algorithm 1 line 3).
+    let mut window = NodeWindow::new(l, cfg.d);
+    let deg = walk.state_degree();
+    window.push(g, walk.state(), deg);
+    for _ in 1..l {
+        walk.step(&mut rng);
+        let deg = walk.state_degree();
+        window.push(g, walk.state(), deg);
+    }
+
+    let mut valid = 0usize;
+    for t in 0..steps {
+        if window.is_valid_sample() {
+            let (mask, nodes) = window.sample();
+            let id = classify_mask(k, mask)
+                .expect("a window covering k distinct nodes induces a connected subgraph");
+            let idx = id.index as usize;
+            valid += 1;
+            let weight = if l == 1 {
+                // π̃_e = d_X (Theorem 2, l = 1); CSS coincides.
+                let deg = window.states().next().expect("l = 1").degree as usize;
+                let deg = effective_degree(deg, cfg.non_backtracking) as f64;
+                1.0 / (alphas[idx] as f64 * deg)
+            } else if let Some(css) = css.as_mut() {
+                1.0 / css.sampling_probability(g, mask, nodes, cfg.non_backtracking)
+            } else {
+                debug_assert!(alphas[idx] > 0, "sampled a type with α = 0");
+                1.0 / (alphas[idx] as f64 * pie_tilde(&window, cfg.non_backtracking))
+            };
+            raw[idx] += weight;
+        }
+        // Step and slide (Algorithm 1 lines 8–10) — except after the last
+        // scored window, where stepping would waste an API call.
+        if t + 1 < steps {
+            walk.step(&mut rng);
+            let deg = walk.state_degree();
+            window.push(g, walk.state(), deg);
+        }
+    }
+    Estimate { config: cfg.clone(), steps, valid_samples: valid, raw_scores: raw }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gx_exact::exact_counts;
+    use gx_graph::generators::{classic, erdos_renyi_gnm, holme_kim};
+    use gx_graph::Graph;
+
+    /// Asserts that the estimator converges to the exact concentrations
+    /// on `g` within `tol` (absolute), for the given configuration.
+    fn assert_converges(g: &Graph, cfg: &EstimatorConfig, steps: usize, seed: u64, tol: f64) {
+        let exact = exact_counts(g, cfg.k).concentrations();
+        let est = estimate(g, cfg, steps, seed).concentrations();
+        for (i, (e, x)) in est.iter().zip(&exact).enumerate() {
+            assert!(
+                (e - x).abs() < tol,
+                "{} type {}: estimated {e:.4}, exact {x:.4} (tol {tol})",
+                cfg.name(),
+                i + 1,
+            );
+        }
+    }
+
+    #[test]
+    fn srw1_converges_on_figure1_graph() {
+        let g = classic::paper_figure1();
+        let cfg = EstimatorConfig { k: 3, d: 1, ..Default::default() };
+        assert_converges(&g, &cfg, 60_000, 1, 0.02);
+    }
+
+    #[test]
+    fn srw1_variants_converge_k3() {
+        let g = classic::lollipop(5, 4);
+        for (css, nb) in [(false, false), (true, false), (false, true), (true, true)] {
+            let cfg = EstimatorConfig { k: 3, d: 1, css, non_backtracking: nb, burn_in: 0 };
+            assert_converges(&g, &cfg, 80_000, 11, 0.02);
+        }
+    }
+
+    #[test]
+    fn srw2_is_psrw_for_k3() {
+        let g = classic::lollipop(5, 4);
+        let cfg = EstimatorConfig::psrw(3);
+        assert_converges(&g, &cfg, 80_000, 5, 0.02);
+    }
+
+    #[test]
+    fn k4_configurations_converge_on_er() {
+        use rand::SeedableRng;
+        let mut rng = rand_pcg::Pcg64::seed_from_u64(42);
+        let g = erdos_renyi_gnm(60, 180, &mut rng);
+        let g = gx_graph::connectivity::largest_connected_component(&g).0;
+        for cfg in [
+            EstimatorConfig { k: 4, d: 2, ..Default::default() },
+            EstimatorConfig { k: 4, d: 2, css: true, ..Default::default() },
+            EstimatorConfig { k: 4, d: 2, non_backtracking: true, ..Default::default() },
+            EstimatorConfig::psrw(4),
+        ] {
+            assert_converges(&g, &cfg, 150_000, 19, 0.03);
+        }
+    }
+
+    #[test]
+    fn k5_srw2css_converges_on_small_dense_graph() {
+        use rand::SeedableRng;
+        let mut rng = rand_pcg::Pcg64::seed_from_u64(9);
+        let g = holme_kim(40, 4, 0.5, &mut rng);
+        let cfg = EstimatorConfig { k: 5, d: 2, css: true, ..Default::default() };
+        assert_converges(&g, &cfg, 200_000, 23, 0.04);
+    }
+
+    #[test]
+    fn d_equals_k_subgraph_walk_converges() {
+        // The SRW-on-G(k) special case of [36] (l = 1).
+        let g = classic::lollipop(5, 3);
+        let cfg = EstimatorConfig { k: 3, d: 3, ..Default::default() };
+        assert_converges(&g, &cfg, 60_000, 31, 0.03);
+    }
+
+    #[test]
+    fn estimator_is_deterministic_given_seed() {
+        let g = classic::petersen();
+        let cfg = EstimatorConfig { k: 4, d: 2, css: true, ..Default::default() };
+        let a = estimate(&g, &cfg, 5_000, 77);
+        let b = estimate(&g, &cfg, 5_000, 77);
+        assert_eq!(a.raw_scores, b.raw_scores);
+        assert_eq!(a.valid_samples, b.valid_samples);
+        let c = estimate(&g, &cfg, 5_000, 78);
+        assert_ne!(a.raw_scores, c.raw_scores);
+    }
+
+    #[test]
+    fn star_has_zero_alpha_types_unsampled() {
+        // On a star graph, SRW2 for k = 4 sees only 3-stars; the estimator
+        // must put the whole mass there.
+        let g = classic::star(12);
+        let cfg = EstimatorConfig { k: 4, d: 2, ..Default::default() };
+        let est = estimate(&g, &cfg, 20_000, 3);
+        let c = est.concentrations();
+        assert!((c[1] - 1.0).abs() < 1e-12, "3-star concentration {c:?}");
+    }
+
+    #[test]
+    fn valid_fraction_is_sane() {
+        let g = classic::petersen();
+        let cfg = EstimatorConfig { k: 3, d: 1, ..Default::default() };
+        let est = estimate(&g, &cfg, 10_000, 5);
+        assert!(est.valid_fraction() > 0.5);
+        assert!(est.valid_fraction() <= 1.0);
+        // NB improves the valid fraction (§4.2's whole point).
+        let cfg_nb = EstimatorConfig { k: 3, d: 1, non_backtracking: true, ..Default::default() };
+        let est_nb = estimate(&g, &cfg_nb, 10_000, 5);
+        assert!(est_nb.valid_fraction() > est.valid_fraction());
+    }
+
+    #[test]
+    fn burn_in_only_shifts_the_stream() {
+        let g = classic::petersen();
+        let cfg = EstimatorConfig { k: 3, d: 1, burn_in: 100, ..Default::default() };
+        let est = estimate(&g, &cfg, 10_000, 5);
+        assert_eq!(est.steps, 10_000);
+        assert!(est.valid_samples > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "walk dimension")]
+    fn walk_dimension_must_match() {
+        let g = classic::petersen();
+        let cfg = EstimatorConfig { k: 3, d: 2, ..Default::default() };
+        let walk = SrwWalk::new(&g, 0, false);
+        let _ = estimate_with_walk(&g, &cfg, walk, 10, rng_from_seed(1));
+    }
+}

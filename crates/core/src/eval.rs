@@ -1,0 +1,111 @@
+//! Accuracy metrics: the NRMSE of §6.1 and its ingredients.
+
+/// Normalized root mean square error of repeated estimates of a scalar:
+/// `NRMSE(ĉ) = sqrt(E[(ĉ − c)²]) / c` — a combination of variance and
+/// bias (paper §6.1). Returns `f64::INFINITY` when `truth` is 0 but
+/// estimates are not, and `NaN` for empty input.
+pub fn nrmse(estimates: &[f64], truth: f64) -> f64 {
+    if estimates.is_empty() {
+        return f64::NAN;
+    }
+    let mse: f64 =
+        estimates.iter().map(|e| (e - truth) * (e - truth)).sum::<f64>() / estimates.len() as f64;
+    if truth == 0.0 {
+        return if mse == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    mse.sqrt() / truth
+}
+
+/// Per-type NRMSE across runs: `estimates[r][i]` is run r's estimate of
+/// type i.
+pub fn nrmse_per_type(estimates: &[Vec<f64>], truth: &[f64]) -> Vec<f64> {
+    let m = truth.len();
+    (0..m)
+        .map(|i| {
+            let series: Vec<f64> = estimates.iter().map(|run| run[i]).collect();
+            nrmse(&series, truth[i])
+        })
+        .collect()
+}
+
+/// Sample mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (divide by n).
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Cosine similarity of two concentration vectors — the graphlet-kernel
+/// similarity of §6.4 / Table 7 (after [33], restricted to one k).
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na * nb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nrmse_zero_for_perfect_estimates() {
+        assert_eq!(nrmse(&[0.5, 0.5, 0.5], 0.5), 0.0);
+    }
+
+    #[test]
+    fn nrmse_combines_bias_and_variance() {
+        // constant bias b: NRMSE = b / c
+        let est = vec![0.6, 0.6];
+        assert!((nrmse(&est, 0.5) - 0.2).abs() < 1e-12);
+        // pure variance: estimates ±e around truth
+        let est = vec![0.4, 0.6];
+        assert!((nrmse(&est, 0.5) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nrmse_edge_cases() {
+        assert!(nrmse(&[], 0.5).is_nan());
+        assert_eq!(nrmse(&[0.0, 0.0], 0.0), 0.0);
+        assert_eq!(nrmse(&[0.1], 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn per_type_indexes_correctly() {
+        let runs = vec![vec![0.5, 0.5], vec![0.3, 0.7]];
+        let out = nrmse_per_type(&runs, &[0.4, 0.6]);
+        assert!((out[0] - 0.25).abs() < 1e-12);
+        assert!((out[1] - (0.1f64 * 0.1 / 2.0 + 0.1 * 0.1 / 2.0).sqrt() / 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moments() {
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((variance(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert!(mean(&[]).is_nan());
+        assert!(variance(&[]).is_nan());
+    }
+
+    #[test]
+    fn cosine() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+        let s = cosine_similarity(&[0.2, 0.8], &[0.4, 0.6]);
+        assert!(s > 0.9 && s < 1.0);
+    }
+}

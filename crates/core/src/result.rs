@@ -1,0 +1,93 @@
+//! Estimation results.
+
+use crate::config::EstimatorConfig;
+use gx_graphlets::GraphletId;
+
+/// The outcome of one estimator run.
+#[derive(Debug, Clone)]
+pub struct Estimate {
+    /// The configuration that produced this estimate.
+    pub config: EstimatorConfig,
+    /// Number of windows scored (the paper's "random walk steps" budget).
+    pub steps: usize,
+    /// Windows that were valid samples (k distinct nodes).
+    pub valid_samples: usize,
+    /// Per-type accumulated scores `Σ_s h_i(X_s) / (α_i π̃_e(X_s))` (or
+    /// `Σ_s h_i(X_s)/p̃(X_s)` under CSS). Divide by `steps` and multiply
+    /// by `2|R(d)|` for unbiased counts (Eq. 4 / Eq. 7).
+    pub raw_scores: Vec<f64>,
+}
+
+impl Estimate {
+    /// Concentration estimates ĉ^k_i (paper Eq. 5 / Eq. 8). Returns zeros
+    /// when no valid sample was seen.
+    pub fn concentrations(&self) -> Vec<f64> {
+        let total: f64 = self.raw_scores.iter().sum();
+        if total <= 0.0 {
+            return vec![0.0; self.raw_scores.len()];
+        }
+        self.raw_scores.iter().map(|&x| x / total).collect()
+    }
+
+    /// Concentration of one type.
+    pub fn concentration(&self, id: GraphletId) -> f64 {
+        assert_eq!(id.k as usize, self.config.k);
+        self.concentrations()[id.index as usize]
+    }
+
+    /// Count estimates Ĉ^k_i given `2|R(d)|` (paper Eq. 4): requires the
+    /// relationship-graph edge count, see
+    /// [`crate::counts::relationship_edge_count`].
+    pub fn counts(&self, two_r: f64) -> Vec<f64> {
+        self.raw_scores.iter().map(|&x| x / self.steps as f64 * two_r).collect()
+    }
+
+    /// Fraction of windows that yielded a valid sample (the paper's
+    /// "invalid samples" discussion in §4.2).
+    pub fn valid_fraction(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.valid_samples as f64 / self.steps as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(raw: Vec<f64>) -> Estimate {
+        Estimate {
+            config: EstimatorConfig { k: 3, d: 1, ..Default::default() },
+            steps: 100,
+            valid_samples: 80,
+            raw_scores: raw,
+        }
+    }
+
+    #[test]
+    fn concentrations_normalize() {
+        let e = mk(vec![1.0, 3.0]);
+        assert_eq!(e.concentrations(), vec![0.25, 0.75]);
+        assert!((e.concentration(GraphletId::new(3, 1)) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_scores_give_zero_concentrations() {
+        let e = mk(vec![0.0, 0.0]);
+        assert_eq!(e.concentrations(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn counts_scale_by_two_r_over_n() {
+        let e = mk(vec![10.0, 40.0]);
+        let c = e.counts(200.0);
+        assert_eq!(c, vec![20.0, 80.0]);
+    }
+
+    #[test]
+    fn valid_fraction() {
+        assert!((mk(vec![]).valid_fraction() - 0.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,254 @@
+//! Theory: weighted concentration (§6.2.1), the Chernoff–Hoeffding bound
+//! of Theorem 3, and spectral mixing-time estimation for small chains.
+//!
+//! The paper's Theorem 3 gives a sufficient sample size
+//! `n ≥ ξ (W/Λ)(τ/ε²) log(‖ϕ‖_{π_e}/δ)`. On small graphs every
+//! ingredient is computable exactly: `W = max 1/π_e` over the expanded
+//! chain, `Λ = min(α_i C_i, α_min Σ_j C_j)`, and `τ` from the spectral
+//! gap of the (explicit) walk on `G(d)`. The `theory_bound` bench
+//! compares the bound's *shape* (linear in τ, inverse in ε², inverse in
+//! weighted concentration) against empirically measured convergence.
+
+use gx_graph::subrel::SubRelGraph;
+use gx_graph::{Graph, NodeId};
+use gx_graphlets::alpha::alpha_table;
+
+/// Weighted concentration `α_i C_i / Σ_j α_j C_j` (§6.2.1, Figure 5a) —
+/// the effective sampling mass the walk on `G(d)` assigns to each type.
+/// Types with larger weighted than plain concentration are *lifted*,
+/// which is the paper's explanation for why small d wins on rare types.
+pub fn weighted_concentration(counts: &[u64], k: usize, d: usize) -> Vec<f64> {
+    let alphas = alpha_table(k, d);
+    assert_eq!(counts.len(), alphas.len());
+    let mass: Vec<f64> =
+        counts.iter().zip(alphas).map(|(&c, &a)| c as f64 * a as f64).collect();
+    let total: f64 = mass.iter().sum();
+    if total == 0.0 {
+        return vec![0.0; counts.len()];
+    }
+    mass.into_iter().map(|x| x / total).collect()
+}
+
+/// `Λ = min(α_i C_i, α_min Σ_j C_j)` for target type `i` (Theorem 3),
+/// where `α_min` ranges over types that actually occur (`C_j > 0`; an
+/// absent type cannot constrain convergence).
+pub fn lambda(counts: &[u64], k: usize, d: usize, target: usize) -> f64 {
+    let alphas = alpha_table(k, d);
+    let total: u64 = counts.iter().sum();
+    let alpha_min = counts
+        .iter()
+        .zip(alphas)
+        .filter(|(&c, _)| c > 0)
+        .map(|(_, &a)| a)
+        .min()
+        .unwrap_or(0);
+    let a_i_c_i = alphas[target] as f64 * counts[target] as f64;
+    a_i_c_i.min(alpha_min as f64 * total as f64)
+}
+
+/// The sample-size bound of Theorem 3 (up to the constant ξ):
+/// `n ≥ ξ (W/Λ)(τ/ε²) log(‖ϕ‖/δ)`.
+pub fn theorem3_sample_size(
+    w: f64,
+    lambda: f64,
+    tau: f64,
+    eps: f64,
+    delta: f64,
+    phi_norm: f64,
+    xi: f64,
+) -> f64 {
+    assert!(lambda > 0.0, "Λ must be positive (the target type must occur)");
+    assert!(eps > 0.0 && delta > 0.0 && delta < 1.0);
+    xi * (w / lambda) * (tau / (eps * eps)) * (phi_norm / delta).ln()
+}
+
+/// `W = max 1/π_e` over the expanded chain of an *explicit* relationship
+/// graph: `2|R| · Δ^{l−2}` for l ≥ 2 (interior degrees maximize the
+/// product), `2|R| / δ_min` for l = 1.
+pub fn w_sup(rel: &SubRelGraph, l: usize) -> f64 {
+    let two_r = rel.graph.degree_sum() as f64;
+    let max_deg = rel.graph.max_degree() as f64;
+    match l {
+        0 => panic!("l must be >= 1"),
+        1 => {
+            let min_deg = (0..rel.graph.num_nodes())
+                .map(|v| rel.graph.degree(v as NodeId))
+                .filter(|&d| d > 0)
+                .min()
+                .unwrap_or(1) as f64;
+            two_r / min_deg
+        }
+        2 => two_r,
+        _ => two_r * max_deg.powi(l as i32 - 2),
+    }
+}
+
+/// Second-largest eigenvalue modulus (SLEM) of the lazy-free SRW
+/// transition matrix on `g`, by power iteration on the symmetrized
+/// operator `S = D^{-1/2} A D^{-1/2}` with the principal eigenvector
+/// (√π) deflated. `g` must be connected and non-empty.
+pub fn slem(g: &Graph, iterations: usize) -> f64 {
+    let n = g.num_nodes();
+    assert!(n > 0, "empty graph");
+    // principal eigenvector of S: u(v) = sqrt(d_v / 2|E|)
+    let two_m = g.degree_sum() as f64;
+    let u: Vec<f64> = (0..n).map(|v| (g.degree(v as NodeId) as f64 / two_m).sqrt()).collect();
+    let inv_sqrt_deg: Vec<f64> =
+        (0..n).map(|v| 1.0 / (g.degree(v as NodeId) as f64).sqrt()).collect();
+    // deterministic pseudo-random start, deflated
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| {
+            let mut z = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            z ^= z >> 31;
+            (z % 1000) as f64 / 1000.0 - 0.5
+        })
+        .collect();
+    let deflate = |x: &mut [f64]| {
+        let dot: f64 = x.iter().zip(&u).map(|(a, b)| a * b).sum();
+        for (xi, ui) in x.iter_mut().zip(&u) {
+            *xi -= dot * ui;
+        }
+    };
+    let normalize = |x: &mut [f64]| {
+        let norm: f64 = x.iter().map(|a| a * a).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for xi in x.iter_mut() {
+                *xi /= norm;
+            }
+        }
+    };
+    deflate(&mut x);
+    normalize(&mut x);
+    let mut lambda2 = 0.0f64;
+    let mut y = vec![0.0f64; n];
+    for _ in 0..iterations {
+        // y = S x  where S[v][w] = 1/sqrt(d_v d_w) for edges
+        for yv in y.iter_mut() {
+            *yv = 0.0;
+        }
+        for v in 0..n {
+            let xv = x[v] * inv_sqrt_deg[v];
+            for &w in g.neighbors(v as NodeId) {
+                y[w as usize] += xv * inv_sqrt_deg[w as usize];
+            }
+        }
+        deflate(&mut y);
+        lambda2 = y.iter().map(|a| a * a).sum::<f64>().sqrt();
+        std::mem::swap(&mut x, &mut y);
+        normalize(&mut x);
+    }
+    lambda2.min(1.0)
+}
+
+/// Mixing time upper bound `τ(ε) ≤ log(1/(ε π_min)) / (1 − λ₂)` for a
+/// reversible chain with SLEM `λ₂` and minimum stationary mass `π_min`.
+pub fn mixing_time_bound(lambda2: f64, pi_min: f64, eps: f64) -> f64 {
+    assert!(lambda2 < 1.0, "chain must have a spectral gap");
+    assert!(pi_min > 0.0 && eps > 0.0);
+    (1.0 / (eps * pi_min)).ln() / (1.0 - lambda2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gx_graph::generators::classic;
+    use gx_graph::subrel::subgraph_relationship_graph;
+
+    #[test]
+    fn weighted_concentration_lifts_high_alpha_types() {
+        // counts equal, but the clique has the largest α: its weighted
+        // concentration must exceed its plain concentration.
+        let counts = vec![100u64, 100, 100, 100, 100, 100];
+        let wc = weighted_concentration(&counts, 4, 2);
+        assert!((wc.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(wc[5] > 1.0 / 6.0, "clique lifted: {wc:?}");
+        assert!(wc[0] < 1.0 / 6.0, "path damped: {wc:?}");
+    }
+
+    #[test]
+    fn weighted_concentration_handles_zeros() {
+        assert_eq!(weighted_concentration(&[0, 0], 3, 1), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn lambda_ignores_absent_types() {
+        // only wedges present: α_min must be the wedge's, not the
+        // triangle's.
+        let counts = vec![50u64, 0];
+        let l = lambda(&counts, 3, 1, 0);
+        // α(wedge, d=1) = 2: Λ = min(2*50, 2*50) = 100.
+        assert_eq!(l, 100.0);
+    }
+
+    #[test]
+    fn theorem3_scales_as_expected() {
+        let base = theorem3_sample_size(100.0, 10.0, 50.0, 0.1, 0.05, 10.0, 1.0);
+        // linear in τ
+        assert!((theorem3_sample_size(100.0, 10.0, 100.0, 0.1, 0.05, 10.0, 1.0) / base - 2.0).abs() < 1e-9);
+        // inverse in ε²
+        assert!((theorem3_sample_size(100.0, 10.0, 50.0, 0.05, 0.05, 10.0, 1.0) / base - 4.0).abs() < 1e-9);
+        // inverse in Λ
+        assert!((theorem3_sample_size(100.0, 20.0, 50.0, 0.1, 0.05, 10.0, 1.0) / base - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn theorem3_rejects_zero_lambda() {
+        let _ = theorem3_sample_size(1.0, 0.0, 1.0, 0.1, 0.1, 1.0, 1.0);
+    }
+
+    #[test]
+    fn w_sup_cases() {
+        let g = classic::paper_figure1();
+        let rel = subgraph_relationship_graph(&g, 2);
+        // 2|R(2)| = 16; Δ(G(2)) = 4.
+        assert_eq!(w_sup(&rel, 2), 16.0);
+        assert_eq!(w_sup(&rel, 3), 16.0 * 4.0);
+        assert_eq!(w_sup(&rel, 1), 16.0 / 3.0); // min G(2) degree is 3
+    }
+
+    #[test]
+    fn slem_of_complete_graph_is_small() {
+        // K_n: SRW eigenvalues are 1 and −1/(n−1): SLEM = 1/(n−1).
+        let g = classic::complete(6);
+        let l2 = slem(&g, 400);
+        assert!((l2 - 0.2).abs() < 0.01, "SLEM {l2}");
+    }
+
+    #[test]
+    fn slem_of_odd_cycle_matches_cosine() {
+        // C_n (odd, so non-bipartite): eigenvalues cos(2πj/n); the
+        // largest modulus below 1 is |cos(π(n−1)/n)| = cos(π/n).
+        let g = classic::cycle(11);
+        let l2 = slem(&g, 2000);
+        let want = (std::f64::consts::PI / 11.0).cos();
+        assert!((l2 - want).abs() < 0.01, "SLEM {l2} vs {want}");
+    }
+
+    #[test]
+    fn slem_of_even_cycle_detects_periodicity() {
+        // bipartite graphs have eigenvalue −1: SLEM = 1 (no gap).
+        let l2 = slem(&classic::cycle(10), 2000);
+        assert!(l2 > 0.999, "SLEM {l2}");
+    }
+
+    #[test]
+    fn lollipop_mixes_slower_than_expander() {
+        let tight = slem(&classic::complete(8), 500);
+        let loose = slem(&classic::lollipop(6, 6), 500);
+        assert!(loose > tight, "lollipop SLEM {loose} vs K8 {tight}");
+        let tau_loose = mixing_time_bound(loose, 1.0 / 50.0, 0.125);
+        let tau_tight = mixing_time_bound(tight, 1.0 / 50.0, 0.125);
+        assert!(tau_loose > tau_tight);
+    }
+
+    #[test]
+    fn slem_on_relationship_graph() {
+        // The walk the estimator actually runs is on G(d): its mixing
+        // time is computable the same way.
+        let g = classic::paper_figure1();
+        let rel = subgraph_relationship_graph(&g, 2);
+        let l2 = slem(&rel.graph, 500);
+        assert!(l2 < 1.0 && l2 > 0.0);
+    }
+}

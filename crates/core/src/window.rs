@@ -1,0 +1,313 @@
+//! The expanded-Markov-chain window: the last `l` walk states, their
+//! distinct underlying nodes, and the induced subgraph among them.
+//!
+//! This implements the paper's §5 bookkeeping: when the walk advances, at
+//! most one node enters the union and at most one leaves, so the induced
+//! edge set is maintained with k − 1 adjacency probes per step instead of
+//! C(k,2) — the edges among surviving nodes are reused from the previous
+//! window.
+
+use gx_graph::{GraphAccess, NodeId};
+use gx_graphlets::mask::pair_index;
+use std::collections::VecDeque;
+
+/// Maximum union size (k ≤ 6 supported by the taxonomy, + headroom).
+const MAX_NODES: usize = 8;
+/// Maximum subgraph size d per state.
+const MAX_D: usize = 7;
+
+/// One remembered walk state.
+#[derive(Debug, Clone, Copy)]
+pub struct StateRec {
+    nodes: [NodeId; MAX_D],
+    len: u8,
+    /// Degree of the state in `G(d)` at visit time.
+    pub degree: u32,
+}
+
+impl StateRec {
+    /// The state's node set.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes[..self.len as usize]
+    }
+}
+
+/// Sliding window of the last `l` states of a walk on `G(d)`.
+#[derive(Debug, Clone)]
+pub struct NodeWindow {
+    l: usize,
+    k: usize,
+    states: VecDeque<StateRec>,
+    /// Distinct nodes currently in the union, in slot order.
+    distinct: Vec<NodeId>,
+    /// Reference counts parallel to `distinct`.
+    refcount: Vec<u8>,
+    /// Adjacency among slots (row-major, stride MAX_NODES).
+    adj: [bool; MAX_NODES * MAX_NODES],
+    /// Adjacency probes issued so far (the paper's per-step cost metric).
+    probes: u64,
+}
+
+impl NodeWindow {
+    /// Window for `l` consecutive states of d-node subgraphs
+    /// (`k = l + d − 1`).
+    pub fn new(l: usize, d: usize) -> Self {
+        let k = l + d - 1;
+        assert!(l >= 1, "window needs l >= 1");
+        assert!(k <= MAX_NODES, "union size k={k} exceeds {MAX_NODES}");
+        assert!(d <= MAX_D);
+        Self {
+            l,
+            k,
+            states: VecDeque::with_capacity(l),
+            distinct: Vec::with_capacity(MAX_NODES),
+            refcount: Vec::with_capacity(MAX_NODES),
+            adj: [false; MAX_NODES * MAX_NODES],
+            probes: 0,
+        }
+    }
+
+    /// Number of states currently held.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True when no states are held.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// True when the window holds `l` states.
+    pub fn is_full(&self) -> bool {
+        self.states.len() == self.l
+    }
+
+    /// Number of distinct underlying nodes in the union.
+    pub fn distinct_count(&self) -> usize {
+        self.distinct.len()
+    }
+
+    /// Whether the current window is a *valid* sample: full and covering
+    /// exactly `k = l + d − 1` distinct nodes (paper §3.1 discards the
+    /// rest).
+    pub fn is_valid_sample(&self) -> bool {
+        self.is_full() && self.distinct.len() == self.k
+    }
+
+    /// The remembered states, oldest first.
+    pub fn states(&self) -> impl Iterator<Item = &StateRec> {
+        self.states.iter()
+    }
+
+    /// Degrees of the *interior* states X₂ … X_{l−1} (the ones whose
+    /// degrees enter π_e for l > 2, Theorem 2).
+    pub fn interior_degrees(&self) -> impl Iterator<Item = u32> + '_ {
+        let end = self.states.len().saturating_sub(1);
+        self.states.iter().take(end).skip(1).map(|s| s.degree)
+    }
+
+    /// Total adjacency probes issued (k − 1 per step once warm).
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Pushes the walk's current state. `degree` is the state's degree in
+    /// `G(d)` at this time.
+    pub fn push<G: GraphAccess>(&mut self, g: &G, state_nodes: &[NodeId], degree: usize) {
+        if self.states.len() == self.l {
+            let old = self.states.pop_front().expect("non-empty");
+            for &v in old.nodes() {
+                self.release(v);
+            }
+        }
+        let mut rec = StateRec { nodes: [0; MAX_D], len: state_nodes.len() as u8, degree: degree as u32 };
+        rec.nodes[..state_nodes.len()].copy_from_slice(state_nodes);
+        for &v in state_nodes {
+            self.acquire(g, v);
+        }
+        self.states.push_back(rec);
+    }
+
+    fn slot_of(&self, v: NodeId) -> Option<usize> {
+        self.distinct.iter().position(|&x| x == v)
+    }
+
+    fn acquire<G: GraphAccess>(&mut self, g: &G, v: NodeId) {
+        if let Some(p) = self.slot_of(v) {
+            self.refcount[p] += 1;
+            return;
+        }
+        let p = self.distinct.len();
+        assert!(p < MAX_NODES, "window union overflow");
+        // probe adjacency vs every existing slot: the paper's k − 1
+        // binary searches per step.
+        for q in 0..p {
+            let e = g.has_edge(v, self.distinct[q]);
+            self.probes += 1;
+            self.adj[p * MAX_NODES + q] = e;
+            self.adj[q * MAX_NODES + p] = e;
+        }
+        self.distinct.push(v);
+        self.refcount.push(1);
+    }
+
+    fn release(&mut self, v: NodeId) {
+        let p = self.slot_of(v).expect("released node must be present");
+        self.refcount[p] -= 1;
+        if self.refcount[p] > 0 {
+            return;
+        }
+        // swap-remove slot p, relocating the last slot's adjacency row.
+        let last = self.distinct.len() - 1;
+        self.distinct.swap_remove(p);
+        self.refcount.swap_remove(p);
+        if p != last {
+            for q in 0..MAX_NODES {
+                self.adj[p * MAX_NODES + q] = self.adj[last * MAX_NODES + q];
+                self.adj[q * MAX_NODES + p] = self.adj[q * MAX_NODES + last];
+            }
+            self.adj[p * MAX_NODES + p] = false;
+        }
+        for q in 0..MAX_NODES {
+            self.adj[last * MAX_NODES + q] = false;
+            self.adj[q * MAX_NODES + last] = false;
+        }
+    }
+
+    /// The induced edge mask over the distinct nodes, in slot order
+    /// (labeling compatible with [`gx_graphlets::classify_mask`] for
+    /// `distinct_count()` nodes), together with the nodes.
+    pub fn sample(&self) -> (u32, &[NodeId]) {
+        let m = self.distinct.len();
+        let mut mask = 0u32;
+        for i in 0..m {
+            for j in (i + 1)..m {
+                if self.adj[i * MAX_NODES + j] {
+                    mask |= 1 << pair_index(i, j, m);
+                }
+            }
+        }
+        (mask, &self.distinct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gx_graph::generators::classic;
+    use gx_graphlets::{classify_mask, classify_nodes};
+
+    #[test]
+    fn window_tracks_distinct_nodes_srw1() {
+        let g = classic::paper_figure1();
+        let mut w = NodeWindow::new(3, 1);
+        assert!(w.is_empty());
+        // walk 0 -> 1 -> 0: only 2 distinct nodes -> invalid
+        w.push(&g, &[0], 3);
+        assert_eq!(w.len(), 1);
+        w.push(&g, &[1], 2);
+        w.push(&g, &[0], 3);
+        assert!(w.is_full());
+        assert_eq!(w.distinct_count(), 2);
+        assert!(!w.is_valid_sample());
+        // continue 0 -> 3: window = (1, 0, 3): wedge (1-0, 0-3, no 1-3)
+        w.push(&g, &[3], 2);
+        assert!(w.is_valid_sample());
+        let (mask, nodes) = w.sample();
+        assert_eq!(classify_mask(3, mask), classify_nodes(&g, nodes));
+        assert_eq!(classify_mask(3, mask).unwrap().name(), "wedge");
+        // continue 3 -> 2: window = (0, 3, 2): triangle {0,3,2}
+        w.push(&g, &[2], 3);
+        let (mask, _) = w.sample();
+        assert_eq!(classify_mask(3, mask).unwrap().name(), "triangle");
+    }
+
+    #[test]
+    fn window_matches_paper_g2_example() {
+        // §3.1 example (b): states (1,2) -> (1,3) -> (3,4) on G(2) give the
+        // 4-node sample {1,2,3,4} = chordal-cycle (0-based: shift by −1).
+        let g = classic::paper_figure1();
+        let mut w = NodeWindow::new(3, 2);
+        w.push(&g, &[0, 1], 3);
+        w.push(&g, &[0, 2], 4);
+        w.push(&g, &[2, 3], 3);
+        assert!(w.is_valid_sample());
+        let (mask, nodes) = w.sample();
+        assert_eq!(classify_mask(4, mask).unwrap().name(), "chordal-cycle");
+        let mut sorted = nodes.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        // interior degree: only the middle state (0,2) with degree 4
+        assert_eq!(w.interior_degrees().collect::<Vec<_>>(), vec![4]);
+    }
+
+    #[test]
+    fn interior_degrees_for_l2_is_empty() {
+        let g = classic::paper_figure1();
+        let mut w = NodeWindow::new(2, 3);
+        w.push(&g, &[0, 1, 2], 5);
+        w.push(&g, &[0, 2, 3], 6);
+        assert_eq!(w.interior_degrees().count(), 0);
+    }
+
+    #[test]
+    fn probes_are_k_minus_1_per_new_node() {
+        let g = classic::complete(6);
+        let mut w = NodeWindow::new(3, 1);
+        w.push(&g, &[0], 5);
+        assert_eq!(w.probes(), 0);
+        w.push(&g, &[1], 5);
+        assert_eq!(w.probes(), 1);
+        w.push(&g, &[2], 5);
+        assert_eq!(w.probes(), 3); // 1 + 2
+        // steady state: one node leaves, one enters: k-1 = 2 probes
+        w.push(&g, &[3], 5);
+        assert_eq!(w.probes(), 5);
+    }
+
+    #[test]
+    fn mask_stays_consistent_under_long_random_walks() {
+        use gx_walks::{rng_from_seed, SrwWalk, StateWalk};
+        let g = classic::petersen();
+        let mut rng = rng_from_seed(77);
+        let mut walk = SrwWalk::new(&g, 0, false);
+        let mut w = NodeWindow::new(4, 1);
+        for _ in 0..5000 {
+            let deg = walk.state_degree();
+            w.push(&g, &[walk.state()[0]], deg);
+            if w.is_full() {
+                let (mask, nodes) = w.sample();
+                // reference: classify from scratch
+                let m = nodes.len();
+                let expected = gx_graphlets::induced_mask(&g, nodes);
+                assert_eq!(mask, expected, "incremental mask diverged at {nodes:?} (m={m})");
+            }
+            walk.step(&mut rng);
+        }
+    }
+
+    #[test]
+    fn mask_consistent_for_g2_windows() {
+        use gx_walks::{rng_from_seed, G2Walk, StateWalk};
+        let g = classic::lollipop(5, 3);
+        let mut rng = rng_from_seed(13);
+        let mut walk = G2Walk::new(&g, 0, 1, false);
+        let mut w = NodeWindow::new(4, 2);
+        for _ in 0..5000 {
+            let deg = walk.state_degree();
+            w.push(&g, walk.state(), deg);
+            if w.is_full() {
+                let (mask, nodes) = w.sample();
+                assert_eq!(mask, gx_graphlets::induced_mask(&g, nodes));
+                assert!(w.distinct_count() >= 2 && w.distinct_count() <= 5);
+            }
+            walk.step(&mut rng);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "union size")]
+    fn rejects_oversized_window() {
+        let _ = NodeWindow::new(9, 1);
+    }
+}

@@ -1,0 +1,88 @@
+//! The result type shared by every exact counter and by the estimators'
+//! ground-truth comparisons.
+
+use gx_graphlets::{num_graphlets, GraphletId};
+
+/// Exact (or estimated-integer) counts per k-node graphlet type, indexed
+/// in paper order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphletCounts {
+    /// Graphlet size.
+    pub k: usize,
+    /// `counts[i]` = number of induced subgraphs isomorphic to the paper's
+    /// g^k_{i+1}.
+    pub counts: Vec<u64>,
+}
+
+impl GraphletCounts {
+    /// Zero-initialized counts for `k`.
+    pub fn zero(k: usize) -> Self {
+        Self { k, counts: vec![0; num_graphlets(k)] }
+    }
+
+    /// Total number of connected induced k-subgraphs.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Count for one type.
+    pub fn get(&self, id: GraphletId) -> u64 {
+        assert_eq!(id.k as usize, self.k);
+        self.counts[id.index as usize]
+    }
+
+    /// Concentration vector c^k_i = C^k_i / Σ_j C^k_j (paper Eq. 1).
+    /// All-zero counts yield all-zero concentrations.
+    pub fn concentrations(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / total as f64).collect()
+    }
+
+    /// Element-wise sum (e.g. merging per-thread partial counts).
+    pub fn merge(&mut self, other: &GraphletCounts) {
+        assert_eq!(self.k, other.k);
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_total() {
+        let c = GraphletCounts::zero(4);
+        assert_eq!(c.counts.len(), 6);
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.concentrations(), vec![0.0; 6]);
+    }
+
+    #[test]
+    fn concentrations_sum_to_one() {
+        let c = GraphletCounts { k: 3, counts: vec![3, 1] };
+        let conc = c.concentrations();
+        assert!((conc[0] - 0.75).abs() < 1e-12);
+        assert!((conc[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn get_and_merge() {
+        let mut a = GraphletCounts { k: 3, counts: vec![1, 2] };
+        let b = GraphletCounts { k: 3, counts: vec![10, 20] };
+        a.merge(&b);
+        assert_eq!(a.counts, vec![11, 22]);
+        assert_eq!(a.get(GraphletId::new(3, 1)), 22);
+    }
+
+    #[test]
+    #[should_panic]
+    fn get_rejects_wrong_k() {
+        let c = GraphletCounts::zero(4);
+        let _ = c.get(GraphletId::new(3, 0));
+    }
+}

@@ -1,0 +1,140 @@
+//! Closed-form 3-node counting: wedges, triangles, clustering coefficient.
+
+use crate::counts::GraphletCounts;
+use gx_graph::stats::wedge_count;
+use gx_graph::{Graph, NodeId};
+
+/// Number of triangles, by sorted-adjacency intersection over edges
+/// (`O(Σ_e min(d_u, d_v))` with small constants).
+pub fn triangle_count(g: &Graph) -> u64 {
+    let mut t = 0u64;
+    for (u, v) in g.edges() {
+        t += common_neighbors_above(g, u, v, v);
+    }
+    t
+}
+
+/// Number of common neighbors of `u` and `v` strictly greater than `floor`
+/// (used to count each triangle once via u < v < w).
+fn common_neighbors_above(g: &Graph, u: NodeId, v: NodeId, floor: NodeId) -> u64 {
+    let (a, b) = if g.degree(u) <= g.degree(v) { (u, v) } else { (v, u) };
+    let na = g.neighbors(a);
+    let start = na.partition_point(|&x| x <= floor);
+    let mut count = 0u64;
+    for &w in &na[start..] {
+        if g.has_edge(b, w) {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Triangle count per edge, aligned with `g.edges()` order. `t(e)` is the
+/// building block of the 4-node closed forms.
+pub fn per_edge_triangles(g: &Graph) -> Vec<u32> {
+    g.edges()
+        .map(|(u, v)| {
+            let (a, b) = if g.degree(u) <= g.degree(v) { (u, v) } else { (v, u) };
+            g.neighbors(a).iter().filter(|&&w| w != b && g.has_edge(b, w)).count() as u32
+        })
+        .collect()
+}
+
+/// Exact 3-node graphlet counts: wedges (g3_1) and triangles (g3_2).
+///
+/// Induced wedges = Σ_v C(d_v, 2) − 3·triangles (each triangle contains
+/// three non-induced wedges).
+pub fn three_node_counts(g: &Graph) -> GraphletCounts {
+    let t = triangle_count(g);
+    let w = wedge_count(g);
+    GraphletCounts { k: 3, counts: vec![w - 3 * t, t] }
+}
+
+/// Global clustering coefficient 3·C³₂ / (C³₁ + 3·C³₂) = 3T / W — the
+/// paper's §2.1 application formula (equal to 3c³₂/(2c³₂ + 1)).
+pub fn global_clustering_coefficient(g: &Graph) -> f64 {
+    let w = wedge_count(g);
+    if w == 0 {
+        return 0.0;
+    }
+    3.0 * triangle_count(g) as f64 / w as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gx_graph::generators::classic;
+
+    #[test]
+    fn triangles_on_known_graphs() {
+        assert_eq!(triangle_count(&classic::complete(5)), 10);
+        assert_eq!(triangle_count(&classic::petersen()), 0);
+        assert_eq!(triangle_count(&classic::cycle(3)), 1);
+        assert_eq!(triangle_count(&classic::paper_figure1()), 2);
+        assert_eq!(triangle_count(&classic::path(5)), 0);
+    }
+
+    #[test]
+    fn figure1_concentrations() {
+        let c = three_node_counts(&classic::paper_figure1());
+        assert_eq!(c.counts, vec![2, 2]);
+    }
+
+    #[test]
+    fn per_edge_triangles_matches_total() {
+        for g in [classic::paper_figure1(), classic::complete(6), classic::lollipop(5, 4)] {
+            let per_edge = per_edge_triangles(&g);
+            let total: u64 = per_edge.iter().map(|&x| x as u64).sum();
+            // each triangle has 3 edges
+            assert_eq!(total, 3 * triangle_count(&g));
+        }
+    }
+
+    #[test]
+    fn clustering_coefficient_extremes() {
+        assert!((global_clustering_coefficient(&classic::complete(6)) - 1.0).abs() < 1e-12);
+        assert_eq!(global_clustering_coefficient(&classic::petersen()), 0.0);
+        assert_eq!(global_clustering_coefficient(&classic::path(2)), 0.0); // no wedges
+    }
+
+    #[test]
+    fn clustering_matches_concentration_formula() {
+        // §2.1: clustering = 3c/(2c+1) where c is triangle concentration.
+        let g = classic::lollipop(5, 3);
+        let conc = three_node_counts(&g).concentrations();
+        let c = conc[1];
+        let direct = global_clustering_coefficient(&g);
+        assert!((direct - 3.0 * c / (2.0 * c + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_node_matches_esu() {
+        use crate::esu::count_graphlets_esu;
+        for g in [classic::paper_figure1(), classic::petersen(), classic::lollipop(4, 3)] {
+            assert_eq!(three_node_counts(&g), count_graphlets_esu(&g, 3));
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::esu::count_graphlets_esu;
+    use gx_graph::GraphBuilder;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn closed_form_matches_esu(
+            edges in proptest::collection::vec((0u32..20, 0u32..20), 0..80),
+        ) {
+            let mut b = GraphBuilder::new(20);
+            for (u, v) in edges {
+                b.add_edge(u, v).unwrap();
+            }
+            let g = b.build();
+            prop_assert_eq!(three_node_counts(&g), count_graphlets_esu(&g, 3));
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Connectivity: BFS, connected components, LCC extraction.
+//!
+//! The paper evaluates exclusively on the largest connected component of
+//! each dataset (§6.1), and Theorem 3.1 of [36] needs `G` connected for
+//! `G(d)` to be connected — so LCC extraction is part of every dataset's
+//! construction here too.
+
+use crate::csr::Graph;
+use crate::NodeId;
+
+/// Labels each node with a component id in `0..num_components`, components
+/// numbered in order of first discovery.
+pub fn connected_components(g: &Graph) -> (usize, Vec<u32>) {
+    let n = g.num_nodes();
+    let mut label = vec![u32::MAX; n];
+    let mut queue: Vec<NodeId> = Vec::new();
+    let mut next = 0u32;
+    for start in 0..n as NodeId {
+        if label[start as usize] != u32::MAX {
+            continue;
+        }
+        label[start as usize] = next;
+        queue.clear();
+        queue.push(start);
+        while let Some(v) = queue.pop() {
+            for &w in g.neighbors(v) {
+                if label[w as usize] == u32::MAX {
+                    label[w as usize] = next;
+                    queue.push(w);
+                }
+            }
+        }
+        next += 1;
+    }
+    (next as usize, label)
+}
+
+/// Whether the graph is connected (vacuously true for 0/1-node graphs).
+pub fn is_connected(g: &Graph) -> bool {
+    if g.num_nodes() <= 1 {
+        return true;
+    }
+    connected_components(g).0 == 1
+}
+
+/// Extracts the largest connected component as a renumbered graph, plus the
+/// original node id for each new id. Ties broken by lowest component id
+/// (i.e. earliest discovered).
+pub fn largest_connected_component(g: &Graph) -> (Graph, Vec<NodeId>) {
+    let (k, label) = connected_components(g);
+    if k == 0 {
+        return (Graph::from_edges(0, []).unwrap(), Vec::new());
+    }
+    let mut sizes = vec![0usize; k];
+    for &l in &label {
+        sizes[l as usize] += 1;
+    }
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i as u32)
+        .expect("k > 0");
+    let keep: Vec<NodeId> = (0..g.num_nodes() as NodeId)
+        .filter(|&v| label[v as usize] == best)
+        .collect();
+    g.induced_subgraph(&keep)
+}
+
+/// BFS distances from `start` (`usize::MAX` for unreachable nodes).
+pub fn bfs_distances(g: &Graph, start: NodeId) -> Vec<usize> {
+    let n = g.num_nodes();
+    let mut dist = vec![usize::MAX; n];
+    let mut frontier = vec![start];
+    dist[start as usize] = 0;
+    let mut d = 0usize;
+    while !frontier.is_empty() {
+        d += 1;
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &w in g.neighbors(v) {
+                if dist[w as usize] == usize::MAX {
+                    dist[w as usize] = d;
+                    next.push(w);
+                }
+            }
+        }
+        frontier = next;
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic;
+
+    #[test]
+    fn single_component() {
+        let g = classic::cycle(5);
+        let (k, label) = connected_components(&g);
+        assert_eq!(k, 1);
+        assert!(label.iter().all(|&l| l == 0));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn two_components_and_lcc() {
+        // triangle {0,1,2} plus edge {3,4} plus isolated node 5
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4)]).unwrap();
+        let (k, label) = connected_components(&g);
+        assert_eq!(k, 3);
+        assert_eq!(label[0], label[1]);
+        assert_ne!(label[0], label[3]);
+        assert!(!is_connected(&g));
+
+        let (lcc, orig) = largest_connected_component(&g);
+        assert_eq!(lcc.num_nodes(), 3);
+        assert_eq!(lcc.num_edges(), 3);
+        assert_eq!(orig, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn lcc_of_empty_graph() {
+        let g = Graph::from_edges(0, []).unwrap();
+        let (lcc, orig) = largest_connected_component(&g);
+        assert_eq!(lcc.num_nodes(), 0);
+        assert!(orig.is_empty());
+    }
+
+    #[test]
+    fn lcc_tie_breaks_to_first_component() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let (_, orig) = largest_connected_component(&g);
+        assert_eq!(orig, vec![0, 1]);
+    }
+
+    #[test]
+    fn singleton_graphs_are_connected() {
+        assert!(is_connected(&Graph::from_edges(0, []).unwrap()));
+        assert!(is_connected(&Graph::from_edges(1, []).unwrap()));
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = classic::path(5);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_unreachable_is_max() {
+        let g = Graph::from_edges(3, [(0, 1)]).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], usize::MAX);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The LCC is connected and no other component is larger.
+        #[test]
+        fn lcc_is_connected_and_largest(
+            edges in proptest::collection::vec((0u32..30, 0u32..30), 0..120),
+        ) {
+            let mut b = GraphBuilder::new(30);
+            for (u, v) in edges {
+                b.add_edge(u, v).unwrap();
+            }
+            let g = b.build();
+            let (lcc, orig) = largest_connected_component(&g);
+            prop_assert!(is_connected(&lcc));
+            let (k, label) = connected_components(&g);
+            let mut sizes = vec![0usize; k];
+            for &l in &label {
+                sizes[l as usize] += 1;
+            }
+            let max = sizes.iter().copied().max().unwrap_or(0);
+            prop_assert_eq!(lcc.num_nodes(), max);
+            // original ids must all map back into one component
+            if let Some(&first) = orig.first() {
+                let c = label[first as usize];
+                prop_assert!(orig.iter().all(|&v| label[v as usize] == c));
+            }
+        }
+    }
+}

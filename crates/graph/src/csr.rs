@@ -1,0 +1,246 @@
+//! Immutable CSR (compressed sparse row) graph storage.
+//!
+//! The representation is the workhorse of the whole workspace: adjacency
+//! lists are stored back-to-back in one `Vec<NodeId>`, per-node slices are
+//! delimited by an offsets array, and every adjacency list is sorted so
+//! `has_edge` is a binary search. This matches the access pattern of the
+//! paper's walks: O(1) uniform neighbor selection and O(log d) adjacency
+//! probes (the "k − 1 binary searches" of Section 5).
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::NodeId;
+
+/// An immutable, undirected, simple graph in CSR form.
+///
+/// Invariants (enforced by [`GraphBuilder`]):
+/// * no self-loops, no duplicate edges;
+/// * each adjacency list is sorted ascending;
+/// * edge `(u, v)` appears in both `neighbors(u)` and `neighbors(v)`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    pub(crate) offsets: Vec<usize>,
+    pub(crate) adjacency: Vec<NodeId>,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list over nodes `0..num_nodes`.
+    ///
+    /// Self-loops and duplicate edges are silently dropped (the paper works
+    /// on simple graphs). Returns an error if an endpoint is out of range.
+    pub fn from_edges(
+        num_nodes: usize,
+        edges: impl IntoIterator<Item = (NodeId, NodeId)>,
+    ) -> Result<Self, GraphError> {
+        let mut b = GraphBuilder::new(num_nodes);
+        for (u, v) in edges {
+            b.add_edge(u, v)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Builds a graph from an edge list, inferring the node count as
+    /// `max endpoint + 1`.
+    pub fn from_edges_auto(edges: &[(NodeId, NodeId)]) -> Self {
+        let n = edges
+            .iter()
+            .map(|&(u, v)| u.max(v) as usize + 1)
+            .max()
+            .unwrap_or(0);
+        Self::from_edges(n, edges.iter().copied()).expect("endpoints bounded by construction")
+    }
+
+    /// Number of nodes (including isolated ones).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.adjacency.len() / 2
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Sorted adjacency list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.adjacency[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Whether the undirected edge `(u, v)` exists. Binary search on the
+    /// smaller adjacency list.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterator over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.num_nodes() as NodeId
+    }
+
+    /// Iterator over each undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Sum of degrees, i.e. `2|E|`.
+    #[inline]
+    pub fn degree_sum(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Maximum degree over all nodes.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes()).map(|v| self.degree(v as NodeId)).max().unwrap_or(0)
+    }
+
+    /// Extracts the induced subgraph on `keep` (nodes renumbered to
+    /// `0..keep.len()` in the given order). `keep` must not contain
+    /// duplicates. Returns the subgraph together with the mapping from new
+    /// id to original id (a copy of `keep`).
+    pub fn induced_subgraph(&self, keep: &[NodeId]) -> (Graph, Vec<NodeId>) {
+        let mut remap = vec![NodeId::MAX; self.num_nodes()];
+        for (new, &old) in keep.iter().enumerate() {
+            debug_assert!(remap[old as usize] == NodeId::MAX, "duplicate node in keep");
+            remap[old as usize] = new as NodeId;
+        }
+        let mut b = GraphBuilder::new(keep.len());
+        for &old in keep {
+            let new_u = remap[old as usize];
+            for &w in self.neighbors(old) {
+                let new_w = remap[w as usize];
+                if new_w != NodeId::MAX && new_u < new_w {
+                    b.add_edge(new_u, new_w).expect("remapped ids in range");
+                }
+            }
+        }
+        (b.build(), keep.to_vec())
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph")
+            .field("num_nodes", &self.num_nodes())
+            .field("num_edges", &self.num_edges())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 4-node example graph of the paper's Figure 1:
+    /// edges {1-2, 1-3, 1-4, 2-3, 3-4} with nodes relabeled to 0..4.
+    pub(crate) fn figure1_graph() -> Graph {
+        Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = figure1_graph();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(3), 2);
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+        assert_eq!(g.degree_sum(), 10);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn has_edge_is_symmetric_and_rejects_loops() {
+        let g = figure1_graph();
+        for u in 0..4u32 {
+            assert!(!g.has_edge(u, u));
+            for v in 0..4u32 {
+                assert_eq!(g.has_edge(u, v), g.has_edge(v, u));
+            }
+        }
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 3));
+    }
+
+    #[test]
+    fn edges_iterates_each_edge_once() {
+        let g = figure1_graph();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (0, 3), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn duplicate_and_loop_edges_are_dropped() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 0), (0, 1), (2, 2), (1, 2)]).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn out_of_range_edge_is_an_error() {
+        let err = Graph::from_edges(2, [(0, 5)]).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { node: 5, num_nodes: 2 }));
+    }
+
+    #[test]
+    fn from_edges_auto_infers_size() {
+        let g = Graph::from_edges_auto(&[(0, 7), (3, 4)]);
+        assert_eq!(g.num_nodes(), 8);
+        assert_eq!(g.num_edges(), 2);
+        let empty = Graph::from_edges_auto(&[]);
+        assert_eq!(empty.num_nodes(), 0);
+        assert_eq!(empty.num_edges(), 0);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = figure1_graph();
+        // keep nodes {0, 1, 2}: triangle
+        let (sub, map) = g.induced_subgraph(&[0, 1, 2]);
+        assert_eq!(map, vec![0, 1, 2]);
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(sub.num_edges(), 3);
+        // keep nodes {1, 3}: no edge between them
+        let (sub, _) = g.induced_subgraph(&[1, 3]);
+        assert_eq!(sub.num_edges(), 0);
+    }
+
+    #[test]
+    fn induced_subgraph_respects_order() {
+        let g = figure1_graph();
+        let (sub, map) = g.induced_subgraph(&[3, 0]);
+        assert_eq!(map, vec![3, 0]);
+        // original edge (0,3) becomes (1,0)
+        assert!(sub.has_edge(0, 1));
+    }
+
+    #[test]
+    fn debug_format_is_compact() {
+        let g = figure1_graph();
+        let s = format!("{g:?}");
+        assert!(s.contains("num_nodes"));
+        assert!(s.contains("num_edges"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for graph construction and I/O.
+
+use std::fmt;
+
+/// Errors produced while building, loading or validating graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge endpoint is outside the declared node range.
+    NodeOutOfRange {
+        /// The offending endpoint.
+        node: u64,
+        /// Number of nodes the graph was declared with.
+        num_nodes: usize,
+    },
+    /// The requested operation needs a non-empty graph.
+    EmptyGraph,
+    /// The graph is not connected but the operation requires it.
+    NotConnected,
+    /// A parameter is outside its valid domain.
+    InvalidParameter(String),
+    /// An I/O failure while reading or writing an edge list.
+    Io(std::io::Error),
+    /// A malformed line in an edge-list file.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range for graph with {num_nodes} nodes")
+            }
+            GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+            GraphError::NotConnected => write!(f, "operation requires a connected graph"),
+            GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            GraphError::Io(e) => write!(f, "I/O error: {e}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfRange { node: 9, num_nodes: 5 };
+        assert!(e.to_string().contains("node 9"));
+        assert!(e.to_string().contains("5 nodes"));
+        assert!(GraphError::EmptyGraph.to_string().contains("non-empty"));
+        assert!(GraphError::NotConnected.to_string().contains("connected"));
+        let p = GraphError::Parse { line: 3, message: "bad token".into() };
+        assert!(p.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: GraphError = io.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

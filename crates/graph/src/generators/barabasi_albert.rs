@@ -1,0 +1,103 @@
+//! Barabási–Albert preferential attachment.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::NodeId;
+use rand::Rng;
+
+/// Barabási–Albert graph: starts from a clique on `m + 1` nodes, then each
+/// new node attaches to `m` distinct existing nodes chosen proportionally
+/// to degree.
+///
+/// Degrees follow a power law with exponent ≈ 3; clustering is low —
+/// the right analog for OSN crawls like Slashdot or Gowalla whose triangle
+/// concentration is small (Table 5). Use
+/// [`holme_kim`](super::holme_kim::holme_kim) when high clustering is
+/// needed.
+///
+/// Preferential selection uses the standard repeated-endpoints trick: a
+/// node's probability is proportional to how often it appears in the edge
+/// endpoint list.
+pub fn barabasi_albert<R: Rng>(n: usize, m: usize, rng: &mut R) -> Graph {
+    assert!(m >= 1, "BA: m must be >= 1");
+    assert!(n > m, "BA: need n > m (n={n}, m={m})");
+    let mut b = GraphBuilder::with_edge_capacity(n, n * m);
+    // Endpoint multiset: node v appears deg(v) times.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+    // Seed clique on m+1 nodes.
+    for u in 0..=(m as NodeId) {
+        for v in (u + 1)..=(m as NodeId) {
+            b.add_edge_unchecked(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    let mut targets: Vec<NodeId> = Vec::with_capacity(m);
+    for new in (m + 1)..n {
+        targets.clear();
+        // Sample m distinct targets by preferential attachment.
+        while targets.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            b.add_edge_unchecked(new as NodeId, t);
+            endpoints.push(new as NodeId);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+    use rand::SeedableRng;
+    use rand_pcg::Pcg64;
+
+    #[test]
+    fn edge_count_is_clique_plus_m_per_node() {
+        let mut rng = Pcg64::seed_from_u64(5);
+        let n = 200;
+        let m = 3;
+        let g = barabasi_albert(n, m, &mut rng);
+        let clique_edges = m * (m + 1) / 2;
+        assert_eq!(g.num_edges(), clique_edges + (n - m - 1) * m);
+        assert_eq!(g.num_nodes(), n);
+    }
+
+    #[test]
+    fn is_connected_and_min_degree_m() {
+        let mut rng = Pcg64::seed_from_u64(6);
+        let g = barabasi_albert(300, 2, &mut rng);
+        assert!(is_connected(&g));
+        for v in 0..300u32 {
+            assert!(g.degree(v) >= 2, "node {v} has degree {}", g.degree(v));
+        }
+    }
+
+    #[test]
+    fn has_heavy_tail() {
+        let mut rng = Pcg64::seed_from_u64(7);
+        let g = barabasi_albert(2000, 3, &mut rng);
+        // hubs should be far above the mean degree (~6)
+        assert!(g.max_degree() > 40, "max degree {} too small", g.max_degree());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = barabasi_albert(100, 2, &mut Pcg64::seed_from_u64(9));
+        let b = barabasi_albert(100, 2, &mut Pcg64::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "n > m")]
+    fn rejects_tiny_n() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        let _ = barabasi_albert(3, 3, &mut rng);
+    }
+}

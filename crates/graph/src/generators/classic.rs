@@ -1,0 +1,234 @@
+//! Deterministic classic graph families.
+//!
+//! Tiny graphs with known graphlet counts are the backbone of the unit
+//! tests (a clique's concentration vector is a point mass; a star has no
+//! 4-paths; the lollipop is the canonical slow-mixing example for the
+//! theory bench).
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::NodeId;
+
+/// Complete graph K_n.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            b.add_edge_unchecked(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Path graph P_n (n nodes, n−1 edges).
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 1..n as NodeId {
+        b.add_edge_unchecked(u - 1, u);
+    }
+    b.build()
+}
+
+/// Cycle graph C_n.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs n >= 3");
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as NodeId {
+        b.add_edge_unchecked(u, (u + 1) % n as NodeId);
+    }
+    b.build()
+}
+
+/// Star S_{n−1}: node 0 is the hub.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2, "star needs n >= 2");
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as NodeId {
+        b.add_edge_unchecked(0, v);
+    }
+    b.build()
+}
+
+/// Complete bipartite graph K_{a,b} (first `a` nodes on the left side).
+pub fn complete_bipartite(a: usize, b_size: usize) -> Graph {
+    let mut b = GraphBuilder::new(a + b_size);
+    for u in 0..a as NodeId {
+        for v in 0..b_size as NodeId {
+            b.add_edge_unchecked(u, a as NodeId + v);
+        }
+    }
+    b.build()
+}
+
+/// Lollipop: K_m glued to a path of `tail` extra nodes. The classic
+/// worst-case mixing example (the walk gets trapped in the clique).
+pub fn lollipop(m: usize, tail: usize) -> Graph {
+    assert!(m >= 3, "lollipop clique needs m >= 3");
+    let n = m + tail;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..m as NodeId {
+        for v in (u + 1)..m as NodeId {
+            b.add_edge_unchecked(u, v);
+        }
+    }
+    for t in 0..tail {
+        let prev = if t == 0 { (m - 1) as NodeId } else { (m + t - 1) as NodeId };
+        b.add_edge_unchecked(prev, (m + t) as NodeId);
+    }
+    b.build()
+}
+
+/// Barbell: two K_m cliques joined by a path of `bridge` nodes.
+pub fn barbell(m: usize, bridge: usize) -> Graph {
+    assert!(m >= 3, "barbell cliques need m >= 3");
+    let n = 2 * m + bridge;
+    let mut b = GraphBuilder::new(n);
+    let clique = |b: &mut GraphBuilder, base: usize| {
+        for u in 0..m {
+            for v in (u + 1)..m {
+                b.add_edge_unchecked((base + u) as NodeId, (base + v) as NodeId);
+            }
+        }
+    };
+    clique(&mut b, 0);
+    clique(&mut b, m + bridge);
+    // chain: last node of clique 1 -> bridge nodes -> first node of clique 2
+    let mut prev = (m - 1) as NodeId;
+    for t in 0..bridge {
+        let cur = (m + t) as NodeId;
+        b.add_edge_unchecked(prev, cur);
+        prev = cur;
+    }
+    b.add_edge_unchecked(prev, (m + bridge) as NodeId);
+    b.build()
+}
+
+/// r × c grid graph.
+pub fn grid(r: usize, c: usize) -> Graph {
+    let mut b = GraphBuilder::new(r * c);
+    let id = |i: usize, j: usize| (i * c + j) as NodeId;
+    for i in 0..r {
+        for j in 0..c {
+            if j + 1 < c {
+                b.add_edge_unchecked(id(i, j), id(i, j + 1));
+            }
+            if i + 1 < r {
+                b.add_edge_unchecked(id(i, j), id(i + 1, j));
+            }
+        }
+    }
+    b.build()
+}
+
+/// The Petersen graph: 10 nodes, 15 edges, 3-regular, girth 5 — a
+/// triangle-free stress case for classifiers.
+pub fn petersen() -> Graph {
+    let mut b = GraphBuilder::new(10);
+    for u in 0..5u32 {
+        b.add_edge_unchecked(u, (u + 1) % 5); // outer cycle
+        b.add_edge_unchecked(u, u + 5); // spokes
+        b.add_edge_unchecked(u + 5, (u + 2) % 5 + 5); // inner pentagram
+    }
+    b.build()
+}
+
+/// The 4-node graph of the paper's Figure 1 (nodes 1..4 relabeled 0..3):
+/// edges {1-2, 1-3, 1-4, 2-3, 3-4}. Used throughout the paper's worked
+/// examples; used throughout our tests for the same reason.
+pub fn paper_figure1() -> Graph {
+    Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (2, 3)]).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+
+    #[test]
+    fn complete_graph_counts() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert!((0..6u32).all(|v| g.degree(v) == 5));
+    }
+
+    #[test]
+    fn path_and_cycle() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(cycle(5).num_edges(), 5);
+        assert!((0..5u32).all(|v| cycle(5).degree(v) == 2));
+        assert_eq!(path(0).num_nodes(), 0);
+        assert_eq!(path(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn star_is_a_hub() {
+        let g = star(7);
+        assert_eq!(g.degree(0), 6);
+        assert!((1..7u32).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn complete_bipartite_counts() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.num_edges(), 12);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn lollipop_structure() {
+        let g = lollipop(4, 3);
+        assert_eq!(g.num_nodes(), 7);
+        assert_eq!(g.num_edges(), 6 + 3);
+        assert!(is_connected(&g));
+        assert_eq!(g.degree(6), 1); // tail end
+    }
+
+    #[test]
+    fn barbell_structure() {
+        let g = barbell(3, 2);
+        assert_eq!(g.num_nodes(), 8);
+        // 3 + 3 clique edges + 3 chain edges
+        assert_eq!(g.num_edges(), 9);
+        assert!(is_connected(&g));
+        let g0 = barbell(3, 0);
+        assert_eq!(g0.num_edges(), 7);
+        assert!(is_connected(&g0));
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4);
+        assert_eq!(g.degree(0), 2); // corner
+    }
+
+    #[test]
+    fn petersen_is_three_regular_triangle_free() {
+        let g = petersen();
+        assert_eq!(g.num_edges(), 15);
+        assert!((0..10u32).all(|v| g.degree(v) == 3));
+        // explicit triangle-free check
+        let mut triangles = 0;
+        for (u, v) in g.edges() {
+            for &w in g.neighbors(u) {
+                if w > v && g.has_edge(v, w) {
+                    triangles += 1;
+                }
+            }
+        }
+        assert_eq!(triangles, 0);
+    }
+
+    #[test]
+    fn paper_figure1_matches_text() {
+        let g = paper_figure1();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 5);
+        // Two triangles: {0,2,3} and {0,1,2} (paper: {1,3,4} and {1,2,3}).
+        assert!(g.has_edge(0, 2) && g.has_edge(2, 3) && g.has_edge(0, 3));
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2) && g.has_edge(0, 2));
+        assert!(!g.has_edge(1, 3));
+    }
+}

@@ -1,0 +1,168 @@
+//! Erdős–Rényi random graphs, both G(n, m) and G(n, p) flavours.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::NodeId;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// G(n, m): exactly `m` distinct edges chosen uniformly among all node
+/// pairs.
+///
+/// Uses rejection sampling, which is near-optimal while
+/// `m ≪ n(n−1)/2`; panics if `m` exceeds the number of possible edges.
+pub fn erdos_renyi_gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> Graph {
+    let possible = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= possible, "G(n,m): m={m} exceeds {possible} possible edges");
+    let mut chosen: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(m * 2);
+    let mut b = GraphBuilder::with_edge_capacity(n, m);
+    while chosen.len() < m {
+        let u = rng.gen_range(0..n as NodeId);
+        let v = rng.gen_range(0..n as NodeId);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if chosen.insert(key) {
+            b.add_edge_unchecked(key.0, key.1);
+        }
+    }
+    b.build()
+}
+
+/// G(n, p): every pair independently with probability `p`.
+///
+/// Implemented with geometric skipping over the flattened pair index, so
+/// the cost is O(expected edges) rather than O(n²).
+pub fn erdos_renyi_gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "G(n,p): p={p} out of [0,1]");
+    let mut b = GraphBuilder::new(n);
+    if p == 0.0 || n < 2 {
+        return b.build();
+    }
+    if p == 1.0 {
+        for u in 0..n as NodeId {
+            for v in (u + 1)..n as NodeId {
+                b.add_edge_unchecked(u, v);
+            }
+        }
+        return b.build();
+    }
+    // Iterate pairs (u, v), u < v, in lexicographic order; skip ahead by
+    // Geometric(p) between successes.
+    let log_q = (1.0 - p).ln();
+    let total = n as u64 * (n as u64 - 1) / 2;
+    let mut idx: u64 = 0;
+    loop {
+        let r: f64 = rng.gen::<f64>();
+        // number of failures before next success
+        let skip = ((1.0 - r).ln() / log_q).floor() as u64;
+        idx = idx.saturating_add(skip);
+        if idx >= total {
+            break;
+        }
+        let (u, v) = unflatten_pair(idx, n as u64);
+        b.add_edge_unchecked(u as NodeId, v as NodeId);
+        idx += 1;
+        if idx >= total {
+            break;
+        }
+    }
+    b.build()
+}
+
+/// Maps a flat index in `0..n(n-1)/2` to the pair (u, v), u < v, in
+/// lexicographic order.
+fn unflatten_pair(idx: u64, n: u64) -> (u64, u64) {
+    // Row u owns (n-1-u) pairs. Solve for the row by the quadratic formula
+    // then fix up boundary cases caused by floating point.
+    let total_before = |u: u64| u * (2 * n - u - 1) / 2;
+    let mut u = {
+        let fi = idx as f64;
+        let fn_ = n as f64;
+        let disc = (2.0 * fn_ - 1.0) * (2.0 * fn_ - 1.0) - 8.0 * fi;
+        (((2.0 * fn_ - 1.0) - disc.max(0.0).sqrt()) / 2.0).floor() as u64
+    };
+    while u + 1 < n && total_before(u + 1) <= idx {
+        u += 1;
+    }
+    while u > 0 && total_before(u) > idx {
+        u -= 1;
+    }
+    let v = u + 1 + (idx - total_before(u));
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_pcg::Pcg64;
+
+    #[test]
+    fn gnm_has_exactly_m_edges() {
+        let mut rng = Pcg64::seed_from_u64(7);
+        let g = erdos_renyi_gnm(100, 250, &mut rng);
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 250);
+    }
+
+    #[test]
+    fn gnm_is_deterministic_per_seed() {
+        let a = erdos_renyi_gnm(50, 100, &mut Pcg64::seed_from_u64(1));
+        let b = erdos_renyi_gnm(50, 100, &mut Pcg64::seed_from_u64(1));
+        let c = erdos_renyi_gnm(50, 100, &mut Pcg64::seed_from_u64(2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gnm_complete_graph_boundary() {
+        let mut rng = Pcg64::seed_from_u64(3);
+        let g = erdos_renyi_gnm(6, 15, &mut rng);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn gnm_rejects_impossible_m() {
+        let mut rng = Pcg64::seed_from_u64(3);
+        let _ = erdos_renyi_gnm(4, 7, &mut rng);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = Pcg64::seed_from_u64(11);
+        assert_eq!(erdos_renyi_gnp(40, 0.0, &mut rng).num_edges(), 0);
+        assert_eq!(erdos_renyi_gnp(10, 1.0, &mut rng).num_edges(), 45);
+        assert_eq!(erdos_renyi_gnp(1, 0.5, &mut rng).num_edges(), 0);
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let mut rng = Pcg64::seed_from_u64(13);
+        let n = 400;
+        let p = 0.05;
+        let g = erdos_renyi_gnp(n, p, &mut rng);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let sd = (expected * (1.0 - p)).sqrt();
+        let got = g.num_edges() as f64;
+        assert!(
+            (got - expected).abs() < 6.0 * sd,
+            "edges {got} too far from expectation {expected}"
+        );
+    }
+
+    #[test]
+    fn unflatten_pair_roundtrip() {
+        let n = 13u64;
+        let mut idx = 0u64;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                assert_eq!(unflatten_pair(idx, n), (u, v), "idx={idx}");
+                idx += 1;
+            }
+        }
+    }
+}

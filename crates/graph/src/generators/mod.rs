@@ -1,0 +1,29 @@
+//! Seeded synthetic graph generators.
+//!
+//! These are the substitutes for the paper's evaluation datasets (SNAP and
+//! KONECT crawls that we neither redistribute nor fit on a laptop — see
+//! `DESIGN.md` §3). The families are chosen so the *axes that drive the
+//! estimator's behaviour* can be dialed in:
+//!
+//! * heavy-tailed degrees → [`barabasi_albert`], [`holme_kim`];
+//! * tunable triangle density (graphlet concentration) → [`holme_kim`]
+//!   (triad-formation probability), [`watts_strogatz`];
+//! * low-clustering nulls → [`erdos_renyi`];
+//! * community structure → [`sbm`];
+//! * worst/best-case mixing → [`classic`] (lollipop vs complete).
+//!
+//! All generators take an explicit `Rng` so dataset construction is fully
+//! deterministic given a seed.
+
+pub mod barabasi_albert;
+pub mod classic;
+pub mod erdos_renyi;
+pub mod holme_kim;
+pub mod sbm;
+pub mod watts_strogatz;
+
+pub use barabasi_albert::barabasi_albert;
+pub use erdos_renyi::{erdos_renyi_gnm, erdos_renyi_gnp};
+pub use holme_kim::holme_kim;
+pub use sbm::stochastic_block_model;
+pub use watts_strogatz::watts_strogatz;

@@ -1,0 +1,131 @@
+//! Watts–Strogatz small-world graphs.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::NodeId;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Watts–Strogatz: a ring lattice where each node connects to its `k`
+/// nearest neighbors (`k` even), with each edge rewired to a uniform random
+/// endpoint with probability `beta`.
+///
+/// Bounded maximum degree and high clustering make this the family of
+/// choice for the *small* ground-truth datasets: 5-node exact enumeration
+/// (needed for Figure 4c / Table 5's c⁵₂₁ column) stays cheap because there
+/// are no hubs.
+pub fn watts_strogatz<R: Rng>(n: usize, k: usize, beta: f64, rng: &mut R) -> Graph {
+    assert!(k >= 2 && k % 2 == 0, "WS: k must be even and >= 2");
+    assert!(n > k, "WS: need n > k");
+    assert!((0.0..=1.0).contains(&beta), "WS: beta out of [0,1]");
+    let half = k / 2;
+    let mut present: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(n * half * 2);
+    let norm = |u: NodeId, v: NodeId| if u < v { (u, v) } else { (v, u) };
+    // ring lattice
+    for u in 0..n {
+        for j in 1..=half {
+            let v = (u + j) % n;
+            present.insert(norm(u as NodeId, v as NodeId));
+        }
+    }
+    // rewiring pass, in deterministic lattice order
+    for u in 0..n {
+        for j in 1..=half {
+            let v = ((u + j) % n) as NodeId;
+            let u = u as NodeId;
+            if !rng.gen_bool(beta) {
+                continue;
+            }
+            let key = norm(u, v);
+            if !present.contains(&key) {
+                continue; // already rewired away by an earlier step
+            }
+            // pick a new endpoint avoiding self-loops and duplicates
+            let mut attempts = 0;
+            loop {
+                let w = rng.gen_range(0..n as NodeId);
+                attempts += 1;
+                if attempts > 4 * n {
+                    break; // node saturated; keep original edge
+                }
+                if w == u || present.contains(&norm(u, w)) {
+                    continue;
+                }
+                present.remove(&key);
+                present.insert(norm(u, w));
+                break;
+            }
+        }
+    }
+    let mut b = GraphBuilder::with_edge_capacity(n, present.len());
+    for (u, v) in present {
+        b.add_edge_unchecked(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_pcg::Pcg64;
+
+    #[test]
+    fn beta_zero_is_exact_ring_lattice() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        let g = watts_strogatz(20, 4, 0.0, &mut rng);
+        assert_eq!(g.num_edges(), 20 * 2);
+        for v in 0..20u32 {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(0, 19));
+        assert!(g.has_edge(0, 18));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn edge_count_preserved_under_rewiring() {
+        let mut rng = Pcg64::seed_from_u64(5);
+        let g = watts_strogatz(200, 6, 0.3, &mut rng);
+        assert_eq!(g.num_edges(), 200 * 3);
+    }
+
+    #[test]
+    fn rewiring_shrinks_diameter() {
+        use crate::connectivity::bfs_distances;
+        let ring = watts_strogatz(400, 4, 0.0, &mut Pcg64::seed_from_u64(2));
+        let sw = watts_strogatz(400, 4, 0.2, &mut Pcg64::seed_from_u64(2));
+        let ecc = |g: &Graph| {
+            bfs_distances(g, 0)
+                .into_iter()
+                .filter(|&d| d != usize::MAX)
+                .max()
+                .unwrap()
+        };
+        assert!(ecc(&sw) < ecc(&ring), "small world should have smaller eccentricity");
+    }
+
+    #[test]
+    fn degrees_stay_bounded() {
+        let mut rng = Pcg64::seed_from_u64(9);
+        let g = watts_strogatz(500, 8, 0.1, &mut rng);
+        // no hubs: max degree stays near k
+        assert!(g.max_degree() <= 24, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = watts_strogatz(100, 4, 0.25, &mut Pcg64::seed_from_u64(42));
+        let b = watts_strogatz(100, 4, 0.25, &mut Pcg64::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn rejects_odd_k() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        let _ = watts_strogatz(10, 3, 0.1, &mut rng);
+    }
+}

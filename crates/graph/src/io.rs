@@ -1,0 +1,129 @@
+//! Edge-list I/O in the SNAP/KONECT plain-text convention.
+//!
+//! Format: one `u v` pair per line, whitespace separated; lines starting
+//! with `#` or `%` are comments; duplicate edges, reversed duplicates and
+//! self-loops are tolerated (and removed on build), since real snapshots
+//! contain all three.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::error::GraphError;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Reads an edge list from any reader. Node ids must be non-negative
+/// integers; the node count is `max id + 1`.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, GraphError> {
+    let mut edges: Vec<(u64, u64)> = Vec::new();
+    let mut max_id: u64 = 0;
+    let mut r = BufReader::new(reader);
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse = |tok: Option<&str>, lineno: usize| -> Result<u64, GraphError> {
+            tok.ok_or_else(|| GraphError::Parse {
+                line: lineno,
+                message: "expected two node ids".into(),
+            })?
+            .parse::<u64>()
+            .map_err(|e| GraphError::Parse { line: lineno, message: e.to_string() })
+        };
+        let u = parse(it.next(), lineno)?;
+        let v = parse(it.next(), lineno)?;
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v));
+    }
+    let n = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    if n > u32::MAX as usize {
+        return Err(GraphError::NodeOutOfRange { node: max_id, num_nodes: u32::MAX as usize });
+    }
+    let mut b = GraphBuilder::with_edge_capacity(n, edges.len());
+    for (u, v) in edges {
+        b.add_edge(u as u32, v as u32)?;
+    }
+    Ok(b.build())
+}
+
+/// Reads an edge list from a file path.
+pub fn read_edge_list_file(path: impl AsRef<Path>) -> Result<Graph, GraphError> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Writes each edge once as `u v` with `u < v`, preceded by a summary
+/// comment header.
+pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# nodes {} edges {}", g.num_nodes(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes an edge list to a file path.
+pub fn write_edge_list_file(g: &Graph, path: impl AsRef<Path>) -> Result<(), GraphError> {
+    write_edge_list(g, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic;
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = classic::petersen();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn comments_blank_lines_and_duplicates_are_tolerated() {
+        let text = "# comment\n% another\n\n0 1\n1 0\n1 2\n2 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        let err = read_edge_list("0 1\nnot numbers\n".as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+        let err = read_edge_list("0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_edge_list("".as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = classic::grid(3, 3);
+        let dir = std::env::temp_dir().join("gx_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("grid.txt");
+        write_edge_list_file(&g, &path).unwrap();
+        let back = read_edge_list_file(&path).unwrap();
+        assert_eq!(g, back);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,115 @@
+//! Descriptive graph statistics used by dataset inventories and the theory
+//! module.
+
+use crate::csr::Graph;
+use crate::NodeId;
+
+/// Average degree `2|E| / |V|`.
+pub fn average_degree(g: &Graph) -> f64 {
+    if g.num_nodes() == 0 {
+        0.0
+    } else {
+        g.degree_sum() as f64 / g.num_nodes() as f64
+    }
+}
+
+/// Histogram of degrees: `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in 0..g.num_nodes() {
+        hist[g.degree(v as NodeId)] += 1;
+    }
+    hist
+}
+
+/// `p`-th moment of the degree distribution, `E[d^p]`.
+pub fn degree_moment(g: &Graph, p: f64) -> f64 {
+    if g.num_nodes() == 0 {
+        return 0.0;
+    }
+    let sum: f64 = (0..g.num_nodes()).map(|v| (g.degree(v as NodeId) as f64).powf(p)).sum();
+    sum / g.num_nodes() as f64
+}
+
+/// Total number of wedges (paths of length two), `Σ_v C(d_v, 2)`. This is
+/// the normalizer of wedge sampling [32] and the `W` of clustering
+/// coefficient computations.
+pub fn wedge_count(g: &Graph) -> u64 {
+    (0..g.num_nodes())
+        .map(|v| {
+            let d = g.degree(v as NodeId) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum()
+}
+
+/// `Σ_{(u,v) ∈ E} (d_u − 1)(d_v − 1)`, the normalizer `S` of 3-path
+/// sampling [14] and, divided by 2, the edge count of `G(2)` plus...
+/// precisely: `|R(2)| = ½ Σ_{(u,v)∈E} (d_u + d_v − 2)` is
+/// [`g2_edge_count`]; this function is the *path* normalizer.
+pub fn three_path_weight(g: &Graph) -> u64 {
+    g.edges()
+        .map(|(u, v)| (g.degree(u) as u64 - 1) * (g.degree(v) as u64 - 1))
+        .sum()
+}
+
+/// Number of edges of the 2-node subgraph relationship graph `G(2)`:
+/// `|R(2)| = ½ Σ_{e=(u,v)} (d_u + d_v − 2)` (paper §3.3). A single pass
+/// over the edge list.
+pub fn g2_edge_count(g: &Graph) -> u64 {
+    let sum: u64 = g.edges().map(|(u, v)| (g.degree(u) + g.degree(v) - 2) as u64).sum();
+    sum / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic;
+
+    #[test]
+    fn average_degree_of_cycle_is_two() {
+        assert!((average_degree(&classic::cycle(17)) - 2.0).abs() < 1e-12);
+        assert_eq!(average_degree(&Graph::from_edges(0, []).unwrap()), 0.0);
+    }
+
+    #[test]
+    fn histogram_of_star() {
+        let hist = degree_histogram(&classic::star(5));
+        assert_eq!(hist, vec![0, 4, 0, 0, 1]);
+    }
+
+    #[test]
+    fn moments() {
+        let g = classic::complete(4); // all degrees 3
+        assert!((degree_moment(&g, 1.0) - 3.0).abs() < 1e-12);
+        assert!((degree_moment(&g, 2.0) - 9.0).abs() < 1e-12);
+        assert_eq!(degree_moment(&Graph::from_edges(0, []).unwrap(), 2.0), 0.0);
+    }
+
+    #[test]
+    fn wedge_counts() {
+        // K4: each node C(3,2)=3 wedges -> 12
+        assert_eq!(wedge_count(&classic::complete(4)), 12);
+        // star with hub degree 4: C(4,2)=6
+        assert_eq!(wedge_count(&classic::star(5)), 6);
+        // path of 3 nodes: 1 wedge
+        assert_eq!(wedge_count(&classic::path(3)), 1);
+    }
+
+    #[test]
+    fn three_path_weight_on_path4() {
+        // P4: edges (0,1),(1,2),(2,3); degrees 1,2,2,1
+        // per-edge: (1-1)(2-1)=0, (2-1)(2-1)=1, 0 -> total 1
+        assert_eq!(three_path_weight(&classic::path(4)), 1);
+    }
+
+    #[test]
+    fn g2_edge_count_examples() {
+        // Paper Figure 1's G(2) has 8 edges (drawn in the figure).
+        assert_eq!(g2_edge_count(&classic::paper_figure1()), 8);
+        // Triangle: each pair of edges adjacent -> G(2) = triangle, 3 edges.
+        assert_eq!(g2_edge_count(&classic::cycle(3)), 3);
+        // P3: two edges sharing a node -> 1.
+        assert_eq!(g2_edge_count(&classic::path(3)), 1);
+    }
+}

@@ -1,0 +1,400 @@
+//! Explicit construction of the d-node subgraph relationship graph `G(d)`
+//! and ESU enumeration of connected induced subgraphs.
+//!
+//! Definition (paper §2.1, following [36]): the nodes of `G(d)` are all
+//! connected induced d-node subgraphs of `G`; two are adjacent iff they
+//! share `d − 1` nodes of `G`. `G(1) = G`.
+//!
+//! The paper never materializes `G(d)` ("constructing G(d) is impractical
+//! due to intensive computation cost" — §2.1); the walks generate neighbors
+//! on the fly. We *do* materialize it here for small graphs, because having
+//! the explicit chain lets the test-suite verify Theorem 2 (stationary
+//! distribution of the expanded chain), the α coefficients, and mixing
+//! times against brute-force linear algebra.
+//!
+//! The enumeration uses the ESU algorithm (Wernicke 2006), which visits
+//! every connected induced k-subgraph exactly once. It is also re-exported
+//! for the exact-counting crate.
+
+use crate::csr::Graph;
+use crate::NodeId;
+use std::collections::HashMap;
+
+/// Reusable scratch state for ESU enumeration rooted at single nodes.
+/// Lets callers parallelize over roots (one `Esu` per worker thread).
+pub struct Esu<'g> {
+    g: &'g Graph,
+    k: usize,
+    in_sub: Vec<bool>,
+    in_hood: Vec<bool>,
+    sub: Vec<NodeId>,
+    sorted: Vec<NodeId>,
+}
+
+impl<'g> Esu<'g> {
+    /// Creates scratch for enumerating `k`-node subgraphs of `g`.
+    pub fn new(g: &'g Graph, k: usize) -> Self {
+        assert!(k >= 1, "Esu requires k >= 1");
+        let n = g.num_nodes();
+        Self {
+            g,
+            k,
+            in_sub: vec![false; n],
+            in_hood: vec![false; n],
+            sub: Vec::with_capacity(k),
+            sorted: Vec::with_capacity(k),
+        }
+    }
+
+    /// Enumerates every connected induced k-subgraph whose *minimum* node
+    /// is `root`, invoking `visit` with the sorted node set.
+    pub fn enumerate_root<F: FnMut(&[NodeId])>(&mut self, root: NodeId, mut visit: F) {
+        if self.k == 1 {
+            visit(&[root]);
+            return;
+        }
+        let g = self.g;
+        self.in_sub[root as usize] = true;
+        self.in_hood[root as usize] = true;
+        self.sub.push(root);
+        let mut touched = vec![root];
+        let ext: Vec<NodeId> = g
+            .neighbors(root)
+            .iter()
+            .copied()
+            .filter(|&u| u > root)
+            .inspect(|&u| {
+                self.in_hood[u as usize] = true;
+                touched.push(u);
+            })
+            .collect();
+        extend(
+            g,
+            self.k,
+            root,
+            &mut self.sub,
+            ext,
+            &mut self.in_sub,
+            &mut self.in_hood,
+            &mut self.sorted,
+            &mut visit,
+        );
+        self.sub.pop();
+        for t in touched {
+            self.in_hood[t as usize] = false;
+        }
+        self.in_sub[root as usize] = false;
+    }
+}
+
+/// Enumerates every connected induced `k`-node subgraph of `g` exactly
+/// once, invoking `visit` with the node set (sorted ascending).
+///
+/// This is the ESU ("FANMOD") algorithm: subgraphs are rooted at their
+/// minimum node and extended only with larger nodes from the exclusive
+/// neighborhood, which guarantees uniqueness.
+pub fn enumerate_connected_subgraphs<F: FnMut(&[NodeId])>(g: &Graph, k: usize, mut visit: F) {
+    if k == 0 || g.num_nodes() == 0 {
+        return;
+    }
+    let mut esu = Esu::new(g, k);
+    for v in 0..g.num_nodes() as NodeId {
+        esu.enumerate_root(v, &mut visit);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extend<F: FnMut(&[NodeId])>(
+    g: &Graph,
+    k: usize,
+    root: NodeId,
+    sub: &mut Vec<NodeId>,
+    mut ext: Vec<NodeId>,
+    in_sub: &mut [bool],
+    in_hood: &mut [bool],
+    sorted: &mut Vec<NodeId>,
+    visit: &mut F,
+) {
+    if sub.len() == k {
+        sorted.clear();
+        sorted.extend_from_slice(sub);
+        sorted.sort_unstable();
+        visit(sorted);
+        return;
+    }
+    while let Some(w) = ext.pop() {
+        // Extension set for the recursive call: remaining candidates plus
+        // the exclusive neighborhood of w (neighbors > root not already in
+        // the subgraph's closed neighborhood).
+        let mut new_ext = ext.clone();
+        let mut newly_marked: Vec<NodeId> = Vec::new();
+        for &u in g.neighbors(w) {
+            if u > root && !in_hood[u as usize] {
+                in_hood[u as usize] = true;
+                newly_marked.push(u);
+                new_ext.push(u);
+            }
+        }
+        in_sub[w as usize] = true;
+        sub.push(w);
+        extend(g, k, root, sub, new_ext, in_sub, in_hood, sorted, visit);
+        sub.pop();
+        in_sub[w as usize] = false;
+        // w stays in in_hood for the remaining iterations at this level
+        // (ESU: once considered, w must not be re-added deeper), but the
+        // *exclusive* marks added for w's branch must be rolled back.
+        for u in newly_marked {
+            in_hood[u as usize] = false;
+        }
+    }
+}
+
+/// Counts connected induced `k`-subgraphs (convenience over
+/// [`enumerate_connected_subgraphs`]).
+pub fn count_connected_subgraphs(g: &Graph, k: usize) -> u64 {
+    let mut c = 0u64;
+    enumerate_connected_subgraphs(g, k, |_| c += 1);
+    c
+}
+
+/// An explicitly materialized subgraph relationship graph `G(d)`.
+#[derive(Debug, Clone)]
+pub struct SubRelGraph {
+    /// State `i` is the sorted node set of the i-th connected induced
+    /// d-subgraph.
+    pub states: Vec<Vec<NodeId>>,
+    /// The relationship graph: node `i` ↔ state `i`.
+    pub graph: Graph,
+    /// d (subgraph size).
+    pub d: usize,
+}
+
+impl SubRelGraph {
+    /// Index of a state given its sorted node set.
+    pub fn state_index(&self, nodes: &[NodeId]) -> Option<usize> {
+        // states are sorted lexicographically at construction
+        self.states.binary_search_by(|s| s.as_slice().cmp(nodes)).ok()
+    }
+}
+
+/// Materializes `G(d)` for a small graph. `G(1)` is the graph itself.
+///
+/// Cost is O(|H(d)| · d · deg) with hashing — only intended for graphs
+/// small enough that |H(d)| fits in memory (tests, theory benches).
+pub fn subgraph_relationship_graph(g: &Graph, d: usize) -> SubRelGraph {
+    assert!(d >= 1, "G(d) needs d >= 1");
+    if d == 1 {
+        return SubRelGraph {
+            states: (0..g.num_nodes() as NodeId).map(|v| vec![v]).collect(),
+            graph: g.clone(),
+            d,
+        };
+    }
+    let mut states: Vec<Vec<NodeId>> = Vec::new();
+    enumerate_connected_subgraphs(g, d, |s| states.push(s.to_vec()));
+    states.sort_unstable();
+    let index: HashMap<&[NodeId], usize> =
+        states.iter().enumerate().map(|(i, s)| (s.as_slice(), i)).collect();
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut candidate: Vec<NodeId> = Vec::with_capacity(d);
+    for (i, s) in states.iter().enumerate() {
+        // neighbors of s: replace one node by an outside node; the result
+        // must itself be a connected induced subgraph, i.e. present in the
+        // index.
+        for drop_pos in 0..d {
+            for &b in s.iter().enumerate().filter(|&(p, _)| p != drop_pos).map(|(_, x)| x) {
+                for &w in g.neighbors(b) {
+                    if s.contains(&w) {
+                        continue;
+                    }
+                    candidate.clear();
+                    candidate.extend(s.iter().enumerate().filter(|&(p, _)| p != drop_pos).map(|(_, &x)| x));
+                    candidate.push(w);
+                    candidate.sort_unstable();
+                    if let Some(&j) = index.get(candidate.as_slice()) {
+                        if i < j {
+                            edges.push((i as NodeId, j as NodeId));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let graph = Graph::from_edges(states.len(), edges).expect("indices in range");
+    SubRelGraph { states, graph, d }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic;
+
+    #[test]
+    fn esu_counts_on_known_graphs() {
+        // K4: C(4,2)=6 pairs all connected, C(4,3)=4 triples, 1 quad.
+        let k4 = classic::complete(4);
+        assert_eq!(count_connected_subgraphs(&k4, 2), 6);
+        assert_eq!(count_connected_subgraphs(&k4, 3), 4);
+        assert_eq!(count_connected_subgraphs(&k4, 4), 1);
+        // P4 path: connected 3-subsets must be contiguous: {0,1,2},{1,2,3}.
+        let p4 = classic::path(4);
+        assert_eq!(count_connected_subgraphs(&p4, 2), 3);
+        assert_eq!(count_connected_subgraphs(&p4, 3), 2);
+        assert_eq!(count_connected_subgraphs(&p4, 4), 1);
+        // Star S4 (5 nodes): every subset containing hub is connected:
+        // k-subsets = C(4, k-1).
+        let s = classic::star(5);
+        assert_eq!(count_connected_subgraphs(&s, 3), 6);
+        assert_eq!(count_connected_subgraphs(&s, 4), 4);
+        assert_eq!(count_connected_subgraphs(&s, 5), 1);
+    }
+
+    #[test]
+    fn esu_k1_and_degenerate() {
+        let g = classic::path(3);
+        assert_eq!(count_connected_subgraphs(&g, 1), 3);
+        assert_eq!(count_connected_subgraphs(&g, 0), 0);
+        assert_eq!(count_connected_subgraphs(&g, 4), 0);
+        let empty = Graph::from_edges(0, []).unwrap();
+        assert_eq!(count_connected_subgraphs(&empty, 3), 0);
+    }
+
+    #[test]
+    fn esu_yields_sorted_unique_connected_sets() {
+        use crate::connectivity::is_connected;
+        let g = classic::petersen();
+        let mut seen = std::collections::HashSet::new();
+        enumerate_connected_subgraphs(&g, 4, |s| {
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted: {s:?}");
+            assert!(seen.insert(s.to_vec()), "duplicate: {s:?}");
+            let (sub, _) = g.induced_subgraph(s);
+            assert!(is_connected(&sub), "not connected: {s:?}");
+        });
+        assert!(!seen.is_empty());
+    }
+
+    #[test]
+    fn figure1_g2_matches_paper() {
+        let g = classic::paper_figure1();
+        let rel = subgraph_relationship_graph(&g, 2);
+        // Paper Figure 1: G(2) has the 5 node pairs (edges of G) and 8
+        // relationship edges.
+        assert_eq!(rel.states.len(), 5);
+        assert_eq!(rel.graph.num_edges(), 8);
+        // (0,1)-(1,2) share node 1: adjacent. (0,1)-(2,3) share none.
+        let a = rel.state_index(&[0, 1]).unwrap();
+        let b = rel.state_index(&[1, 2]).unwrap();
+        let c = rel.state_index(&[2, 3]).unwrap();
+        assert!(rel.graph.has_edge(a as NodeId, b as NodeId));
+        assert!(!rel.graph.has_edge(a as NodeId, c as NodeId));
+    }
+
+    #[test]
+    fn figure1_g3_matches_paper() {
+        let g = classic::paper_figure1();
+        let rel = subgraph_relationship_graph(&g, 3);
+        // All four 3-subsets of Figure 1's graph are connected and pairwise
+        // share 2 nodes: G(3) = K4 (as drawn in the paper's Figure 1).
+        assert_eq!(rel.states.len(), 4);
+        assert_eq!(rel.graph.num_edges(), 6);
+    }
+
+    #[test]
+    fn g1_is_the_graph_itself() {
+        let g = classic::cycle(5);
+        let rel = subgraph_relationship_graph(&g, 1);
+        assert_eq!(rel.graph, g);
+        assert_eq!(rel.states.len(), 5);
+        assert_eq!(rel.state_index(&[3]), Some(3));
+    }
+
+    #[test]
+    fn g2_edge_count_formula_agrees_with_materialization() {
+        use crate::stats::g2_edge_count;
+        for g in [
+            classic::paper_figure1(),
+            classic::petersen(),
+            classic::complete(5),
+            classic::lollipop(4, 3),
+        ] {
+            let rel = subgraph_relationship_graph(&g, 2);
+            assert_eq!(rel.graph.num_edges() as u64, g2_edge_count(&g));
+        }
+    }
+
+    #[test]
+    fn g2_of_connected_graph_is_connected() {
+        use crate::connectivity::is_connected;
+        // Theorem 3.1 of [36]: G connected => G(d) connected.
+        for g in [classic::petersen(), classic::lollipop(4, 3), classic::grid(3, 3)] {
+            for d in 2..=3 {
+                let rel = subgraph_relationship_graph(&g, d);
+                assert!(is_connected(&rel.graph), "G({d}) disconnected");
+            }
+        }
+    }
+
+    #[test]
+    fn state_index_misses() {
+        let g = classic::path(4);
+        let rel = subgraph_relationship_graph(&g, 2);
+        assert_eq!(rel.state_index(&[0, 3]), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::connectivity::is_connected;
+    use proptest::prelude::*;
+
+    /// Brute-force reference: count connected induced k-subgraphs by
+    /// checking all C(n, k) subsets.
+    fn brute_count(g: &Graph, k: usize) -> u64 {
+        let n = g.num_nodes();
+        if k == 0 || k > n {
+            return 0;
+        }
+        let mut count = 0u64;
+        let mut subset: Vec<usize> = (0..k).collect();
+        loop {
+            let nodes: Vec<NodeId> = subset.iter().map(|&i| i as NodeId).collect();
+            let (sub, _) = g.induced_subgraph(&nodes);
+            if sub.num_edges() >= k - 1 && is_connected(&sub) {
+                count += 1;
+            }
+            // next k-combination
+            let mut i = k;
+            loop {
+                if i == 0 {
+                    return count;
+                }
+                i -= 1;
+                if subset[i] != i + n - k {
+                    subset[i] += 1;
+                    for j in (i + 1)..k {
+                        subset[j] = subset[j - 1] + 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn esu_matches_brute_force(
+            edges in proptest::collection::vec((0u32..9, 0u32..9), 0..25),
+            k in 2usize..5,
+        ) {
+            let mut b = GraphBuilder::new(9);
+            for (u, v) in edges {
+                b.add_edge(u, v).unwrap();
+            }
+            let g = b.build();
+            prop_assert_eq!(count_connected_subgraphs(&g, k), brute_count(&g, k));
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! Algorithm 2: the state corresponding coefficient α.
+//!
+//! For a graphlet g on k nodes and a walk on `G(d)`, α counts the ordered
+//! sequences of `l = k − d + 1` *distinct* connected induced d-subgraphs of
+//! g such that consecutive subgraphs are adjacent in the subgraph
+//! relationship graph (share d − 1 nodes; for d = 1, are joined by an edge)
+//! and the union covers all k nodes. Each valid l-step window of the walk
+//! that lands on a copy of g corresponds to exactly one such sequence, so α
+//! is the number of times g is "replicated" in the expanded chain's state
+//! space (paper Definition 3).
+//!
+//! Equivalently (paper's remark), α is twice the number of undirected
+//! Hamilton paths of the subgraph relationship graph of g restricted to
+//! covering sequences. Tables 2 and 3 of the paper list α/2; the test suite
+//! regenerates both tables from this module and fails on any mismatch.
+
+use crate::atlas::atlas;
+use crate::mask::SmallGraph;
+use crate::GraphletId;
+use std::sync::OnceLock;
+
+/// Whether the subset of nodes given by `bits` induces a connected
+/// subgraph of `g`.
+fn subset_connected(g: &SmallGraph, bits: u8) -> bool {
+    if bits == 0 {
+        return false;
+    }
+    let start = bits.trailing_zeros() as usize;
+    let mut reached: u8 = 1 << start;
+    loop {
+        let mut next = reached;
+        for i in 0..g.k() {
+            if reached & (1 << i) != 0 {
+                next |= g.neighbors_bits(i) & bits;
+            }
+        }
+        if next == reached {
+            return reached == bits;
+        }
+        reached = next;
+    }
+}
+
+/// All connected induced d-subgraphs of `g`, as node bitmasks.
+fn connected_subsets(g: &SmallGraph, d: usize) -> Vec<u8> {
+    let k = g.k();
+    let mut out = Vec::new();
+    for bits in 0u8..(1u16 << k) as u8 {
+        if bits.count_ones() as usize == d && subset_connected(g, bits) {
+            out.push(bits);
+        }
+    }
+    out
+}
+
+/// The corresponding-state structure of a graphlet under SRW(d): its
+/// connected d-subgraphs and every covering l-sequence (the states of
+/// `C(s)` in Definition 3, as index sequences into `subsets`).
+#[derive(Debug, Clone)]
+pub struct CoveringSequences {
+    /// Connected induced d-subgraphs of the graphlet, as node bitmasks.
+    pub subsets: Vec<u8>,
+    /// Every ordered sequence of l = k − d + 1 distinct subsets with
+    /// consecutive subsets adjacent in the relationship graph and union
+    /// covering all k nodes. `α = sequences.len()`.
+    pub sequences: Vec<Vec<u8>>,
+}
+
+/// Enumerates the covering sequences of `g` under SRW(d) — the machinery
+/// shared by Algorithm 2 (α = number of sequences) and Algorithm 3 (CSS
+/// sums π_e over exactly these sequences).
+pub fn covering_sequences(g: &SmallGraph, d: usize) -> CoveringSequences {
+    let k = g.k();
+    assert!((1..=k).contains(&d), "alpha: d={d} must be in 1..=k={k}");
+    assert!(g.is_connected(), "alpha is defined for connected graphlets");
+    let l = k - d + 1;
+    let subs = connected_subsets(g, d);
+    let m = subs.len();
+    let mut out = CoveringSequences { subsets: subs, sequences: Vec::new() };
+    if m == 0 {
+        return out;
+    }
+    // Adjacency in the relationship graph restricted to g's subgraphs.
+    let mut adj = vec![0u64; m];
+    for i in 0..m {
+        for j in (i + 1)..m {
+            let adjacent = if d == 1 {
+                let u = out.subsets[i].trailing_zeros() as usize;
+                let v = out.subsets[j].trailing_zeros() as usize;
+                g.has_edge(u, v)
+            } else {
+                (out.subsets[i] & out.subsets[j]).count_ones() as usize == d - 1
+            };
+            if adjacent {
+                adj[i] |= 1 << j;
+                adj[j] |= 1 << i;
+            }
+        }
+    }
+    let full: u8 = ((1u16 << k) - 1) as u8;
+    // DFS over ordered sequences of distinct subgraphs. A window of k
+    // distinct nodes visits k − d + 1 distinct states, so distinctness is
+    // enforced (Algorithm 2 draws combinations, then permutations).
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        subs: &[u8],
+        adj: &[u64],
+        used: u64,
+        covered: u8,
+        seq: &mut Vec<u8>,
+        l: usize,
+        full: u8,
+        out: &mut Vec<Vec<u8>>,
+    ) {
+        if seq.len() == l {
+            if covered == full {
+                out.push(seq.clone());
+            }
+            return;
+        }
+        // Prune: each further step adds at most one uncovered node.
+        let missing = (full & !covered).count_ones() as usize;
+        if missing > l - seq.len() {
+            return;
+        }
+        let last = *seq.last().expect("seq starts non-empty") as usize;
+        let mut candidates = adj[last] & !used;
+        while candidates != 0 {
+            let j = candidates.trailing_zeros() as usize;
+            candidates &= candidates - 1;
+            seq.push(j as u8);
+            dfs(subs, adj, used | (1 << j), covered | subs[j], seq, l, full, out);
+            seq.pop();
+        }
+    }
+    let mut seq: Vec<u8> = Vec::with_capacity(l);
+    for start in 0..m {
+        seq.push(start as u8);
+        if l == 1 {
+            if out.subsets[start] == full {
+                out.sequences.push(seq.clone());
+            }
+        } else {
+            dfs(
+                &out.subsets,
+                &adj,
+                1 << start,
+                out.subsets[start],
+                &mut seq,
+                l,
+                full,
+                &mut out.sequences,
+            );
+        }
+        seq.pop();
+    }
+    out
+}
+
+/// α for graphlet `g` under SRW(d). `1 ≤ d ≤ k`; `d = k` gives l = 1 and
+/// α = 1 for every connected g (the single state covering g).
+pub fn alpha(g: &SmallGraph, d: usize) -> u64 {
+    covering_sequences(g, d).sequences.len() as u64
+}
+
+/// α for every k-node graphlet type in paper order, under SRW(d). Cached.
+pub fn alpha_table(k: usize, d: usize) -> &'static [u64] {
+    // Index by (k, d); k ≤ 6, d ≤ 6.
+    static TABLES: OnceLock<[[OnceLock<Vec<u64>>; 7]; 7]> = OnceLock::new();
+    let tables = TABLES.get_or_init(Default::default);
+    assert!((3..=6).contains(&k), "alpha_table: k={k} unsupported");
+    assert!((1..=k).contains(&d), "alpha_table: d={d} must be in 1..=k");
+    tables[k][d].get_or_init(|| {
+        atlas(k)
+            .iter()
+            .map(|info| alpha(&SmallGraph::from_mask(k, info.canonical_mask), d))
+            .collect()
+    })
+}
+
+/// α for one graphlet id under SRW(d).
+pub fn alpha_of(id: GraphletId, d: usize) -> u64 {
+    alpha_table(id.k as usize, d)[id.index as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canon::canon_table;
+
+    /// Table 2 of the paper, times two (the paper lists α/2): 3-node
+    /// graphlets (wedge, triangle) under SRW(1..3).
+    #[test]
+    fn table2_three_node_alphas_match_paper() {
+        assert_eq!(alpha_table(3, 1), &[2, 6]);
+        assert_eq!(alpha_table(3, 2), &[2, 6]);
+        assert_eq!(alpha_table(3, 3), &[1, 1]);
+    }
+
+    /// Table 2 of the paper, times two: 4-node graphlets under SRW(1..3).
+    #[test]
+    fn table2_four_node_alphas_match_paper() {
+        assert_eq!(alpha_table(4, 1), &[2, 0, 8, 4, 12, 24]);
+        assert_eq!(alpha_table(4, 2), &[2, 6, 8, 10, 24, 48]);
+        assert_eq!(alpha_table(4, 3), &[2, 6, 12, 6, 12, 12]);
+    }
+
+    /// Table 3 of the paper, times two: all 21 five-node graphlets under
+    /// SRW(1..4). This test *pins the paper's column ordering*: each
+    /// column's (SRW1..SRW4) α-vector is unique, so a wrong
+    /// `PAPER_TO_CANON_5` permutation cannot pass. On failure the error
+    /// message prints the permutation that would make it pass.
+    #[test]
+    fn table3_five_node_alphas_match_paper() {
+        // Paper Table 3 (α/2), columns 1..21, rows SRW(1..4).
+        //
+        // ERRATUM (documented in EXPERIMENTS.md): the published SRW(4) row
+        // reads 12 in columns 8, 9, 10, 11 and 15. Those are exactly the
+        // five graphlets with |S| = 4 connected 4-node subgraphs, for
+        // which the paper's own PSRW closed form (Appendix B:
+        // α = (|S|−1)·|S|) gives α = 12, i.e. α/2 = 6 — the published
+        // cells list α instead of α/2 (for every |S| = 5 column the table
+        // correctly lists (|S|−1)|S|/2 = 10). The row below carries the
+        // corrected value 6; `table3_published_srw4_cells_are_alpha_not_half`
+        // pins the relationship to the published 12s.
+        const TABLE3_HALF: [[u64; 21]; 4] = [
+            [1, 0, 0, 1, 2, 0, 5, 2, 2, 4, 4, 6, 7, 6, 6, 10, 14, 18, 24, 36, 60],
+            [1, 2, 12, 5, 4, 16, 5, 6, 24, 24, 12, 18, 15, 54, 36, 42, 34, 82, 76, 144, 240],
+            [1, 5, 24, 8, 5, 24, 5, 16, 30, 24, 16, 63, 26, 63, 30, 43, 63, 63, 90, 90, 90],
+            [1, 3, 6, 3, 3, 6, 10, 6, 6, 6, 6, 10, 10, 10, 6, 10, 10, 10, 10, 10, 10],
+        ];
+        // Vector per paper column.
+        let want: Vec<[u64; 4]> = (0..21)
+            .map(|c| {
+                [
+                    2 * TABLE3_HALF[0][c],
+                    2 * TABLE3_HALF[1][c],
+                    2 * TABLE3_HALF[2][c],
+                    2 * TABLE3_HALF[3][c],
+                ]
+            })
+            .collect();
+        // Vector per canonical class.
+        let t = canon_table(5);
+        let got: Vec<[u64; 4]> = (0..21)
+            .map(|i| {
+                let g = SmallGraph::from_mask(5, t.representative(i));
+                [alpha(&g, 1), alpha(&g, 2), alpha(&g, 3), alpha(&g, 4)]
+            })
+            .collect();
+        // Derive the permutation paper -> canonical by unique matching.
+        let mut derived = [usize::MAX; 21];
+        for (paper_idx, w) in want.iter().enumerate() {
+            let matches: Vec<usize> =
+                (0..21).filter(|&i| &got[i] == w).collect();
+            assert_eq!(
+                matches.len(),
+                1,
+                "paper column {} (α-vector {:?}) matches canonical classes {:?}; \
+                 expected exactly one",
+                paper_idx + 1,
+                w,
+                matches
+            );
+            derived[paper_idx] = matches[0];
+        }
+        assert_eq!(
+            crate::atlas::PAPER_TO_CANON_5.as_slice(),
+            derived.as_slice(),
+            "PAPER_TO_CANON_5 must be {derived:?}"
+        );
+        // And the atlas-facing table must therefore equal the paper's.
+        for d in 1..=4 {
+            let table = alpha_table(5, d);
+            for c in 0..21 {
+                assert_eq!(table[c], 2 * TABLE3_HALF[d - 1][c], "d={d} col={}", c + 1);
+            }
+        }
+    }
+
+    /// The five published Table-3 SRW(4) cells that read 12 are α, not
+    /// α/2: each of those graphlets has exactly |S| = 4 connected 4-node
+    /// subgraphs, so α = (|S|−1)|S| = 12 by the paper's own PSRW formula.
+    #[test]
+    fn table3_published_srw4_cells_are_alpha_not_half() {
+        // paper columns (1-based): banner 8, dart 9, bowtie 10, kite 11,
+        // tailed-clique 15.
+        for paper_col in [8usize, 9, 10, 11, 15] {
+            let a = alpha_table(5, 4)[paper_col - 1];
+            assert_eq!(a, 12, "α itself equals the published cell");
+            assert_eq!(a / 2, 6, "the corrected α/2 value");
+        }
+        // Sanity: every non-erratum PSRW cell satisfies α = (|S|−1)|S|
+        // with integral |S| ∈ {2,...,5}.
+        for (c, &a) in alpha_table(5, 4).iter().enumerate() {
+            let s = (1.0 + (1.0 + 4.0 * a as f64).sqrt()) / 2.0;
+            assert!(
+                (s - s.round()).abs() < 1e-9 && (2.0..=5.0).contains(&s),
+                "column {}: α = {a} is not (s−1)s for integral s",
+                c + 1
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_hand_checked_cases() {
+        // Triangle under SRW(1): all 6 node orderings traverse it.
+        let tri = SmallGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(alpha(&tri, 1), 6);
+        // Wedge under SRW(1): 2 orderings (each end to the other).
+        let wedge = SmallGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(alpha(&wedge, 1), 2);
+        // 3-star under SRW(1): no Hamilton path.
+        let star = SmallGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(alpha(&star, 1), 0);
+        // K5 under SRW(4): 5 K4-subgraphs, all pairs share 3 nodes, any
+        // ordered pair covers 5 nodes: 5 * 4 = 20.
+        let k5 = SmallGraph::from_mask(5, (1 << 10) - 1);
+        assert_eq!(alpha(&k5, 4), 20);
+        // d = k: the single full state, α = 1.
+        assert_eq!(alpha(&k5, 5), 1);
+        assert_eq!(alpha(&tri, 3), 1);
+    }
+
+    #[test]
+    fn alpha_tailed_triangle_worked_example() {
+        // Worked in DESIGN review: tailed triangle under SRW(2) has α = 10
+        // (paper Table 2: α/2 = 5).
+        let tt = SmallGraph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        assert_eq!(alpha(&tt, 2), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn alpha_rejects_disconnected() {
+        let g = SmallGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        let _ = alpha(&g, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in")]
+    fn alpha_rejects_bad_d() {
+        let tri = SmallGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let _ = alpha(&tri, 4);
+    }
+
+    #[test]
+    fn alpha_of_uses_paper_ordering() {
+        use crate::GraphletId;
+        // g4_2 is the 3-star; under SRW(1) it cannot be sampled.
+        assert_eq!(alpha_of(GraphletId::new(4, 1), 1), 0);
+        // g4_6 is the clique; Table 2: α/2 = 24 under SRW(2).
+        assert_eq!(alpha_of(GraphletId::new(4, 5), 2), 48);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::mask::permutations;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// α is an isomorphism invariant.
+        #[test]
+        fn alpha_invariant_under_relabeling(
+            mask in 0u32..1024,
+            perm_seed in 0usize..120,
+            d in 1usize..=4,
+        ) {
+            let g = SmallGraph::from_mask(5, mask);
+            prop_assume!(g.is_connected());
+            let perm: Vec<usize> = permutations(5).nth(perm_seed).unwrap().to_vec();
+            let h = g.permute(&perm);
+            prop_assert_eq!(alpha(&g, d), alpha(&h, d));
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Exact classification tables.
+//!
+//! For each k, a table over all 2^C(k,2) edge masks mapping a labeled
+//! induced subgraph to its graphlet class in O(1). The table is built once
+//! by canonicalizing every mask over all k! permutations — 1024 × 120
+//! operations for k = 5, 32768 × 720 for k = 6 — and cached for the
+//! process lifetime.
+//!
+//! Classes are numbered here in *canonical order* (ascending edge count,
+//! then ascending canonical mask). The [`crate::atlas`] module maps
+//! canonical order to the paper's ordering.
+
+use crate::mask::{num_pairs, SmallGraph};
+use std::sync::OnceLock;
+
+/// Classification table for one k.
+pub struct CanonTable {
+    /// Node count.
+    pub k: usize,
+    /// `table[mask]` = canonical class index, or `NONE` if the mask is a
+    /// disconnected graph.
+    table: Vec<i16>,
+    /// Canonical representative mask of each class, in canonical order.
+    reps: Vec<u32>,
+}
+
+const NONE: i16 = -1;
+
+impl CanonTable {
+    fn build(k: usize) -> CanonTable {
+        let bits = num_pairs(k);
+        let size = 1usize << bits;
+        // Map each mask to its canonical mask; collect connected classes.
+        let mut canon_of = vec![0u32; size];
+        let mut class_of_canon = std::collections::HashMap::new();
+        let mut reps: Vec<u32> = Vec::new();
+        for m in 0..size as u32 {
+            let g = SmallGraph::from_mask(k, m);
+            if !g.is_connected() {
+                canon_of[m as usize] = u32::MAX;
+                continue;
+            }
+            let c = g.canonical_mask();
+            canon_of[m as usize] = c;
+            class_of_canon.entry(c).or_insert_with(|| {
+                reps.push(c);
+                reps.len() - 1
+            });
+        }
+        // Canonical order: ascending (edge count, mask value).
+        reps.sort_unstable_by_key(|&m| (m.count_ones(), m));
+        let rank: std::collections::HashMap<u32, i16> =
+            reps.iter().enumerate().map(|(i, &m)| (m, i as i16)).collect();
+        let table = canon_of
+            .into_iter()
+            .map(|c| if c == u32::MAX { NONE } else { rank[&c] })
+            .collect();
+        CanonTable { k, table, reps }
+    }
+
+    /// Canonical class index of `mask`, or `None` if disconnected.
+    #[inline]
+    pub fn class_of(&self, mask: u32) -> Option<usize> {
+        match self.table[mask as usize] {
+            NONE => None,
+            c => Some(c as usize),
+        }
+    }
+
+    /// Number of classes (distinct connected k-node graphs up to
+    /// isomorphism).
+    pub fn num_classes(&self) -> usize {
+        self.reps.len()
+    }
+
+    /// Canonical representative mask of class `i`.
+    pub fn representative(&self, i: usize) -> u32 {
+        self.reps[i]
+    }
+}
+
+/// The classification table for `k` (3..=6), built lazily and cached.
+pub fn canon_table(k: usize) -> &'static CanonTable {
+    static TABLES: [OnceLock<CanonTable>; 7] = [
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+    ];
+    assert!((1..=6).contains(&k), "canon_table: k={k} unsupported (1..=6)");
+    TABLES[k].get_or_init(|| CanonTable::build(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::permutations;
+
+    #[test]
+    fn class_counts_match_known_sequence() {
+        // Connected graphs on n nodes up to isomorphism (OEIS A001349):
+        // 1, 1, 2, 6, 21, 112.
+        assert_eq!(canon_table(1).num_classes(), 1);
+        assert_eq!(canon_table(2).num_classes(), 1);
+        assert_eq!(canon_table(3).num_classes(), 2);
+        assert_eq!(canon_table(4).num_classes(), 6);
+        assert_eq!(canon_table(5).num_classes(), 21);
+    }
+
+    #[test]
+    #[ignore = "builds the 32768x720 six-node table (~seconds); run with --ignored"]
+    fn six_node_class_count() {
+        assert_eq!(canon_table(6).num_classes(), 112);
+    }
+
+    #[test]
+    fn disconnected_masks_have_no_class() {
+        let t = canon_table(4);
+        assert_eq!(t.class_of(0), None); // empty graph
+        let two_disjoint = SmallGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(t.class_of(two_disjoint.mask()), None);
+    }
+
+    #[test]
+    fn representatives_classify_to_themselves() {
+        for k in 3..=5 {
+            let t = canon_table(k);
+            for i in 0..t.num_classes() {
+                assert_eq!(t.class_of(t.representative(i)), Some(i));
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_order_is_by_edge_count() {
+        let t = canon_table(5);
+        let counts: Vec<u32> = (0..21).map(|i| t.representative(i).count_ones()).collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(counts[0], 4); // tree (path/star/...)
+        assert_eq!(counts[20], 10); // K5
+    }
+
+    #[test]
+    fn classification_is_permutation_invariant_k4() {
+        let t = canon_table(4);
+        for mask in 0u32..64 {
+            let g = SmallGraph::from_mask(4, mask);
+            let class = t.class_of(mask);
+            for perm in permutations(4) {
+                assert_eq!(t.class_of(g.permute(perm).mask()), class);
+            }
+        }
+    }
+
+    #[test]
+    fn every_connected_mask_is_classified_k5() {
+        let t = canon_table(5);
+        for mask in 0u32..1024 {
+            let g = SmallGraph::from_mask(5, mask);
+            assert_eq!(t.class_of(mask).is_some(), g.is_connected(), "mask {mask:#x}");
+        }
+    }
+}

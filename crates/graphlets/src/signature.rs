@@ -1,0 +1,133 @@
+//! The degree-signature classifier (paper §5, after GUISE [6]).
+//!
+//! The paper identifies sample types by comparing the subgraph's
+//! degree-signature against precomputed signatures — cheaper than a full
+//! isomorphism test in their C++ setting. In this workspace the canonical
+//! table of [`crate::canon`] is already O(1), so this module exists to
+//! (a) reproduce the paper's §5 machinery faithfully and (b) serve as an
+//! independent implementation that cross-validates the tables.
+//!
+//! Degree sequences alone do **not** separate all 21 five-node graphlets
+//! (see `degree_sequence_alone_is_ambiguous_for_k5`), so — like GUISE's
+//! extended signatures — the signature here is the pair
+//! (sorted degree sequence, sorted per-node triangle counts), which the
+//! tests prove is a perfect discriminator for k ≤ 5.
+
+use crate::atlas::atlas;
+use crate::mask::SmallGraph;
+use crate::GraphletId;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// The signature: ascending degree sequence plus ascending per-node
+/// triangle participation counts.
+pub fn signature(g: &SmallGraph) -> (Vec<u8>, Vec<u8>) {
+    (g.degree_sequence(), g.triangle_profile())
+}
+
+fn signature_map(k: usize) -> &'static HashMap<(Vec<u8>, Vec<u8>), GraphletId> {
+    static MAPS: [OnceLock<HashMap<(Vec<u8>, Vec<u8>), GraphletId>>; 7] = [
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+    ];
+    assert!((3..=5).contains(&k), "signature classifier supports k = 3..=5, got {k}");
+    MAPS[k].get_or_init(|| {
+        let mut map = HashMap::new();
+        for info in atlas(k) {
+            let rep = SmallGraph::from_mask(k, info.canonical_mask);
+            let prev = map.insert(signature(&rep), info.id);
+            assert!(
+                prev.is_none(),
+                "signature collision at k={k}: {:?} vs {:?}",
+                prev,
+                info.id
+            );
+        }
+        map
+    })
+}
+
+/// Classifies a connected small graph by its degree signature. Returns
+/// `None` for disconnected inputs (checked, since a disconnected graph's
+/// signature could shadow a graphlet's).
+pub fn classify_by_signature(g: &SmallGraph) -> Option<GraphletId> {
+    if !g.is_connected() {
+        return None;
+    }
+    signature_map(g.k()).get(&signature(g)).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify_mask;
+    use crate::mask::num_pairs;
+
+    #[test]
+    fn signature_map_builds_without_collisions_k3_to_k5() {
+        for k in 3..=5 {
+            assert_eq!(signature_map(k).len(), crate::num_graphlets(k));
+        }
+    }
+
+    #[test]
+    fn signature_classifier_matches_canonical_tables() {
+        for k in 3..=5 {
+            for mask in 0u32..(1 << num_pairs(k)) {
+                let g = SmallGraph::from_mask(k, mask);
+                assert_eq!(
+                    classify_by_signature(&g),
+                    classify_mask(k, mask),
+                    "k={k} mask={mask:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degree_sequence_alone_is_ambiguous_for_k5() {
+        // Demonstrates why the paper's signature needs more than degrees
+        // for k = 5: at least two distinct graphlets share a degree
+        // sequence.
+        let mut seen: HashMap<Vec<u8>, u32> = HashMap::new();
+        let mut collision = false;
+        for info in atlas(5) {
+            let rep = SmallGraph::from_mask(5, info.canonical_mask);
+            if let Some(&other) = seen.get(&rep.degree_sequence()) {
+                collision = true;
+                assert_ne!(other, info.canonical_mask);
+            }
+            seen.insert(rep.degree_sequence(), info.canonical_mask);
+        }
+        assert!(collision, "expected at least one degree-sequence collision among 5-node graphlets");
+    }
+
+    #[test]
+    fn degree_sequence_alone_suffices_for_k3_k4() {
+        for k in 3..=4 {
+            let mut seen = std::collections::HashSet::new();
+            for info in atlas(k) {
+                let rep = SmallGraph::from_mask(k, info.canonical_mask);
+                assert!(seen.insert(rep.degree_sequence()), "collision at k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_inputs_return_none() {
+        let g = SmallGraph::from_edges(5, &[(0, 1), (2, 3)]);
+        assert_eq!(classify_by_signature(&g), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "supports k = 3..=5")]
+    fn k6_signatures_unsupported() {
+        let g = SmallGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let _ = classify_by_signature(&g);
+    }
+}

@@ -1,0 +1,235 @@
+//! Random walk on `G(2)` — the edge space — with O(1) neighbor selection.
+//!
+//! A state is an edge `(u, v)`; its neighbors in `G(2)` are the edges
+//! sharing exactly one endpoint, so `deg((u,v)) = d_u + d_v − 2`. The
+//! paper's §5 selection procedure is used verbatim: pick endpoint `u` with
+//! probability `d_u / (d_u + d_v)`, then a uniform neighbor `w` of `u`;
+//! restart if `w = v`. Conditioned on acceptance every neighboring edge is
+//! equally likely, and the expected number of restarts is
+//! `(d_u + d_v) / (d_u + d_v − 2) ≤ 2` on graphs with ≥ 3 nodes — hence
+//! O(1) per step, an order of magnitude cheaper than populating `G(3)`
+//! neighborhoods (the paper's core argument for small d).
+
+use crate::traits::StateWalk;
+use gx_graph::{GraphAccess, NodeId};
+use rand::Rng;
+
+/// Random walk on the edges of `G`.
+pub struct G2Walk<'g, G: GraphAccess> {
+    g: &'g G,
+    /// Current edge, sorted ascending.
+    state: [NodeId; 2],
+    prev: Option<[NodeId; 2]>,
+    nb: bool,
+}
+
+impl<'g, G: GraphAccess> G2Walk<'g, G> {
+    /// Starts at edge `(u, v)` (must exist).
+    pub fn new(g: &'g G, u: NodeId, v: NodeId, non_backtracking: bool) -> Self {
+        assert!(g.has_edge(u, v), "G2Walk start ({u},{v}) is not an edge");
+        let state = if u < v { [u, v] } else { [v, u] };
+        Self { g, state, prev: None, nb: non_backtracking }
+    }
+
+    /// Current edge (sorted).
+    pub fn current(&self) -> (NodeId, NodeId) {
+        (self.state[0], self.state[1])
+    }
+
+    /// Degree of the current edge-state in `G(2)`: `d_u + d_v − 2`.
+    pub fn edge_degree(&self) -> usize {
+        self.g.degree(self.state[0]) + self.g.degree(self.state[1]) - 2
+    }
+
+    /// Samples one uniformly random neighboring edge of the current edge.
+    fn sample_neighbor(&self, rng: &mut dyn rand::RngCore) -> [NodeId; 2] {
+        let [u, v] = self.state;
+        let (du, dv) = (self.g.degree(u), self.g.degree(v));
+        debug_assert!(du + dv > 2, "isolated edge cannot step");
+        loop {
+            // endpoint-weighted choice, then uniform neighbor, reject w = other
+            let pick_u = rng.gen_range(0..du + dv) < du;
+            let (a, b, da) = if pick_u { (u, v, du) } else { (v, u, dv) };
+            let w = self.g.neighbor_at(a, rng.gen_range(0..da));
+            if w != b {
+                return if a < w { [a, w] } else { [w, a] };
+            }
+        }
+    }
+}
+
+impl<G: GraphAccess> StateWalk for G2Walk<'_, G> {
+    fn d(&self) -> usize {
+        2
+    }
+
+    fn state(&self) -> &[NodeId] {
+        &self.state
+    }
+
+    fn state_degree(&mut self) -> usize {
+        self.edge_degree()
+    }
+
+    fn step(&mut self, rng: &mut dyn rand::RngCore) {
+        let deg = self.edge_degree();
+        let next = if self.nb {
+            match self.prev {
+                Some(p) if deg > 1 => loop {
+                    let cand = self.sample_neighbor(rng);
+                    if cand != p {
+                        break cand;
+                    }
+                },
+                Some(p) => p, // pendant edge-state: forced backtrack
+                None => self.sample_neighbor(rng),
+            }
+        } else {
+            self.sample_neighbor(rng)
+        };
+        self.prev = Some(self.state);
+        self.state = next;
+    }
+
+    fn is_non_backtracking(&self) -> bool {
+        self.nb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+    use gx_graph::generators::classic;
+    use gx_graph::subrel::subgraph_relationship_graph;
+
+    #[test]
+    fn moves_along_g2_edges() {
+        let g = classic::paper_figure1();
+        let rel = subgraph_relationship_graph(&g, 2);
+        let mut rng = rng_from_seed(5);
+        let mut w = G2Walk::new(&g, 0, 1, false);
+        let mut prev = rel.state_index(w.state()).unwrap();
+        for _ in 0..500 {
+            w.step(&mut rng);
+            let cur = rel.state_index(w.state()).unwrap();
+            assert!(
+                rel.graph.has_edge(prev as NodeId, cur as NodeId),
+                "transition not a G(2) edge"
+            );
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn state_degree_matches_materialized_g2() {
+        let g = classic::lollipop(4, 3);
+        let rel = subgraph_relationship_graph(&g, 2);
+        let mut rng = rng_from_seed(6);
+        let mut w = G2Walk::new(&g, 0, 1, false);
+        for _ in 0..300 {
+            w.step(&mut rng);
+            let idx = rel.state_index(w.state()).unwrap();
+            assert_eq!(w.state_degree(), rel.graph.degree(idx as NodeId));
+        }
+    }
+
+    #[test]
+    fn stationary_distribution_proportional_to_state_degree() {
+        let g = classic::paper_figure1();
+        let rel = subgraph_relationship_graph(&g, 2);
+        let mut rng = rng_from_seed(9);
+        let mut w = G2Walk::new(&g, 0, 1, false);
+        let steps = 300_000usize;
+        let mut visits = vec![0u64; rel.states.len()];
+        for _ in 0..steps {
+            w.step(&mut rng);
+            visits[rel.state_index(w.state()).unwrap()] += 1;
+        }
+        let two_r = rel.graph.degree_sum() as f64;
+        for (i, &v) in visits.iter().enumerate() {
+            let expected = rel.graph.degree(i as NodeId) as f64 / two_r;
+            let got = v as f64 / steps as f64;
+            assert!(
+                (got - expected).abs() < 0.01,
+                "state {:?}: got {got:.4} expected {expected:.4}",
+                rel.states[i]
+            );
+        }
+    }
+
+    #[test]
+    fn neighbor_sampling_is_uniform() {
+        // On Figure 1's graph, edge (0,2) has degree 3+3-2 = 4; each of its
+        // 4 neighboring edges must come up ~1/4 of the time.
+        let g = classic::paper_figure1();
+        let mut rng = rng_from_seed(13);
+        let w = G2Walk::new(&g, 0, 2, false);
+        let mut counts = std::collections::HashMap::new();
+        let n = 80_000;
+        for _ in 0..n {
+            let nb = w.sample_neighbor(&mut rng);
+            *counts.entry(nb).or_insert(0u64) += 1;
+        }
+        assert_eq!(counts.len(), 4);
+        for (&edge, &c) in &counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 0.25).abs() < 0.01, "edge {edge:?}: {frac:.3}");
+        }
+    }
+
+    #[test]
+    fn non_backtracking_avoids_previous_edge() {
+        let g = classic::complete(5);
+        let mut rng = rng_from_seed(17);
+        let mut w = G2Walk::new(&g, 0, 1, true);
+        let mut prev = w.current();
+        w.step(&mut rng);
+        for _ in 0..2000 {
+            let before = w.current();
+            w.step(&mut rng);
+            assert_ne!(w.current(), prev, "returned to previous edge-state");
+            prev = before;
+        }
+    }
+
+    #[test]
+    fn non_backtracking_preserves_stationarity() {
+        let g = classic::paper_figure1();
+        let rel = subgraph_relationship_graph(&g, 2);
+        let mut rng = rng_from_seed(21);
+        let mut w = G2Walk::new(&g, 0, 1, true);
+        let steps = 300_000usize;
+        let mut visits = vec![0u64; rel.states.len()];
+        for _ in 0..steps {
+            w.step(&mut rng);
+            visits[rel.state_index(w.state()).unwrap()] += 1;
+        }
+        let two_r = rel.graph.degree_sum() as f64;
+        for (i, &v) in visits.iter().enumerate() {
+            let expected = rel.graph.degree(i as NodeId) as f64 / two_r;
+            let got = v as f64 / steps as f64;
+            assert!((got - expected).abs() < 0.01, "state {i}");
+        }
+    }
+
+    #[test]
+    fn forced_backtrack_on_pendant_edge_state() {
+        // P3: edges (0,1),(1,2); each has degree 1 in G(2) — the NB walk
+        // must still be able to move (forced reversal).
+        let g = classic::path(3);
+        let mut rng = rng_from_seed(2);
+        let mut w = G2Walk::new(&g, 0, 1, true);
+        w.step(&mut rng);
+        assert_eq!(w.current(), (1, 2));
+        w.step(&mut rng);
+        assert_eq!(w.current(), (0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an edge")]
+    fn rejects_non_edge_start() {
+        let g = classic::path(3);
+        let _ = G2Walk::new(&g, 0, 2, false);
+    }
+}

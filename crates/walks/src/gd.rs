@@ -1,0 +1,344 @@
+//! Random walk on `G(d)` for d ≥ 3 with on-the-fly neighbor enumeration.
+//!
+//! A state is a connected induced d-node subgraph. Its `G(d)`-neighbors are
+//! obtained by replacing one node with an outside node such that the result
+//! is still connected (states adjacent in `G(d)` share d − 1 nodes). To
+//! select a *uniform* neighbor the full neighbor set must be enumerated
+//! each step — the paper's §5 puts this at O(d² |E|/|V|) per step, and it
+//! is exactly why the paper argues for small d: [`crate::G2Walk`] does the
+//! same job in O(1).
+
+use crate::traits::StateWalk;
+use gx_graph::{GraphAccess, NodeId};
+use rand::Rng;
+
+/// Random walk on `G(d)`, d ≥ 2 (d = 2 is accepted for cross-validation
+/// against [`crate::G2Walk`], but the dedicated walk is faster).
+pub struct GdWalk<'g, G: GraphAccess> {
+    g: &'g G,
+    d: usize,
+    /// Current state, sorted ascending.
+    state: Vec<NodeId>,
+    prev: Option<Vec<NodeId>>,
+    nb: bool,
+    /// Neighbor states of `state`, materialized as (drop_position,
+    /// incoming_node) pairs; refreshed lazily once per state.
+    neighbors: Vec<(u8, NodeId)>,
+    neighbors_valid: bool,
+    /// Scratch buffers reused across steps.
+    candidates: Vec<NodeId>,
+    scratch: Vec<NodeId>,
+}
+
+impl<'g, G: GraphAccess> GdWalk<'g, G> {
+    /// Starts at the given connected induced d-subgraph (sorted or not;
+    /// connectivity is asserted).
+    pub fn new(g: &'g G, start: &[NodeId], non_backtracking: bool) -> Self {
+        let d = start.len();
+        assert!(d >= 2, "GdWalk needs d >= 2 (use SrwWalk for d = 1)");
+        assert!(d <= 8, "GdWalk supports d <= 8");
+        let mut state = start.to_vec();
+        state.sort_unstable();
+        assert!(state.windows(2).all(|w| w[0] < w[1]), "start state has duplicate nodes");
+        assert!(
+            subset_is_connected(g, &state),
+            "start state {state:?} does not induce a connected subgraph"
+        );
+        Self {
+            g,
+            d,
+            state,
+            prev: None,
+            nb: non_backtracking,
+            neighbors: Vec::new(),
+            neighbors_valid: false,
+            candidates: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Enumerates the neighbor set of the current state (idempotent per
+    /// state).
+    fn refresh_neighbors(&mut self) {
+        if self.neighbors_valid {
+            return;
+        }
+        self.neighbors.clear();
+        let d = self.d;
+        for drop in 0..d {
+            // candidate incoming nodes: neighbors of the kept nodes
+            self.candidates.clear();
+            for (pos, &b) in self.state.iter().enumerate() {
+                if pos == drop {
+                    continue;
+                }
+                self.candidates.extend_from_slice(self.g.neighbors(b));
+            }
+            self.candidates.sort_unstable();
+            self.candidates.dedup();
+            for i in 0..self.candidates.len() {
+                let w = self.candidates[i];
+                if self.state.binary_search(&w).is_ok() {
+                    continue;
+                }
+                // connectivity of kept ∪ {w}
+                self.scratch.clear();
+                for (pos, &b) in self.state.iter().enumerate() {
+                    if pos != drop {
+                        self.scratch.push(b);
+                    }
+                }
+                self.scratch.push(w);
+                if subset_is_connected(self.g, &self.scratch) {
+                    self.neighbors.push((drop as u8, w));
+                }
+            }
+        }
+        self.neighbors_valid = true;
+    }
+
+    /// The materialized neighbor list (for tests and for the CSS helper
+    /// that needs degrees of arbitrary states).
+    pub fn neighbor_count(&mut self) -> usize {
+        self.refresh_neighbors();
+        self.neighbors.len()
+    }
+
+    fn apply(&mut self, drop: usize, incoming: NodeId) {
+        self.prev = Some(self.state.clone());
+        self.state.remove(drop);
+        let pos = self.state.binary_search(&incoming).unwrap_err();
+        self.state.insert(pos, incoming);
+        self.neighbors_valid = false;
+    }
+}
+
+/// Whether `nodes` (distinct) induce a connected subgraph. O(d²) adjacency
+/// probes.
+pub fn subset_is_connected<G: GraphAccess>(g: &G, nodes: &[NodeId]) -> bool {
+    let d = nodes.len();
+    if d == 0 {
+        return false;
+    }
+    if d == 1 {
+        return true;
+    }
+    debug_assert!(d <= 16);
+    let mut adj = [0u16; 16];
+    for i in 0..d {
+        for j in (i + 1)..d {
+            if g.has_edge(nodes[i], nodes[j]) {
+                adj[i] |= 1 << j;
+                adj[j] |= 1 << i;
+            }
+        }
+    }
+    let full: u16 = if d == 16 { u16::MAX } else { (1 << d) - 1 };
+    let mut reached: u16 = 1;
+    loop {
+        let mut next = reached;
+        for i in 0..d {
+            if reached & (1 << i) != 0 {
+                next |= adj[i];
+            }
+        }
+        if next == reached {
+            return reached == full;
+        }
+        reached = next;
+    }
+}
+
+/// Degree of an arbitrary state in `G(d)` by neighbor enumeration — the
+/// expensive generic fallback (the paper's reason to prefer d ≤ 2, and the
+/// reason it skips SRW3CSS). Exposed for the estimator's d ≥ 3 paths.
+pub fn gd_state_degree<G: GraphAccess>(g: &G, nodes: &[NodeId]) -> usize {
+    let mut w = GdWalk::new(g, nodes, false);
+    w.neighbor_count()
+}
+
+impl<G: GraphAccess> StateWalk for GdWalk<'_, G> {
+    fn d(&self) -> usize {
+        self.d
+    }
+
+    fn state(&self) -> &[NodeId] {
+        &self.state
+    }
+
+    fn state_degree(&mut self) -> usize {
+        self.refresh_neighbors();
+        self.neighbors.len()
+    }
+
+    fn step(&mut self, rng: &mut dyn rand::RngCore) {
+        self.refresh_neighbors();
+        debug_assert!(!self.neighbors.is_empty(), "connected G(d) state must have neighbors");
+        let choice = if self.nb {
+            if let Some(prev) = self.prev.clone() {
+                // uniform over neighbors != prev; forced backtrack if none
+                let matches_prev = |&(drop, w): &(u8, NodeId)| {
+                    // next state equals prev iff prev = state \ {dropped} ∪ {w}
+                    let dropped = self.state[drop as usize];
+                    prev.binary_search(&w).is_ok()
+                        && prev.binary_search(&dropped).is_err()
+                        && prev.len() == self.state.len()
+                };
+                let non_prev: Vec<usize> = (0..self.neighbors.len())
+                    .filter(|&i| !matches_prev(&self.neighbors[i]))
+                    .collect();
+                if non_prev.is_empty() {
+                    self.neighbors[rng.gen_range(0..self.neighbors.len())]
+                } else {
+                    self.neighbors[non_prev[rng.gen_range(0..non_prev.len())]]
+                }
+            } else {
+                self.neighbors[rng.gen_range(0..self.neighbors.len())]
+            }
+        } else {
+            self.neighbors[rng.gen_range(0..self.neighbors.len())]
+        };
+        self.apply(choice.0 as usize, choice.1);
+    }
+
+    fn is_non_backtracking(&self) -> bool {
+        self.nb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+    use gx_graph::generators::classic;
+    use gx_graph::subrel::subgraph_relationship_graph;
+
+    #[test]
+    fn subset_connectivity() {
+        let g = classic::paper_figure1();
+        assert!(subset_is_connected(&g, &[0, 1, 2]));
+        assert!(subset_is_connected(&g, &[1, 3, 0]));
+        assert!(!subset_is_connected(&g, &[1, 3]));
+        assert!(subset_is_connected(&g, &[2]));
+        assert!(!subset_is_connected::<gx_graph::Graph>(&g, &[]));
+    }
+
+    #[test]
+    fn moves_along_g3_edges_and_degrees_match() {
+        let g = classic::lollipop(4, 3);
+        let rel = subgraph_relationship_graph(&g, 3);
+        let mut rng = rng_from_seed(31);
+        let mut w = GdWalk::new(&g, &[0, 1, 2], false);
+        let mut prev_idx = rel.state_index(w.state()).unwrap();
+        for _ in 0..400 {
+            assert_eq!(
+                w.state_degree(),
+                rel.graph.degree(prev_idx as NodeId),
+                "degree mismatch at {:?}",
+                w.state()
+            );
+            w.step(&mut rng);
+            let idx = rel.state_index(w.state()).unwrap();
+            assert!(rel.graph.has_edge(prev_idx as NodeId, idx as NodeId));
+            prev_idx = idx;
+        }
+    }
+
+    #[test]
+    fn stationary_distribution_on_g3() {
+        let g = classic::paper_figure1();
+        let rel = subgraph_relationship_graph(&g, 3);
+        let mut rng = rng_from_seed(37);
+        let mut w = GdWalk::new(&g, &[0, 1, 2], false);
+        let steps = 200_000usize;
+        let mut visits = vec![0u64; rel.states.len()];
+        for _ in 0..steps {
+            w.step(&mut rng);
+            visits[rel.state_index(w.state()).unwrap()] += 1;
+        }
+        let two_r = rel.graph.degree_sum() as f64;
+        for (i, &v) in visits.iter().enumerate() {
+            let expected = rel.graph.degree(i as NodeId) as f64 / two_r;
+            let got = v as f64 / steps as f64;
+            assert!(
+                (got - expected).abs() < 0.01,
+                "state {:?}: got {got:.4} expected {expected:.4}",
+                rel.states[i]
+            );
+        }
+    }
+
+    #[test]
+    fn walk_on_g4_visits_all_states() {
+        let g = classic::petersen();
+        let rel = subgraph_relationship_graph(&g, 4);
+        let mut rng = rng_from_seed(41);
+        let mut w = GdWalk::new(&g, &[0, 1, 2, 3], false);
+        // {0,1,2,3}: 0-1, 1-2, 2-3 path along the outer cycle — connected.
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..60_000 {
+            w.step(&mut rng);
+            seen.insert(rel.state_index(w.state()).unwrap());
+        }
+        assert_eq!(seen.len(), rel.states.len(), "ergodicity on G(4)");
+    }
+
+    #[test]
+    fn gd_state_degree_matches_materialization() {
+        let g = classic::grid(3, 3);
+        let rel = subgraph_relationship_graph(&g, 3);
+        for (i, s) in rel.states.iter().enumerate() {
+            assert_eq!(gd_state_degree(&g, s), rel.graph.degree(i as NodeId), "state {s:?}");
+        }
+    }
+
+    #[test]
+    fn non_backtracking_avoids_previous_state() {
+        let g = classic::complete(6);
+        let mut rng = rng_from_seed(43);
+        let mut w = GdWalk::new(&g, &[0, 1, 2], true);
+        let mut prev: Option<Vec<NodeId>> = None;
+        for _ in 0..500 {
+            let before = w.state().to_vec();
+            w.step(&mut rng);
+            if let Some(p) = prev {
+                assert_ne!(w.state(), p.as_slice(), "backtracked");
+            }
+            prev = Some(before);
+        }
+    }
+
+    #[test]
+    fn non_backtracking_preserves_stationarity_on_g3() {
+        let g = classic::paper_figure1();
+        let rel = subgraph_relationship_graph(&g, 3);
+        let mut rng = rng_from_seed(47);
+        let mut w = GdWalk::new(&g, &[0, 1, 2], true);
+        let steps = 200_000usize;
+        let mut visits = vec![0u64; rel.states.len()];
+        for _ in 0..steps {
+            w.step(&mut rng);
+            visits[rel.state_index(w.state()).unwrap()] += 1;
+        }
+        let two_r = rel.graph.degree_sum() as f64;
+        for (i, &v) in visits.iter().enumerate() {
+            let expected = rel.graph.degree(i as NodeId) as f64 / two_r;
+            let got = v as f64 / steps as f64;
+            assert!((got - expected).abs() < 0.012, "state {i}: {got:.4} vs {expected:.4}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn rejects_disconnected_start() {
+        let g = classic::path(4);
+        let _ = GdWalk::new(&g, &[0, 2, 3], false);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_duplicate_start() {
+        let g = classic::path(4);
+        let _ = GdWalk::new(&g, &[0, 1, 1], false);
+    }
+}

@@ -1,0 +1,158 @@
+//! Metropolis–Hastings random walk over nodes with an arbitrary target
+//! distribution.
+//!
+//! Used by the adapted wedge sampling baseline (paper Appendix F,
+//! Algorithm 4), whose target is π(v) ∝ C(d_v, 2). The proposal is the
+//! simple random walk; the acceptance ratio
+//! `min(1, w(y)·d_x / (w(x)·d_y))` therefore reduces to the paper's
+//! `min(1, (d_w − 1)/(d_v − 1))` for that weight.
+
+use gx_graph::{GraphAccess, NodeId};
+use rand::Rng;
+
+/// Metropolis–Hastings walk targeting π(v) ∝ `weight(v)`.
+pub struct MhWalk<'g, G: GraphAccess, W: Fn(usize) -> f64> {
+    g: &'g G,
+    current: NodeId,
+    /// Weight as a function of *degree* (all weights used in this
+    /// workspace are degree functions, which keeps the walk API-frugal:
+    /// evaluating the target needs no extra fetches).
+    weight: W,
+    accepted: u64,
+    proposed: u64,
+}
+
+impl<'g, G: GraphAccess, W: Fn(usize) -> f64> MhWalk<'g, G, W> {
+    /// Starts at `start`; `weight` maps a node's degree to its unnormalized
+    /// stationary probability (must be > 0 on reachable nodes).
+    pub fn new(g: &'g G, start: NodeId, weight: W) -> Self {
+        assert!(g.degree(start) > 0, "MH walk start {start} is isolated");
+        assert!(
+            weight(g.degree(start)) > 0.0,
+            "MH walk start has zero target weight"
+        );
+        Self { g, current: start, weight, accepted: 0, proposed: 0 }
+    }
+
+    /// Current node.
+    pub fn current(&self) -> NodeId {
+        self.current
+    }
+
+    /// Proposes and accepts/rejects one move; returns the (possibly
+    /// unchanged) current node. Counts a self-transition on rejection,
+    /// exactly like Algorithm 4.
+    pub fn step(&mut self, rng: &mut dyn rand::RngCore) -> NodeId {
+        let v = self.current;
+        let dv = self.g.degree(v);
+        let w = self.g.neighbor_at(v, rng.gen_range(0..dv));
+        let dw = self.g.degree(w);
+        self.proposed += 1;
+        // acceptance = min(1, [π(w)/d_w] / [π(v)/d_v])
+        let ratio = ((self.weight)(dw) * dv as f64) / ((self.weight)(dv) * dw as f64);
+        if ratio >= 1.0 || rng.gen::<f64>() <= ratio {
+            self.accepted += 1;
+            self.current = w;
+        }
+        self.current
+    }
+
+    /// Fraction of proposals accepted so far.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.proposed == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.proposed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+    use gx_graph::generators::classic;
+
+    /// The wedge-sampling weight of Algorithm 4.
+    fn choose2(d: usize) -> f64 {
+        (d * d.saturating_sub(1)) as f64 / 2.0
+    }
+
+    #[test]
+    fn targets_uniform_distribution() {
+        // weight ≡ 1 → uniform stationary distribution even on a graph
+        // with skewed degrees.
+        let g = classic::lollipop(4, 3);
+        let mut rng = rng_from_seed(3);
+        let mut walk = MhWalk::new(&g, 0, |_| 1.0);
+        let steps = 400_000;
+        let mut visits = vec![0u64; g.num_nodes()];
+        for _ in 0..steps {
+            visits[walk.step(&mut rng) as usize] += 1;
+        }
+        let expected = 1.0 / g.num_nodes() as f64;
+        for (v, &c) in visits.iter().enumerate() {
+            let got = c as f64 / steps as f64;
+            assert!((got - expected).abs() < 0.012, "node {v}: {got:.4} vs {expected:.4}");
+        }
+    }
+
+    #[test]
+    fn targets_wedge_weights() {
+        // Algorithm 4's target: π(v) ∝ C(d_v, 2).
+        let g = classic::lollipop(4, 2);
+        let mut rng = rng_from_seed(5);
+        let mut walk = MhWalk::new(&g, 0, choose2);
+        let steps = 400_000;
+        let mut visits = vec![0u64; g.num_nodes()];
+        for _ in 0..steps {
+            visits[walk.step(&mut rng) as usize] += 1;
+        }
+        let total: f64 = (0..g.num_nodes()).map(|v| choose2(g.degree(v as NodeId))).sum();
+        for v in 0..g.num_nodes() {
+            let expected = choose2(g.degree(v as NodeId)) / total;
+            let got = visits[v] as f64 / steps as f64;
+            assert!(
+                (got - expected).abs() < 0.012,
+                "node {v}: {got:.4} vs {expected:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn acceptance_rate_is_one_on_regular_graphs() {
+        // On a regular graph every proposal has ratio 1.
+        let g = classic::cycle(8);
+        let mut rng = rng_from_seed(7);
+        let mut walk = MhWalk::new(&g, 0, choose2);
+        for _ in 0..1000 {
+            walk.step(&mut rng);
+        }
+        assert!((walk.acceptance_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejections_keep_current_node() {
+        let g = classic::star(10);
+        let mut rng = rng_from_seed(9);
+        // Start at the hub with weight strongly favoring high degree: all
+        // proposals to leaves are usually rejected.
+        let mut walk = MhWalk::new(&g, 0, |d| (d * d * d * d) as f64);
+        let mut at_hub = 0;
+        for _ in 0..1000 {
+            if walk.step(&mut rng) == 0 {
+                at_hub += 1;
+            }
+        }
+        assert!(at_hub > 900, "hub visits {at_hub}");
+        assert!(walk.acceptance_rate() < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero target weight")]
+    fn rejects_zero_weight_start() {
+        let g = classic::path(3);
+        // node 0 has degree 1 → C(1,2) = 0
+        let _ = MhWalk::new(&g, 0, choose2);
+    }
+}

@@ -1,0 +1,178 @@
+//! Simple (and non-backtracking) random walk on `G` itself (d = 1).
+
+use crate::traits::StateWalk;
+use gx_graph::{GraphAccess, NodeId};
+use rand::Rng;
+
+/// Random walk on the nodes of `G`. With `non_backtracking`, the next node
+/// is uniform over the neighbors excluding the previous node, unless the
+/// current node is a leaf (degree 1), in which case the walk must return
+/// (paper §4.2's transition matrix).
+pub struct SrwWalk<'g, G: GraphAccess> {
+    g: &'g G,
+    state: [NodeId; 1],
+    prev: Option<NodeId>,
+    nb: bool,
+}
+
+impl<'g, G: GraphAccess> SrwWalk<'g, G> {
+    /// Starts a walk at `start` (which must have at least one neighbor).
+    pub fn new(g: &'g G, start: NodeId, non_backtracking: bool) -> Self {
+        assert!(g.degree(start) > 0, "walk start {start} is isolated");
+        Self { g, state: [start], prev: None, nb: non_backtracking }
+    }
+
+    /// Current node.
+    pub fn current(&self) -> NodeId {
+        self.state[0]
+    }
+}
+
+impl<G: GraphAccess> StateWalk for SrwWalk<'_, G> {
+    fn d(&self) -> usize {
+        1
+    }
+
+    fn state(&self) -> &[NodeId] {
+        &self.state
+    }
+
+    fn state_degree(&mut self) -> usize {
+        self.g.degree(self.state[0])
+    }
+
+    fn step(&mut self, rng: &mut dyn rand::RngCore) {
+        let v = self.state[0];
+        let deg = self.g.degree(v);
+        let next = if self.nb {
+            match self.prev {
+                Some(p) if deg > 1 => loop {
+                    let w = self.g.neighbor_at(v, rng.gen_range(0..deg));
+                    if w != p {
+                        break w;
+                    }
+                },
+                Some(p) => p, // leaf: forced backtrack
+                None => self.g.neighbor_at(v, rng.gen_range(0..deg)),
+            }
+        } else {
+            self.g.neighbor_at(v, rng.gen_range(0..deg))
+        };
+        self.prev = Some(v);
+        self.state[0] = next;
+    }
+
+    fn is_non_backtracking(&self) -> bool {
+        self.nb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+    use gx_graph::generators::classic;
+
+    #[test]
+    fn stays_on_graph_and_moves_along_edges() {
+        let g = classic::petersen();
+        let mut rng = rng_from_seed(3);
+        let mut w = SrwWalk::new(&g, 0, false);
+        let mut prev = w.current();
+        for _ in 0..1000 {
+            w.step(&mut rng);
+            assert!(g.has_edge(prev, w.current()));
+            prev = w.current();
+        }
+    }
+
+    #[test]
+    fn stationary_distribution_proportional_to_degree() {
+        // Lollipop has degrees from 1 to 4: visit frequency must track
+        // degree (π(v) = d_v / 2|E|).
+        let g = classic::lollipop(4, 3);
+        let mut rng = rng_from_seed(7);
+        let mut w = SrwWalk::new(&g, 0, false);
+        let steps = 400_000usize;
+        let mut visits = vec![0u64; g.num_nodes()];
+        for _ in 0..steps {
+            w.step(&mut rng);
+            visits[w.current() as usize] += 1;
+        }
+        let two_m = g.degree_sum() as f64;
+        for v in 0..g.num_nodes() {
+            let expected = g.degree(v as NodeId) as f64 / two_m;
+            let got = visits[v] as f64 / steps as f64;
+            assert!(
+                (got - expected).abs() < 0.01,
+                "node {v}: got {got:.4} expected {expected:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_backtracking_never_reverses_off_leaves() {
+        let g = classic::petersen(); // 3-regular: never forced
+        let mut rng = rng_from_seed(11);
+        let mut w = SrwWalk::new(&g, 0, true);
+        let mut trail = vec![w.current()];
+        for _ in 0..2000 {
+            w.step(&mut rng);
+            trail.push(w.current());
+        }
+        for win in trail.windows(3) {
+            assert_ne!(win[0], win[2], "backtracked at {win:?}");
+        }
+    }
+
+    #[test]
+    fn non_backtracking_forced_on_leaf() {
+        let g = classic::path(2); // single edge: must oscillate
+        let mut rng = rng_from_seed(1);
+        let mut w = SrwWalk::new(&g, 0, true);
+        w.step(&mut rng);
+        assert_eq!(w.current(), 1);
+        w.step(&mut rng);
+        assert_eq!(w.current(), 0);
+    }
+
+    #[test]
+    fn non_backtracking_preserves_stationary_distribution() {
+        // NB-SRW has the same π(v) ∝ d_v (paper §4.2).
+        let g = classic::lollipop(4, 2);
+        let mut rng = rng_from_seed(23);
+        let mut w = SrwWalk::new(&g, 0, true);
+        let steps = 400_000usize;
+        let mut visits = vec![0u64; g.num_nodes()];
+        for _ in 0..steps {
+            w.step(&mut rng);
+            visits[w.current() as usize] += 1;
+        }
+        let two_m = g.degree_sum() as f64;
+        for v in 0..g.num_nodes() {
+            let expected = g.degree(v as NodeId) as f64 / two_m;
+            let got = visits[v] as f64 / steps as f64;
+            assert!(
+                (got - expected).abs() < 0.01,
+                "node {v}: got {got:.4} expected {expected:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn trait_surface() {
+        let g = classic::star(4);
+        let mut w = SrwWalk::new(&g, 0, false);
+        assert_eq!(w.d(), 1);
+        assert_eq!(w.state(), &[0]);
+        assert_eq!(w.state_degree(), 3);
+        assert!(!w.is_non_backtracking());
+    }
+
+    #[test]
+    #[should_panic(expected = "isolated")]
+    fn rejects_isolated_start() {
+        let g = gx_graph::Graph::from_edges(3, [(0, 1)]).unwrap();
+        let _ = SrwWalk::new(&g, 2, false);
+    }
+}

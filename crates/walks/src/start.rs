@@ -1,0 +1,118 @@
+//! Choosing starting points for walks.
+//!
+//! A crawler starts from whatever node it knows; by the SLLN (paper
+//! Theorem 1) the estimators are asymptotically unbiased regardless of the
+//! initial distribution, so these helpers only need to return *valid*
+//! states, not stationary ones. Burn-in is the estimator's concern.
+
+use gx_graph::{GraphAccess, NodeId};
+use rand::Rng;
+
+/// A uniform random non-isolated node.
+pub fn random_start_node<G: GraphAccess>(g: &G, rng: &mut dyn rand::RngCore) -> NodeId {
+    let n = g.num_nodes();
+    assert!(n > 0, "empty graph");
+    loop {
+        let v = rng.gen_range(0..n as NodeId);
+        if g.degree(v) > 0 {
+            return v;
+        }
+    }
+}
+
+/// A uniform-ish random edge: a random endpoint plus a random neighbor
+/// (degree-biased, which is fine for walk starts).
+pub fn random_start_edge<G: GraphAccess>(
+    g: &G,
+    rng: &mut dyn rand::RngCore,
+) -> (NodeId, NodeId) {
+    let u = random_start_node(g, rng);
+    let w = g.neighbor_at(u, rng.gen_range(0..g.degree(u)));
+    (u, w)
+}
+
+/// A random connected induced d-node subgraph, grown greedily from a
+/// random node by repeatedly attaching a random neighbor of a random
+/// member. Returns sorted nodes.
+pub fn random_start_state<G: GraphAccess>(
+    g: &G,
+    d: usize,
+    rng: &mut dyn rand::RngCore,
+) -> Vec<NodeId> {
+    assert!(d >= 1);
+    'restart: loop {
+        let mut state = vec![random_start_node(g, rng)];
+        let mut attempts = 0;
+        while state.len() < d {
+            let anchor = state[rng.gen_range(0..state.len())];
+            let deg = g.degree(anchor);
+            let w = g.neighbor_at(anchor, rng.gen_range(0..deg));
+            if !state.contains(&w) {
+                state.push(w);
+            } else {
+                attempts += 1;
+                if attempts > 64 {
+                    // stuck in a tiny component; restart elsewhere
+                    continue 'restart;
+                }
+            }
+        }
+        state.sort_unstable();
+        return state;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gd::subset_is_connected;
+    use crate::rng::rng_from_seed;
+    use gx_graph::generators::classic;
+    use gx_graph::Graph;
+
+    #[test]
+    fn start_node_is_never_isolated() {
+        let g = Graph::from_edges(10, [(0, 1), (2, 3)]).unwrap();
+        let mut rng = rng_from_seed(1);
+        for _ in 0..100 {
+            let v = random_start_node(&g, &mut rng);
+            assert!(g.degree(v) > 0);
+        }
+    }
+
+    #[test]
+    fn start_edge_is_an_edge() {
+        let g = classic::petersen();
+        let mut rng = rng_from_seed(2);
+        for _ in 0..100 {
+            let (u, v) = random_start_edge(&g, &mut rng);
+            assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn start_state_is_connected_sorted_and_sized() {
+        let g = classic::grid(4, 4);
+        let mut rng = rng_from_seed(3);
+        for d in 1..=5 {
+            for _ in 0..50 {
+                let s = random_start_state(&g, d, &mut rng);
+                assert_eq!(s.len(), d);
+                assert!(s.windows(2).all(|w| w[0] < w[1]));
+                assert!(subset_is_connected(&g, &s));
+            }
+        }
+    }
+
+    #[test]
+    fn start_state_escapes_small_components() {
+        // Component {0,1} is too small for d=3; the sampler must restart
+        // until it lands in the triangle component.
+        let g = Graph::from_edges(5, [(0, 1), (2, 3), (3, 4), (2, 4)]).unwrap();
+        let mut rng = rng_from_seed(4);
+        for _ in 0..20 {
+            let s = random_start_state(&g, 3, &mut rng);
+            assert_eq!(s, vec![2, 3, 4]);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! The walk abstraction the estimator is written against.
+
+use gx_graph::NodeId;
+
+/// A random walk over the states of `G(d)` for some fixed `d`.
+///
+/// A state is a connected induced d-node subgraph of the underlying graph,
+/// exposed as its (sorted) node set. The estimator needs exactly three
+/// things per step: the new state's nodes, the state's degree in `G(d)`
+/// (for the stationary re-weighting of Theorem 2), and whether the walk is
+/// non-backtracking (which substitutes nominal degrees `d' = max(d − 1, 1)`
+/// in the re-weighting, paper §4.2).
+pub trait StateWalk {
+    /// Subgraph size d of the relationship graph being walked.
+    fn d(&self) -> usize;
+
+    /// Node set of the current state, sorted ascending.
+    fn state(&self) -> &[NodeId];
+
+    /// Degree of the current state in `G(d)`. Takes `&mut self` so walks
+    /// that must enumerate the neighbor set (d ≥ 3) can cache it for the
+    /// following [`StateWalk::step`].
+    fn state_degree(&mut self) -> usize;
+
+    /// Advances one step.
+    fn step(&mut self, rng: &mut dyn rand::RngCore);
+
+    /// Whether steps avoid returning to the previous state.
+    fn is_non_backtracking(&self) -> bool;
+}
+
+/// The effective degree used in stationary-distribution formulas: the true
+/// state degree for a simple walk, the nominal degree `max(deg − 1, 1)` for
+/// a non-backtracking walk (paper §4.2).
+#[inline]
+pub fn effective_degree(degree: usize, non_backtracking: bool) -> usize {
+    if non_backtracking {
+        degree.saturating_sub(1).max(1)
+    } else {
+        degree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_degree_nominal_rules() {
+        assert_eq!(effective_degree(5, false), 5);
+        assert_eq!(effective_degree(5, true), 4);
+        assert_eq!(effective_degree(1, true), 1);
+        assert_eq!(effective_degree(0, true), 1);
+        assert_eq!(effective_degree(0, false), 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! # graphlet-rw
+//!
+//! A Rust implementation of **"A General Framework for Estimating Graphlet
+//! Statistics via Random Walk"** (Chen, Li, Wang, Lui — PVLDB 10(3), 2016),
+//! together with every substrate it needs: graph storage and generators, a
+//! restricted-access (crawling) model, random walks on subgraph
+//! relationship graphs, exact counters for ground truth, and the baselines
+//! the paper compares against.
+//!
+//! This crate is a facade: it re-exports the workspace's public API under
+//! stable module names. Start with [`estimate`] and [`EstimatorConfig`]:
+//!
+//! ```
+//! use graphlet_rw::{estimate, EstimatorConfig};
+//! use graphlet_rw::graph::generators::classic;
+//!
+//! let g = classic::paper_figure1();
+//! // SRW2CSS — the paper's recommended method for 4-node graphlets.
+//! let cfg = EstimatorConfig::recommended(4);
+//! let est = estimate(&g, &cfg, 20_000, 42);
+//! let conc = est.concentrations();
+//! assert!((conc.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+//! ```
+
+/// Graph substrate: CSR storage, builders, generators, connectivity, the
+/// restricted-access model, explicit `G(d)` construction.
+pub use gx_graph as graph;
+
+/// Graphlet taxonomy: atlas, canonical classification, α coefficients.
+pub use gx_graphlets as graphlets;
+
+/// Random walks on `G(d)`: SRW, the O(1) edge walk, non-backtracking
+/// variants, Metropolis–Hastings.
+pub use gx_walks as walks;
+
+/// The estimation framework (paper Algorithms 1–3, Theorems 2–3).
+pub use gx_core as core;
+
+/// Exact counting (ground truth): ESU and closed forms.
+pub use gx_exact as exact;
+
+/// Competing methods: wedge sampling, path sampling, Wedge-MHRW, GUISE.
+pub use gx_baselines as baselines;
+
+/// Synthetic analogs of the paper's evaluation datasets.
+pub use gx_datasets as datasets;
+
+pub use gx_core::{estimate, Estimate, EstimatorConfig};
+pub use gx_graph::{Graph, GraphAccess, NodeId};
+pub use gx_graphlets::GraphletId;

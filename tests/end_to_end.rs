@@ -1,0 +1,70 @@
+//! Cross-crate integration: the full pipeline (dataset → walk → estimate)
+//! against exact ground truth.
+
+use graphlet_rw::datasets::dataset;
+use graphlet_rw::{estimate, EstimatorConfig};
+
+/// Runs `runs` estimates and checks the mean concentration of every type
+/// lands within `tol` of the exact value (law of large numbers, averaged
+/// over runs to damp single-walk variance).
+fn check_mean_convergence(name: &str, cfg: &EstimatorConfig, steps: usize, runs: u64, tol: f64) {
+    let ds = dataset(name);
+    let truth = ds.exact_concentrations(cfg.k);
+    let m = truth.len();
+    let mut mean = vec![0.0f64; m];
+    for seed in 0..runs {
+        let est = estimate(ds.graph(), cfg, steps, 0xABCD + seed);
+        for (acc, c) in mean.iter_mut().zip(est.concentrations()) {
+            *acc += c / runs as f64;
+        }
+    }
+    for i in 0..m {
+        assert!(
+            (mean[i] - truth[i]).abs() < tol,
+            "{name} {} type {}: mean {:.5} vs exact {:.5}",
+            cfg.name(),
+            i + 1,
+            mean[i],
+            truth[i]
+        );
+    }
+}
+
+#[test]
+fn srw1cssnb_matches_exact_triangle_concentration() {
+    check_mean_convergence("facebook-sim", &EstimatorConfig::recommended(3), 20_000, 4, 0.01);
+}
+
+#[test]
+fn srw2_family_matches_exact_4node_concentrations() {
+    check_mean_convergence("brightkite-sim", &EstimatorConfig::recommended(4), 20_000, 4, 0.02);
+    check_mean_convergence(
+        "brightkite-sim",
+        &EstimatorConfig { k: 4, d: 2, ..Default::default() },
+        20_000,
+        4,
+        0.02,
+    );
+}
+
+#[test]
+fn psrw_matches_exact_4node_concentrations() {
+    check_mean_convergence("slashdot-sim", &EstimatorConfig::psrw(4), 30_000, 4, 0.03);
+}
+
+#[test]
+fn srw2css_matches_exact_5node_concentrations() {
+    // 21 types; rare ones need looser absolute tolerance but they are
+    // also tiny, so 0.02 absolute is meaningful.
+    check_mean_convergence("facebook-sim", &EstimatorConfig::recommended(5), 40_000, 4, 0.02);
+}
+
+#[test]
+fn estimates_are_reproducible_across_processes() {
+    // fixed dataset + fixed seed: byte-identical raw scores.
+    let ds = dataset("epinion-sim");
+    let cfg = EstimatorConfig::recommended(4);
+    let a = estimate(ds.graph(), &cfg, 2_000, 99);
+    let b = estimate(ds.graph(), &cfg, 2_000, 99);
+    assert_eq!(a.raw_scores, b.raw_scores);
+}
