@@ -5,6 +5,7 @@
 //! discrete distribution — the textbook alias-table use case (and the
 //! preprocessing cost the paper's §6.3.2 charges them with).
 
+use gx_walks::WalkRng;
 use rand::Rng;
 
 /// Alias table over indices `0..n` with the given non-negative weights.
@@ -62,7 +63,7 @@ impl AliasTable {
     }
 
     /// Draws an index with probability proportional to its weight.
-    pub fn sample(&self, rng: &mut dyn rand::RngCore) -> usize {
+    pub fn sample(&self, rng: &mut WalkRng) -> usize {
         let i = rng.gen_range(0..self.prob.len());
         if rng.gen::<f64>() < self.prob[i] {
             i

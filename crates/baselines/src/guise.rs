@@ -94,11 +94,7 @@ pub fn guise_estimate<G: GraphAccess>(g: &G, steps: usize, seed: u64) -> GuiseEs
     let mut rng = rng_from_seed(seed);
     let mut state = random_start_state(g, 4, &mut rng);
     let mut est = GuiseEstimate {
-        tallies: [
-            vec![0; num_graphlets(3)],
-            vec![0; num_graphlets(4)],
-            vec![0; num_graphlets(5)],
-        ],
+        tallies: [vec![0; num_graphlets(3)], vec![0; num_graphlets(4)], vec![0; num_graphlets(5)]],
         steps,
         rejected: 0,
     };
@@ -135,10 +131,7 @@ mod tests {
         let state = vec![0u32, 1, 2];
         for next in neighbors(&g, &state) {
             let back = neighbors(&g, &next);
-            assert!(
-                back.iter().any(|s| s == &state),
-                "asymmetric move {state:?} -> {next:?}"
-            );
+            assert!(back.iter().any(|s| s == &state), "asymmetric move {state:?} -> {next:?}");
         }
     }
 
@@ -164,11 +157,7 @@ mod tests {
             let exact = exact_counts(&g, k).concentrations();
             let got = est.concentrations(k);
             for (i, (e, x)) in got.iter().zip(&exact).enumerate() {
-                assert!(
-                    (e - x).abs() < 0.03,
-                    "k={k} type {}: {e:.4} vs {x:.4}",
-                    i + 1
-                );
+                assert!((e - x).abs() < 0.03, "k={k} type {}: {e:.4} vs {x:.4}", i + 1);
             }
         }
     }

@@ -17,7 +17,7 @@ use crate::alias::AliasTable;
 use gx_graph::{Graph, GraphAccess, NodeId};
 use gx_graphlets::alpha::alpha_table;
 use gx_graphlets::classify_nodes;
-use gx_walks::rng_from_seed;
+use gx_walks::{rng_from_seed, WalkRng};
 use rand::Rng;
 
 /// Result of a path sampling run.
@@ -59,10 +59,8 @@ pub fn path_sampling_counts(
 
     // ---- 3-path sampler for the five path-containing types ----
     let edges: Vec<(NodeId, NodeId)> = g.edges().collect();
-    let tau: Vec<f64> = edges
-        .iter()
-        .map(|&(u, v)| ((g.degree(u) - 1) * (g.degree(v) - 1)) as f64)
-        .collect();
+    let tau: Vec<f64> =
+        edges.iter().map(|&(u, v)| ((g.degree(u) - 1) * (g.degree(v) - 1)) as f64).collect();
     let s_total: f64 = tau.iter().sum();
     if s_total > 0.0 && path_samples > 0 {
         let table = AliasTable::new(&tau);
@@ -116,7 +114,7 @@ fn sample_neighbor_excluding<G: GraphAccess>(
     g: &G,
     v: NodeId,
     exclude: NodeId,
-    rng: &mut dyn rand::RngCore,
+    rng: &mut WalkRng,
 ) -> NodeId {
     let d = g.degree(v);
     debug_assert!(d >= 2, "τ weighting guarantees a non-excluded neighbor");
@@ -131,7 +129,7 @@ fn sample_neighbor_excluding<G: GraphAccess>(
 fn sample_three_distinct_neighbors<G: GraphAccess>(
     g: &G,
     v: NodeId,
-    rng: &mut dyn rand::RngCore,
+    rng: &mut WalkRng,
 ) -> (NodeId, NodeId, NodeId) {
     let d = g.degree(v);
     debug_assert!(d >= 3, "C(d,3) weighting guarantees 3 neighbors");

@@ -79,11 +79,7 @@ pub fn wedge_sampling(g: &Graph, samples: usize, seed: u64) -> WedgeEstimate {
             closed += 1;
         }
     }
-    WedgeEstimate {
-        closed_fraction: closed as f64 / samples.max(1) as f64,
-        total_wedges,
-        samples,
-    }
+    WedgeEstimate { closed_fraction: closed as f64 / samples.max(1) as f64, total_wedges, samples }
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@ use gx_bench::{
 };
 use gx_datasets::{registry, small_datasets, Dataset};
 
+#[allow(clippy::too_many_arguments)]
 fn panel(
     title: &str,
     datasets: &[&Dataset],

@@ -6,7 +6,9 @@
 //! Figure 4 (SRW1CSSNB best for triangles; SRW2CSS best for 4-/5-node
 //! cliques) at every budget.
 
-use gx_bench::{f, methods_k3, methods_k4, methods_k5, nrmse_of_type, print_table, runs, write_json};
+use gx_bench::{
+    f, methods_k3, methods_k4, methods_k5, nrmse_of_type, print_table, runs, write_json,
+};
 use gx_datasets::{dataset, Dataset};
 
 fn series(

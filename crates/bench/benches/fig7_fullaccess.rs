@@ -87,9 +87,7 @@ fn main() {
             .collect();
         let ps: Vec<f64> = (0..n_runs as u64)
             .into_par_iter()
-            .map(|s| {
-                path_sampling_counts(g, baseline_samples, baseline_samples / 2, s).counts[5]
-            })
+            .map(|s| path_sampling_counts(g, baseline_samples, baseline_samples / 2, s).counts[5])
             .collect();
         let (e_rw, e_ps) = (nrmse(&rw, truth), nrmse(&ps, truth));
         json.insert(

@@ -27,9 +27,8 @@ fn main() {
         print_table(&format!("Table 2 (k = {k}): coefficient α/2"), &headers, &rows);
     }
 
-    let headers: Vec<String> = std::iter::once("ID".to_string())
-        .chain((1..=21).map(|i: u32| i.to_string()))
-        .collect();
+    let headers: Vec<String> =
+        std::iter::once("ID".to_string()).chain((1..=21).map(|i: u32| i.to_string())).collect();
     let mut rows: Vec<Vec<String>> = Vec::new();
     rows.push(
         std::iter::once("name".to_string())

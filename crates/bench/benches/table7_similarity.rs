@@ -17,20 +17,16 @@ fn main() {
     let n_steps = steps(20_000);
     let n_runs = runs(24);
     let weibo = dataset("sinaweibo-sim");
-    let methods = [
-        ("SRW2CSS", EstimatorConfig::recommended(4)),
-        ("PSRW", EstimatorConfig::psrw(4)),
-    ];
+    let methods =
+        [("SRW2CSS", EstimatorConfig::recommended(4)), ("PSRW", EstimatorConfig::psrw(4))];
     println!("Table 7 reproduction: {n_steps} steps, {n_runs} runs");
 
     let mut rows = Vec::new();
     let mut json = serde_json::Map::new();
     for other_name in ["facebook-sim", "twitter-sim"] {
         let other = dataset(other_name);
-        let exact = cosine_similarity(
-            &weibo.exact_concentrations(4),
-            &other.exact_concentrations(4),
-        );
+        let exact =
+            cosine_similarity(&weibo.exact_concentrations(4), &other.exact_concentrations(4));
         let mut row = vec![other_name.to_string()];
         let mut entry = serde_json::Map::new();
         for (label, cfg) in &methods {

@@ -22,9 +22,7 @@ fn empirical_steps_needed(g: &Graph, eps: f64, n_runs: usize) -> usize {
     while steps <= 1 << 22 {
         let series: Vec<f64> = (0..n_runs as u64)
             .into_par_iter()
-            .map(|s| {
-                estimate(g, &cfg, steps, gx_walks::derive_seed(0x7B, s)).concentrations()[1]
-            })
+            .map(|s| estimate(g, &cfg, steps, gx_walks::derive_seed(0x7B, s)).concentrations()[1])
             .collect();
         if nrmse(&series, truth[1]) < eps {
             return steps;

@@ -1,0 +1,111 @@
+//! Steps/second throughput bench: the perf trajectory tracker.
+//!
+//! Measures raw walk stepping and end-to-end estimation throughput
+//! (sequential and parallel), and writes `BENCH_walks.json` at the repo
+//! root so successive PRs can be compared. Run with:
+//!
+//! ```text
+//! cargo bench -p gx-bench --bench throughput
+//! ```
+//!
+//! Knobs: `GX_STEPS` (default 200_000 — the acceptance budget for the
+//! SRW2CSS speedup check), `GX_WALKERS` (default: available cores).
+
+use gx_core::{estimate, estimate_parallel, EstimatorConfig};
+use gx_datasets::dataset;
+use gx_walks::{random_start_edge, rng_from_seed, G2Walk, SrwWalk, StateWalk};
+use std::time::Instant;
+
+fn steps_per_sec(steps: usize, secs: f64) -> f64 {
+    steps as f64 / secs
+}
+
+/// Times one closure, returning elapsed seconds.
+fn time<F: FnOnce()>(f: F) -> f64 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let g = dataset("epinion-sim").graph();
+    let steps: usize =
+        std::env::var("GX_STEPS").ok().and_then(|v| v.parse().ok()).unwrap_or(200_000);
+    let walkers: usize = std::env::var("GX_WALKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(gx_core::parallel::available_cores);
+
+    println!(
+        "throughput bench: {} nodes, {} edges, {steps} steps, {walkers} walkers",
+        g.num_nodes(),
+        g.num_edges()
+    );
+
+    let mut json = serde_json::Map::new();
+    json.insert("nodes".into(), serde_json::json!(g.num_nodes()));
+    json.insert("edges".into(), serde_json::json!(g.num_edges()));
+    json.insert("steps".into(), serde_json::json!(steps));
+    json.insert("walkers".into(), serde_json::json!(walkers));
+
+    // Raw walk stepping (no estimator), the paper's per-step cost unit.
+    {
+        let mut rng = rng_from_seed(1);
+        let mut w = SrwWalk::new(g, 0, false);
+        let secs = time(|| {
+            for _ in 0..steps {
+                w.step(&mut rng);
+            }
+        });
+        let rate = steps_per_sec(steps, secs);
+        println!("srw1 raw step           {rate:>14.0} steps/s");
+        json.insert("srw1_raw_steps_per_sec".into(), serde_json::json!(rate));
+    }
+    {
+        let mut rng = rng_from_seed(2);
+        let (u, v) = random_start_edge(g, &mut rng);
+        let mut w = G2Walk::new(g, u, v, false);
+        let secs = time(|| {
+            for _ in 0..steps {
+                w.step(&mut rng);
+            }
+        });
+        let rate = steps_per_sec(steps, secs);
+        println!("g2 raw step             {rate:>14.0} steps/s");
+        json.insert("g2_raw_steps_per_sec".into(), serde_json::json!(rate));
+    }
+
+    // End-to-end SRW2CSS (the paper's recommended k=4 method): the
+    // acceptance workload for the parallel engine.
+    let cfg = EstimatorConfig::recommended(4);
+    assert_eq!(cfg.name(), "SRW2CSS");
+    // Warm-up: classification tables, CSS covering-sequence cache shape.
+    let _ = estimate(g, &cfg, 2_000, 7);
+
+    let seq_secs = time(|| {
+        let est = estimate(g, &cfg, steps, 42);
+        assert!(est.valid_samples > 0);
+    });
+    let seq_rate = steps_per_sec(steps, seq_secs);
+    println!("SRW2CSS sequential      {seq_rate:>14.0} steps/s  ({seq_secs:.3} s)");
+
+    let par_secs = time(|| {
+        let est = estimate_parallel(g, &cfg, steps, 42, walkers);
+        assert!(est.valid_samples > 0);
+    });
+    let par_rate = steps_per_sec(steps, par_secs);
+    let speedup = seq_secs / par_secs;
+    println!(
+        "SRW2CSS parallel x{walkers:<3}   {par_rate:>14.0} steps/s  ({par_secs:.3} s)  speedup {speedup:.2}x"
+    );
+
+    json.insert("srw2css_seq_steps_per_sec".into(), serde_json::json!(seq_rate));
+    json.insert("srw2css_par_steps_per_sec".into(), serde_json::json!(par_rate));
+    json.insert("srw2css_speedup".into(), serde_json::json!(speedup));
+
+    // Persist at the repo root so the perf trajectory is tracked in-tree.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_walks.json");
+    let body = serde_json::to_string_pretty(&serde_json::Value::Object(json)).expect("serialize");
+    std::fs::write(path, body + "\n").expect("write BENCH_walks.json");
+    println!("[results written to {path}]");
+}

@@ -45,7 +45,11 @@ pub fn methods_k3() -> Vec<Method> {
 
 /// Figure 4b's roster for 4-node graphlets (SRW3 = PSRW).
 pub fn methods_k4() -> Vec<Method> {
-    vec![Method::new(4, 2, false, false), Method::new(4, 2, true, false), Method::new(4, 3, false, false)]
+    vec![
+        Method::new(4, 2, false, false),
+        Method::new(4, 2, true, false),
+        Method::new(4, 3, false, false),
+    ]
 }
 
 /// Figure 4c's roster for 5-node graphlets (SRW4 = PSRW).

@@ -35,12 +35,7 @@ impl EstimatorConfig {
     /// Panics if the configuration is out of the supported domain.
     pub fn validate(&self) {
         assert!((3..=6).contains(&self.k), "k={} unsupported (3..=6)", self.k);
-        assert!(
-            self.d >= 1 && self.d <= self.k,
-            "d={} must be in 1..=k (k={})",
-            self.d,
-            self.k
-        );
+        assert!(self.d >= 1 && self.d <= self.k, "d={} must be in 1..=k (k={})", self.d, self.k);
     }
 
     /// The paper's method name, e.g. `SRW2CSS`, `SRW1CSSNB`.

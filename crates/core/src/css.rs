@@ -63,26 +63,27 @@ impl CssWeights {
     ) -> f64 {
         let k = nodes.len();
         let d = self.d;
-        let entry = self.cache.entry((k, mask)).or_insert_with(|| {
-            let small = SmallGraph::from_mask(k, mask);
-            let cover = covering_sequences(&small, d);
-            let l = k - d + 1;
-            CssEntry {
-                subsets: cover.subsets,
-                interiors: cover
-                    .sequences
-                    .iter()
-                    .map(|seq| {
-                        if seq.len() <= 2 {
-                            Vec::new()
-                        } else {
-                            seq[1..seq.len() - 1].to_vec()
-                        }
-                    })
-                    .collect(),
-                l_is_one: l == 1,
-            }
-        });
+        let entry =
+            self.cache.entry((k, mask)).or_insert_with(|| {
+                let small = SmallGraph::from_mask(k, mask);
+                let cover = covering_sequences(&small, d);
+                let l = k - d + 1;
+                CssEntry {
+                    subsets: cover.subsets,
+                    interiors: cover
+                        .sequences
+                        .iter()
+                        .map(|seq| {
+                            if seq.len() <= 2 {
+                                Vec::new()
+                            } else {
+                                seq[1..seq.len() - 1].to_vec()
+                            }
+                        })
+                        .collect(),
+                    l_is_one: l == 1,
+                }
+            });
         // Effective degree of every subset, once per sample.
         self.degrees.clear();
         for &bits in &entry.subsets {
@@ -112,7 +113,9 @@ impl CssWeights {
         entry
             .interiors
             .iter()
-            .map(|interior| interior.iter().map(|&i| 1.0 / self.degrees[i as usize]).product::<f64>())
+            .map(|interior| {
+                interior.iter().map(|&i| 1.0 / self.degrees[i as usize]).product::<f64>()
+            })
             .sum()
     }
 }

@@ -18,12 +18,7 @@ use gx_walks::{
 ///
 /// `steps` is the sample budget n of Algorithm 1: the number of windows
 /// scored, matching the paper's "random walk steps" (e.g. 20K in §6).
-pub fn estimate<G: GraphAccess>(
-    g: &G,
-    cfg: &EstimatorConfig,
-    steps: usize,
-    seed: u64,
-) -> Estimate {
+pub fn estimate<G: GraphAccess>(g: &G, cfg: &EstimatorConfig, steps: usize, seed: u64) -> Estimate {
     cfg.validate();
     let mut rng = rng_from_seed(seed);
     match cfg.d {

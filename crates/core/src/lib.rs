@@ -30,6 +30,7 @@ pub mod counts;
 pub mod css;
 pub mod estimator;
 pub mod eval;
+pub mod parallel;
 pub mod pie;
 pub mod result;
 pub mod theory;
@@ -38,6 +39,7 @@ pub mod window;
 pub use config::EstimatorConfig;
 pub use counts::relationship_edge_count;
 pub use estimator::{estimate, estimate_with_walk};
+pub use parallel::{estimate_parallel, EstimatorPool, ParallelConfig};
 pub use result::Estimate;
 pub use window::NodeWindow;
 

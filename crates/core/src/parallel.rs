@@ -1,0 +1,318 @@
+//! Parallel multi-walker estimation.
+//!
+//! The estimator's samples come from a single Markov chain, but the
+//! framework is an average over *any* collection of stationary samples
+//! (Theorem 1 holds per walker), so independent walkers with disjoint
+//! RNG streams can each contribute a share of the step budget and their
+//! raw scores merge by addition — the same estimator, computed with
+//! near-linear hardware parallelism. This mirrors the standard practice
+//! for graphlet estimators (Rossi–Zhou–Ahmed run independent samplers
+//! per core) and is the paper's own §6 protocol, which repeats
+//! independent runs anyway.
+//!
+//! Determinism: walker `i` runs the exact sequential pipeline with seed
+//! `seed` for `i = 0` and [`derive_seed`]`(seed, i)` otherwise, and the
+//! merge folds walker results in index order — so a fixed
+//! `(seed, walkers)` pair gives bit-identical results on every run and
+//! machine, and `walkers == 1` is *bit-identical* to [`estimate`].
+
+use crate::config::EstimatorConfig;
+use crate::estimator::estimate;
+use crate::result::Estimate;
+use gx_graph::GraphAccess;
+use gx_graphlets::num_graphlets;
+use gx_walks::derive_seed;
+
+/// How to fan an estimation run across walkers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Number of independent walkers (≥ 1). Each gets its own RNG
+    /// stream and a near-equal share of the step budget.
+    pub walkers: usize,
+}
+
+/// Usable cores on this host (`available_parallelism`, 1 on failure) —
+/// the single source of the core-count policy for walkers and threads.
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+impl ParallelConfig {
+    /// One walker per available CPU.
+    pub fn auto() -> Self {
+        Self { walkers: available_cores() }
+    }
+
+    /// Exactly `walkers` walkers.
+    pub fn with_walkers(walkers: usize) -> Self {
+        assert!(walkers >= 1, "ParallelConfig needs at least one walker");
+        Self { walkers }
+    }
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+/// A reusable handle for parallel estimation runs with a fixed fan-out.
+///
+/// This is the surface a serving layer sits on: construct once with the
+/// deployment's parallelism, then issue estimation requests against any
+/// `Sync` graph.
+#[derive(Debug, Clone)]
+pub struct EstimatorPool {
+    config: ParallelConfig,
+}
+
+impl EstimatorPool {
+    /// Creates a pool with the given fan-out.
+    pub fn new(config: ParallelConfig) -> Self {
+        Self { config }
+    }
+
+    /// The pool's walker count.
+    pub fn walkers(&self) -> usize {
+        self.config.walkers
+    }
+
+    /// Runs [`estimate_parallel`] with this pool's fan-out.
+    pub fn estimate<G: GraphAccess + Sync>(
+        &self,
+        g: &G,
+        cfg: &EstimatorConfig,
+        steps: usize,
+        seed: u64,
+    ) -> Estimate {
+        estimate_parallel(g, cfg, steps, seed, self.config.walkers)
+    }
+}
+
+/// Seed of walker `i`: walker 0 keeps the caller's seed so a one-walker
+/// run replays the sequential estimator exactly; the rest get
+/// SplitMix64-derived independent streams.
+#[inline]
+pub fn walker_seed(seed: u64, walker: usize) -> u64 {
+    if walker == 0 {
+        seed
+    } else {
+        derive_seed(seed, walker as u64)
+    }
+}
+
+/// Step budget of walker `i` when `steps` is spread over `walkers`
+/// (difference of at most one step between walkers).
+#[inline]
+pub fn walker_steps(steps: usize, walkers: usize, walker: usize) -> usize {
+    steps / walkers + usize::from(walker < steps % walkers)
+}
+
+/// Algorithm 1 fanned across `walkers` independent walkers.
+///
+/// `steps` is the *total* sample budget: walker `i` scores
+/// [`walker_steps`]`(steps, walkers, i)` windows from its own walk
+/// (own random start, own RNG stream — see [`walker_seed`]), and the
+/// per-walker `raw_scores` / `valid_samples` are summed in walker
+/// order. The result is deterministic for a fixed `(seed, walkers)`;
+/// with `walkers == 1` it is bit-identical to [`estimate`].
+///
+/// Requires `G: Sync` — the metered `ApiGraph` is deliberately not
+/// `Sync` (its counters are unsynchronized), so crawling simulations
+/// stay sequential while in-memory graphs parallelize.
+pub fn estimate_parallel<G: GraphAccess + Sync>(
+    g: &G,
+    cfg: &EstimatorConfig,
+    steps: usize,
+    seed: u64,
+    walkers: usize,
+) -> Estimate {
+    assert!(walkers >= 1, "estimate_parallel needs at least one walker");
+    cfg.validate();
+    if walkers == 1 {
+        return estimate(g, cfg, steps, seed);
+    }
+    // One OS thread per *core*, not per walker: each thread runs a
+    // contiguous chunk of walkers sequentially, so pathological fan-outs
+    // (walkers ≫ cores) cannot exhaust thread limits. Results are
+    // slotted by walker index and merged in walker order, so the output
+    // is identical for every thread count.
+    let threads = available_cores().min(walkers);
+    let chunk = walkers.div_ceil(threads);
+    let mut results: Vec<Option<Estimate>> = Vec::new();
+    results.resize_with(walkers, || None);
+    std::thread::scope(|scope| {
+        for (c, slots) in results.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || {
+                for (off, slot) in slots.iter_mut().enumerate() {
+                    let i = c * chunk + off;
+                    let share = walker_steps(steps, walkers, i);
+                    *slot = Some(estimate(g, cfg, share, walker_seed(seed, i)));
+                }
+            });
+        }
+    });
+    merge(cfg, steps, results.into_iter().map(|r| r.expect("walker thread completed")))
+}
+
+/// Folds per-walker estimates (in iteration order) into one.
+fn merge(cfg: &EstimatorConfig, steps: usize, parts: impl Iterator<Item = Estimate>) -> Estimate {
+    let mut raw = vec![0.0f64; num_graphlets(cfg.k)];
+    let mut valid = 0usize;
+    let mut seen_steps = 0usize;
+    for part in parts {
+        debug_assert_eq!(part.config, *cfg);
+        for (acc, x) in raw.iter_mut().zip(&part.raw_scores) {
+            *acc += x;
+        }
+        valid += part.valid_samples;
+        seen_steps += part.steps;
+    }
+    debug_assert_eq!(seen_steps, steps, "walker shares must cover the budget");
+    Estimate { config: cfg.clone(), steps, valid_samples: valid, raw_scores: raw }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::estimate;
+    use gx_exact::exact_counts;
+    use gx_graph::generators::classic;
+
+    #[test]
+    fn one_walker_is_bit_identical_to_sequential() {
+        let g = classic::petersen();
+        for cfg in [
+            EstimatorConfig { k: 3, d: 1, ..Default::default() },
+            EstimatorConfig { k: 4, d: 2, css: true, ..Default::default() },
+            EstimatorConfig::psrw(4),
+        ] {
+            let seq = estimate(&g, &cfg, 5_000, 77);
+            let par = estimate_parallel(&g, &cfg, 5_000, 77, 1);
+            assert_eq!(seq.raw_scores, par.raw_scores, "{}", cfg.name());
+            assert_eq!(seq.valid_samples, par.valid_samples);
+            assert_eq!(seq.steps, par.steps);
+        }
+    }
+
+    #[test]
+    fn fixed_seed_and_walkers_is_deterministic() {
+        let g = classic::petersen();
+        let cfg = EstimatorConfig { k: 4, d: 2, css: true, ..Default::default() };
+        let a = estimate_parallel(&g, &cfg, 8_000, 42, 4);
+        let b = estimate_parallel(&g, &cfg, 8_000, 42, 4);
+        assert_eq!(a.raw_scores, b.raw_scores);
+        assert_eq!(a.valid_samples, b.valid_samples);
+        // Different fan-out is a different (deterministic) estimate.
+        let c = estimate_parallel(&g, &cfg, 8_000, 42, 3);
+        assert_ne!(a.raw_scores, c.raw_scores);
+    }
+
+    #[test]
+    fn merge_equals_sum_over_walkers() {
+        let g = classic::lollipop(5, 4);
+        let cfg = EstimatorConfig { k: 3, d: 1, ..Default::default() };
+        let (steps, walkers, seed) = (10_001, 4, 9);
+        let par = estimate_parallel(&g, &cfg, steps, seed, walkers);
+        let mut valid = 0usize;
+        let mut raw = vec![0.0; par.raw_scores.len()];
+        let mut budget = 0usize;
+        for i in 0..walkers {
+            let share = walker_steps(steps, walkers, i);
+            budget += share;
+            let w = estimate(&g, &cfg, share, walker_seed(seed, i));
+            valid += w.valid_samples;
+            for (acc, x) in raw.iter_mut().zip(&w.raw_scores) {
+                *acc += x;
+            }
+        }
+        assert_eq!(budget, steps, "shares cover the budget exactly");
+        assert_eq!(par.valid_samples, valid);
+        assert_eq!(par.raw_scores, raw, "merge is the walker-order sum");
+        assert_eq!(par.steps, steps);
+    }
+
+    #[test]
+    fn walker_budget_split_is_near_equal() {
+        for (steps, walkers) in [(10, 3), (7, 7), (5, 8), (0, 4), (1_000_003, 16)] {
+            let shares: Vec<usize> =
+                (0..walkers).map(|i| walker_steps(steps, walkers, i)).collect();
+            assert_eq!(shares.iter().sum::<usize>(), steps);
+            let (min, max) = (shares.iter().min().unwrap(), shares.iter().max().unwrap());
+            assert!(max - min <= 1, "{steps}/{walkers}: {shares:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_k3_converges_on_figure1() {
+        let g = classic::paper_figure1();
+        let cfg = EstimatorConfig { k: 3, d: 1, css: true, non_backtracking: true, burn_in: 0 };
+        let exact = exact_counts(&g, 3).concentrations();
+        let est = estimate_parallel(&g, &cfg, 60_000, 1, 4).concentrations();
+        for (i, (e, x)) in est.iter().zip(&exact).enumerate() {
+            assert!((e - x).abs() < 0.02, "type {}: {e:.4} vs {x:.4}", i + 1);
+        }
+    }
+
+    #[test]
+    fn parallel_k4_converges_on_lollipop() {
+        let g = classic::lollipop(5, 4);
+        let cfg = EstimatorConfig { k: 4, d: 2, css: true, ..Default::default() };
+        let exact = exact_counts(&g, 4).concentrations();
+        let est = estimate_parallel(&g, &cfg, 120_000, 3, 8).concentrations();
+        for (i, (e, x)) in est.iter().zip(&exact).enumerate() {
+            assert!((e - x).abs() < 0.02, "type {}: {e:.4} vs {x:.4}", i + 1);
+        }
+    }
+
+    #[test]
+    fn pool_surface_forwards() {
+        let g = classic::petersen();
+        let cfg = EstimatorConfig { k: 3, d: 1, ..Default::default() };
+        let pool = EstimatorPool::new(ParallelConfig::with_walkers(2));
+        assert_eq!(pool.walkers(), 2);
+        let a = pool.estimate(&g, &cfg, 4_000, 5);
+        let b = estimate_parallel(&g, &cfg, 4_000, 5, 2);
+        assert_eq!(a.raw_scores, b.raw_scores);
+        assert!(ParallelConfig::auto().walkers >= 1);
+        assert!(ParallelConfig::default().walkers >= 1);
+    }
+
+    #[test]
+    fn more_walkers_than_steps_still_works() {
+        let g = classic::petersen();
+        let cfg = EstimatorConfig { k: 3, d: 1, ..Default::default() };
+        let est = estimate_parallel(&g, &cfg, 3, 11, 8);
+        assert_eq!(est.steps, 3);
+        assert!(est.valid_samples <= 3);
+    }
+
+    #[test]
+    fn huge_fanouts_are_core_bounded_and_deterministic() {
+        // 512 walkers must not spawn 512 threads (chunked over cores),
+        // and the walker-order merge keeps the result independent of the
+        // machine's thread count.
+        let g = classic::petersen();
+        let cfg = EstimatorConfig { k: 3, d: 1, ..Default::default() };
+        let a = estimate_parallel(&g, &cfg, 2_048, 13, 512);
+        let b = estimate_parallel(&g, &cfg, 2_048, 13, 512);
+        assert_eq!(a.raw_scores, b.raw_scores);
+        assert_eq!(a.steps, 2_048);
+        let mut raw = vec![0.0; a.raw_scores.len()];
+        for i in 0..512 {
+            let w = estimate(&g, &cfg, walker_steps(2_048, 512, i), walker_seed(13, i));
+            for (acc, x) in raw.iter_mut().zip(&w.raw_scores) {
+                *acc += x;
+            }
+        }
+        assert_eq!(a.raw_scores, raw, "chunked execution preserves walker-order merge");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one walker")]
+    fn zero_walkers_rejected() {
+        let g = classic::petersen();
+        let cfg = EstimatorConfig { k: 3, d: 1, ..Default::default() };
+        let _ = estimate_parallel(&g, &cfg, 100, 1, 0);
+    }
+}

@@ -20,8 +20,7 @@ use gx_graphlets::alpha::alpha_table;
 pub fn weighted_concentration(counts: &[u64], k: usize, d: usize) -> Vec<f64> {
     let alphas = alpha_table(k, d);
     assert_eq!(counts.len(), alphas.len());
-    let mass: Vec<f64> =
-        counts.iter().zip(alphas).map(|(&c, &a)| c as f64 * a as f64).collect();
+    let mass: Vec<f64> = counts.iter().zip(alphas).map(|(&c, &a)| c as f64 * a as f64).collect();
     let total: f64 = mass.iter().sum();
     if total == 0.0 {
         return vec![0.0; counts.len()];
@@ -35,13 +34,8 @@ pub fn weighted_concentration(counts: &[u64], k: usize, d: usize) -> Vec<f64> {
 pub fn lambda(counts: &[u64], k: usize, d: usize, target: usize) -> f64 {
     let alphas = alpha_table(k, d);
     let total: u64 = counts.iter().sum();
-    let alpha_min = counts
-        .iter()
-        .zip(alphas)
-        .filter(|(&c, _)| c > 0)
-        .map(|(_, &a)| a)
-        .min()
-        .unwrap_or(0);
+    let alpha_min =
+        counts.iter().zip(alphas).filter(|(&c, _)| c > 0).map(|(_, &a)| a).min().unwrap_or(0);
     let a_i_c_i = alphas[target] as f64 * counts[target] as f64;
     a_i_c_i.min(alpha_min as f64 * total as f64)
 }
@@ -184,11 +178,20 @@ mod tests {
     fn theorem3_scales_as_expected() {
         let base = theorem3_sample_size(100.0, 10.0, 50.0, 0.1, 0.05, 10.0, 1.0);
         // linear in τ
-        assert!((theorem3_sample_size(100.0, 10.0, 100.0, 0.1, 0.05, 10.0, 1.0) / base - 2.0).abs() < 1e-9);
+        assert!(
+            (theorem3_sample_size(100.0, 10.0, 100.0, 0.1, 0.05, 10.0, 1.0) / base - 2.0).abs()
+                < 1e-9
+        );
         // inverse in ε²
-        assert!((theorem3_sample_size(100.0, 10.0, 50.0, 0.05, 0.05, 10.0, 1.0) / base - 4.0).abs() < 1e-9);
+        assert!(
+            (theorem3_sample_size(100.0, 10.0, 50.0, 0.05, 0.05, 10.0, 1.0) / base - 4.0).abs()
+                < 1e-9
+        );
         // inverse in Λ
-        assert!((theorem3_sample_size(100.0, 20.0, 50.0, 0.1, 0.05, 10.0, 1.0) / base - 0.5).abs() < 1e-9);
+        assert!(
+            (theorem3_sample_size(100.0, 20.0, 50.0, 0.1, 0.05, 10.0, 1.0) / base - 0.5).abs()
+                < 1e-9
+        );
     }
 
     #[test]

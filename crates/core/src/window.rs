@@ -42,8 +42,11 @@ pub struct NodeWindow {
     distinct: Vec<NodeId>,
     /// Reference counts parallel to `distinct`.
     refcount: Vec<u8>,
-    /// Adjacency among slots (row-major, stride MAX_NODES).
-    adj: [bool; MAX_NODES * MAX_NODES],
+    /// Adjacency among slots: bit `q` of `adj[p]` is set iff slots `p`
+    /// and `q` are adjacent in the host graph. A per-slot bitmask keeps
+    /// [`NodeWindow::sample`] pure bit manipulation instead of a scan
+    /// over a `bool` matrix.
+    adj: [u64; MAX_NODES],
     /// Adjacency probes issued so far (the paper's per-step cost metric).
     probes: u64,
 }
@@ -62,7 +65,7 @@ impl NodeWindow {
             states: VecDeque::with_capacity(l),
             distinct: Vec::with_capacity(MAX_NODES),
             refcount: Vec::with_capacity(MAX_NODES),
-            adj: [false; MAX_NODES * MAX_NODES],
+            adj: [0; MAX_NODES],
             probes: 0,
         }
     }
@@ -114,13 +117,18 @@ impl NodeWindow {
     /// Pushes the walk's current state. `degree` is the state's degree in
     /// `G(d)` at this time.
     pub fn push<G: GraphAccess>(&mut self, g: &G, state_nodes: &[NodeId], degree: usize) {
+        debug_assert!(
+            u32::try_from(degree).is_ok(),
+            "state degree {degree} exceeds u32 (would truncate)"
+        );
         if self.states.len() == self.l {
             let old = self.states.pop_front().expect("non-empty");
             for &v in old.nodes() {
                 self.release(v);
             }
         }
-        let mut rec = StateRec { nodes: [0; MAX_D], len: state_nodes.len() as u8, degree: degree as u32 };
+        let mut rec =
+            StateRec { nodes: [0; MAX_D], len: state_nodes.len() as u8, degree: degree as u32 };
         rec.nodes[..state_nodes.len()].copy_from_slice(state_nodes);
         for &v in state_nodes {
             self.acquire(g, v);
@@ -141,12 +149,15 @@ impl NodeWindow {
         assert!(p < MAX_NODES, "window union overflow");
         // probe adjacency vs every existing slot: the paper's k − 1
         // binary searches per step.
+        let mut row = 0u64;
         for q in 0..p {
-            let e = g.has_edge(v, self.distinct[q]);
             self.probes += 1;
-            self.adj[p * MAX_NODES + q] = e;
-            self.adj[q * MAX_NODES + p] = e;
+            if g.has_edge(v, self.distinct[q]) {
+                row |= 1 << q;
+                self.adj[q] |= 1 << p;
+            }
         }
+        self.adj[p] = row;
         self.distinct.push(v);
         self.refcount.push(1);
     }
@@ -157,37 +168,68 @@ impl NodeWindow {
         if self.refcount[p] > 0 {
             return;
         }
-        // swap-remove slot p, relocating the last slot's adjacency row.
+        // swap-remove slot p, relocating the last slot's adjacency bits.
         let last = self.distinct.len() - 1;
         self.distinct.swap_remove(p);
         self.refcount.swap_remove(p);
+        let pbit = 1u64 << p;
+        let lastbit = 1u64 << last;
         if p != last {
-            for q in 0..MAX_NODES {
-                self.adj[p * MAX_NODES + q] = self.adj[last * MAX_NODES + q];
-                self.adj[q * MAX_NODES + p] = self.adj[q * MAX_NODES + last];
+            // Move `last`'s row into slot p, dropping its (p, last) bit.
+            self.adj[p] = self.adj[last] & !pbit;
+            // In every other row, rewrite the `last` bit as the `p` bit.
+            for q in 0..=last {
+                let had_last = self.adj[q] & lastbit != 0;
+                self.adj[q] &= !(pbit | lastbit);
+                if had_last && q != p {
+                    self.adj[q] |= pbit;
+                }
             }
-            self.adj[p * MAX_NODES + p] = false;
+        } else {
+            for row in self.adj.iter_mut() {
+                *row &= !pbit;
+            }
         }
-        for q in 0..MAX_NODES {
-            self.adj[last * MAX_NODES + q] = false;
-            self.adj[q * MAX_NODES + last] = false;
-        }
+        self.adj[last] = 0;
     }
 
     /// The induced edge mask over the distinct nodes, in slot order
     /// (labeling compatible with [`gx_graphlets::classify_mask`] for
     /// `distinct_count()` nodes), together with the nodes.
+    ///
+    /// Extracted with bit operations from the per-slot adjacency masks:
+    /// for each slot `i`, the bits `j > i` of `adj[i]` are exactly the
+    /// edges `(i, j)`, and the upper-triangle pair layout stores them
+    /// contiguously — so each row contributes one shifted bit-block, no
+    /// per-pair scan.
     pub fn sample(&self) -> (u32, &[NodeId]) {
+        let m = self.distinct.len();
+        let mut mask = 0u32;
+        // pair_index(i, j, m) = base(i) + (j - i - 1) with
+        // base(i) = i*m - i(i+1)/2: within a row the pair bits are
+        // consecutive in j, so the whole row moves in one shift.
+        let mut base = 0usize;
+        for i in 0..m {
+            let above = (self.adj[i] >> (i + 1)) as u32; // bits j > i, j at j-i-1
+            mask |= (above & ((1u32 << (m - i - 1)) - 1)) << base;
+            base += m - i - 1;
+        }
+        debug_assert_eq!(mask, self.reference_mask(), "bit-block mask extraction");
+        (mask, &self.distinct)
+    }
+
+    /// Reference mask built pairwise (debug cross-check for `sample`).
+    fn reference_mask(&self) -> u32 {
         let m = self.distinct.len();
         let mut mask = 0u32;
         for i in 0..m {
             for j in (i + 1)..m {
-                if self.adj[i * MAX_NODES + j] {
+                if self.adj[i] & (1 << j) != 0 {
                     mask |= 1 << pair_index(i, j, m);
                 }
             }
         }
-        (mask, &self.distinct)
+        mask
     }
 }
 
@@ -260,6 +302,7 @@ mod tests {
         assert_eq!(w.probes(), 1);
         w.push(&g, &[2], 5);
         assert_eq!(w.probes(), 3); // 1 + 2
+
         // steady state: one node leaves, one enters: k-1 = 2 probes
         w.push(&g, &[3], 5);
         assert_eq!(w.probes(), 5);

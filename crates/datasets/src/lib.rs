@@ -98,8 +98,18 @@ impl Dataset {
             concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/gx-truth").to_string()
         });
         let g = self.graph();
+        // Fingerprint the edge set, not just (n, m): generator-stream
+        // changes can produce a different graph with identical counts,
+        // and a colliding key would silently serve stale ground truth.
+        let mut fp: u64 = 0xcbf2_9ce4_8422_2325;
+        for (u, v) in g.edges() {
+            for word in [u, v] {
+                fp ^= word as u64;
+                fp = fp.wrapping_mul(0x100_0000_01b3);
+            }
+        }
         std::path::PathBuf::from(dir).join(format!(
-            "{}-k{}-n{}-m{}.txt",
+            "{}-k{}-n{}-m{}-h{fp:016x}.txt",
             self.name,
             k,
             g.num_nodes(),

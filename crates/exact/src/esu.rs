@@ -113,6 +113,7 @@ mod tests {
         assert_eq!(c.counts[4], 0);
         assert_eq!(c.counts[5], 0);
         assert_eq!(c.counts[1], 10); // one 3-star per node (3-regular)
+
         // 4-paths: 15 edges, each end extends 2 ways: 2*2 = 4 per edge...
         // standard count: 30 paths of length 3 = P3_ni = Σ(du-1)(dv-1) = 15*4 = 60,
         // minus 3*triangles(0) = 60, each induced 4-path has 1: 60 4-paths.

@@ -142,10 +142,7 @@ impl<'g> ApiGraph<'g> {
 
     /// Current usage statistics.
     pub fn stats(&self) -> ApiStats {
-        ApiStats {
-            distinct_nodes_fetched: self.distinct.get(),
-            total_requests: self.total.get(),
-        }
+        ApiStats { distinct_nodes_fetched: self.distinct.get(), total_requests: self.total.get() }
     }
 
     /// Resets the meters (the fetched-set and counters).

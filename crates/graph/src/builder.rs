@@ -94,7 +94,8 @@ impl GraphBuilder {
         for v in 0..n {
             adjacency[offsets[v]..offsets[v + 1]].sort_unstable();
         }
-        Graph { offsets, adjacency }
+        let hubs = crate::csr::HubIndex::build(&offsets, &adjacency);
+        Graph { offsets, adjacency, hubs }
     }
 }
 

@@ -61,9 +61,8 @@ pub fn largest_connected_component(g: &Graph) -> (Graph, Vec<NodeId>) {
         .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
         .map(|(i, _)| i as u32)
         .expect("k > 0");
-    let keep: Vec<NodeId> = (0..g.num_nodes() as NodeId)
-        .filter(|&v| label[v as usize] == best)
-        .collect();
+    let keep: Vec<NodeId> =
+        (0..g.num_nodes() as NodeId).filter(|&v| label[v as usize] == best).collect();
     g.induced_subgraph(&keep)
 }
 

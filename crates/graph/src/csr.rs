@@ -21,6 +21,77 @@ use crate::NodeId;
 pub struct Graph {
     pub(crate) offsets: Vec<usize>,
     pub(crate) adjacency: Vec<NodeId>,
+    pub(crate) hubs: HubIndex,
+}
+
+/// Dense bitset adjacency for *hub* nodes (degree ≥ [`hub_threshold`]),
+/// making `has_edge` O(1) when either endpoint is a hub — the common
+/// case on power-law graphs, where walks spend most steps around hubs
+/// and the binary-search probe is deepest exactly there.
+///
+/// Memory is bounded: a node qualifies only when its degree is at least
+/// `n / 64`, so a hub's bitset row (n bits) costs at most 64 bits per
+/// adjacency entry it replaces, and all rows together cost O(|E|).
+#[derive(Clone, PartialEq, Eq, Default)]
+pub(crate) struct HubIndex {
+    /// `row_of[v]` = bitset row of hub `v`, or `u32::MAX` for non-hubs.
+    /// Empty when the graph has no hubs.
+    row_of: Vec<u32>,
+    /// Words per row: `ceil(n / 64)`.
+    words: usize,
+    /// Concatenated rows.
+    bits: Vec<u64>,
+}
+
+/// Degree at or above which a node gets a dense adjacency bitset.
+#[inline]
+pub(crate) fn hub_threshold(num_nodes: usize) -> usize {
+    (num_nodes / 64).max(64)
+}
+
+impl HubIndex {
+    /// Scans the CSR arrays and builds rows for every hub.
+    pub(crate) fn build(offsets: &[usize], adjacency: &[NodeId]) -> Self {
+        let n = offsets.len() - 1;
+        let threshold = hub_threshold(n);
+        let hubs: Vec<usize> =
+            (0..n).filter(|&v| offsets[v + 1] - offsets[v] >= threshold).collect();
+        if hubs.is_empty() {
+            return Self::default();
+        }
+        let words = n.div_ceil(64);
+        let mut row_of = vec![u32::MAX; n];
+        let mut bits = vec![0u64; hubs.len() * words];
+        for (row, &v) in hubs.iter().enumerate() {
+            row_of[v] = row as u32;
+            let base = row * words;
+            for &w in &adjacency[offsets[v]..offsets[v + 1]] {
+                bits[base + w as usize / 64] |= 1 << (w % 64);
+            }
+        }
+        Self { row_of, words, bits }
+    }
+
+    /// True when the graph has no hubs (fast-path bypass).
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Bitset row of `v`, if `v` is a hub.
+    #[inline]
+    pub(crate) fn row(&self, v: NodeId) -> Option<usize> {
+        match self.row_of[v as usize] {
+            u32::MAX => None,
+            r => Some(r as usize),
+        }
+    }
+
+    /// Whether hub row `row` contains `v`.
+    #[inline]
+    pub(crate) fn test(&self, row: usize, v: NodeId) -> bool {
+        self.bits[row * self.words + v as usize / 64] & (1 << (v % 64)) != 0
+    }
 }
 
 impl Graph {
@@ -41,13 +112,19 @@ impl Graph {
 
     /// Builds a graph from an edge list, inferring the node count as
     /// `max endpoint + 1`.
+    ///
+    /// Infallible: every endpoint is in range by construction of the
+    /// inferred node count, so no error path exists (unlike
+    /// [`Graph::from_edges`], whose caller-supplied count can be
+    /// exceeded). The builder is fed directly rather than routed through
+    /// the fallible constructor to keep that guarantee structural.
     pub fn from_edges_auto(edges: &[(NodeId, NodeId)]) -> Self {
-        let n = edges
-            .iter()
-            .map(|&(u, v)| u.max(v) as usize + 1)
-            .max()
-            .unwrap_or(0);
-        Self::from_edges(n, edges.iter().copied()).expect("endpoints bounded by construction")
+        let n = edges.iter().map(|&(u, v)| u.max(v) as usize + 1).max().unwrap_or(0);
+        let mut b = GraphBuilder::with_edge_capacity(n, edges.len());
+        for &(u, v) in edges {
+            b.add_edge_unchecked(u, v);
+        }
+        b.build()
     }
 
     /// Number of nodes (including isolated ones).
@@ -76,12 +153,21 @@ impl Graph {
         &self.adjacency[self.offsets[v]..self.offsets[v + 1]]
     }
 
-    /// Whether the undirected edge `(u, v)` exists. Binary search on the
-    /// smaller adjacency list.
+    /// Whether the undirected edge `(u, v)` exists. O(1) bitset probe
+    /// when either endpoint is a hub (degree ≥ `max(64, n/64)`), binary
+    /// search on the smaller adjacency list otherwise.
     #[inline]
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         if u == v {
             return false;
+        }
+        if !self.hubs.is_empty() {
+            if let Some(row) = self.hubs.row(u) {
+                return self.hubs.test(row, v);
+            }
+            if let Some(row) = self.hubs.row(v) {
+                return self.hubs.test(row, u);
+            }
         }
         let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
         self.neighbors(a).binary_search(&b).is_ok()
@@ -95,11 +181,7 @@ impl Graph {
     /// Iterator over each undirected edge once, as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         self.nodes().flat_map(move |u| {
-            self.neighbors(u)
-                .iter()
-                .copied()
-                .filter(move |&v| u < v)
-                .map(move |v| (u, v))
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
         })
     }
 
@@ -212,6 +294,37 @@ mod tests {
         let empty = Graph::from_edges_auto(&[]);
         assert_eq!(empty.num_nodes(), 0);
         assert_eq!(empty.num_edges(), 0);
+    }
+
+    #[test]
+    fn hub_fast_path_agrees_with_binary_search() {
+        // Star with 200 leaves: the hub's degree (200) crosses the
+        // threshold max(64, 201/64) = 64, the leaves stay below it.
+        let hub = 0u32;
+        let edges: Vec<(NodeId, NodeId)> = (1..=200).map(|v| (hub, v)).collect();
+        let g = Graph::from_edges(201, edges.iter().copied()).unwrap();
+        assert!(!g.hubs.is_empty(), "star center must be indexed as a hub");
+        assert!(g.hubs.row(hub).is_some());
+        assert!(g.hubs.row(1).is_none());
+        for v in 1..=200u32 {
+            assert!(g.has_edge(hub, v));
+            assert!(g.has_edge(v, hub));
+        }
+        assert!(!g.has_edge(1, 2));
+        assert!(!g.has_edge(hub, hub));
+    }
+
+    #[test]
+    fn small_graphs_have_no_hub_index() {
+        let g = figure1_graph();
+        assert!(g.hubs.is_empty(), "degrees below 64 never qualify");
+    }
+
+    #[test]
+    fn hub_threshold_scales_with_graph_size() {
+        assert_eq!(super::hub_threshold(10), 64);
+        assert_eq!(super::hub_threshold(64 * 64), 64);
+        assert_eq!(super::hub_threshold(6400 * 64), 6400);
     }
 
     #[test]

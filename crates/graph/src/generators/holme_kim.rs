@@ -24,10 +24,10 @@ pub fn holme_kim<R: Rng>(n: usize, m: usize, p_triad: f64, rng: &mut R) -> Graph
     // adjacency known so far, needed for triad formation
     let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
     let link = |b: &mut GraphBuilder,
-                    endpoints: &mut Vec<NodeId>,
-                    adj: &mut Vec<Vec<NodeId>>,
-                    u: NodeId,
-                    v: NodeId| {
+                endpoints: &mut Vec<NodeId>,
+                adj: &mut Vec<Vec<NodeId>>,
+                u: NodeId,
+                v: NodeId| {
         b.add_edge_unchecked(u, v);
         endpoints.push(u);
         endpoints.push(v);

@@ -23,7 +23,7 @@ pub fn stochastic_block_model<R: Rng>(
     let n: usize = sizes.iter().sum();
     let mut block_of = Vec::with_capacity(n);
     for (b, &s) in sizes.iter().enumerate() {
-        block_of.extend(std::iter::repeat(b).take(s));
+        block_of.extend(std::iter::repeat_n(b, s));
     }
     let mut builder = GraphBuilder::new(n);
     // Bernoulli per pair with geometric skipping per probability class would

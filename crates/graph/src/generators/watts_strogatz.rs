@@ -15,7 +15,7 @@ use std::collections::HashSet;
 /// (needed for Figure 4c / Table 5's c⁵₂₁ column) stays cheap because there
 /// are no hubs.
 pub fn watts_strogatz<R: Rng>(n: usize, k: usize, beta: f64, rng: &mut R) -> Graph {
-    assert!(k >= 2 && k % 2 == 0, "WS: k must be even and >= 2");
+    assert!(k >= 2 && k.is_multiple_of(2), "WS: k must be even and >= 2");
     assert!(n > k, "WS: need n > k");
     assert!((0.0..=1.0).contains(&beta), "WS: beta out of [0,1]");
     let half = k / 2;
@@ -97,13 +97,8 @@ mod tests {
         use crate::connectivity::bfs_distances;
         let ring = watts_strogatz(400, 4, 0.0, &mut Pcg64::seed_from_u64(2));
         let sw = watts_strogatz(400, 4, 0.2, &mut Pcg64::seed_from_u64(2));
-        let ecc = |g: &Graph| {
-            bfs_distances(g, 0)
-                .into_iter()
-                .filter(|&d| d != usize::MAX)
-                .max()
-                .unwrap()
-        };
+        let ecc =
+            |g: &Graph| bfs_distances(g, 0).into_iter().filter(|&d| d != usize::MAX).max().unwrap();
         assert!(ecc(&sw) < ecc(&ring), "small world should have smaller eccentricity");
     }
 

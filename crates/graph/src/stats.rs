@@ -48,9 +48,7 @@ pub fn wedge_count(g: &Graph) -> u64 {
 /// precisely: `|R(2)| = ½ Σ_{(u,v)∈E} (d_u + d_v − 2)` is
 /// [`g2_edge_count`]; this function is the *path* normalizer.
 pub fn three_path_weight(g: &Graph) -> u64 {
-    g.edges()
-        .map(|(u, v)| (g.degree(u) as u64 - 1) * (g.degree(v) as u64 - 1))
-        .sum()
+    g.edges().map(|(u, v)| (g.degree(u) as u64 - 1) * (g.degree(v) as u64 - 1)).sum()
 }
 
 /// Number of edges of the 2-node subgraph relationship graph `G(2)`:

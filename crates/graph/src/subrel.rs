@@ -208,7 +208,9 @@ pub fn subgraph_relationship_graph(g: &Graph, d: usize) -> SubRelGraph {
                         continue;
                     }
                     candidate.clear();
-                    candidate.extend(s.iter().enumerate().filter(|&(p, _)| p != drop_pos).map(|(_, &x)| x));
+                    candidate.extend(
+                        s.iter().enumerate().filter(|&(p, _)| p != drop_pos).map(|(_, &x)| x),
+                    );
                     candidate.push(w);
                     candidate.sort_unstable();
                     if let Some(&j) = index.get(candidate.as_slice()) {

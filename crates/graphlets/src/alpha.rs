@@ -251,8 +251,7 @@ mod tests {
         // Derive the permutation paper -> canonical by unique matching.
         let mut derived = [usize::MAX; 21];
         for (paper_idx, w) in want.iter().enumerate() {
-            let matches: Vec<usize> =
-                (0..21).filter(|&i| &got[i] == w).collect();
+            let matches: Vec<usize> = (0..21).filter(|&i| &got[i] == w).collect();
             assert_eq!(
                 matches.len(),
                 1,

@@ -36,10 +36,8 @@ pub struct GraphletInfo {
 }
 
 /// Paper-ordered edge lists for the 3-node graphlets (Figure 2).
-const PAPER_3: [(&str, &[(u8, u8)]); 2] = [
-    ("wedge", &[(0, 1), (1, 2)]),
-    ("triangle", &[(0, 1), (1, 2), (0, 2)]),
-];
+const PAPER_3: [(&str, &[(u8, u8)]); 2] =
+    [("wedge", &[(0, 1), (1, 2)]), ("triangle", &[(0, 1), (1, 2), (0, 2)])];
 
 /// Paper-ordered edge lists for the 4-node graphlets (Figure 2).
 const PAPER_4: [(&str, &[(u8, u8)]); 6] = [
@@ -55,9 +53,8 @@ const PAPER_4: [(&str, &[(u8, u8)]); 6] = [
 /// class index for 5-node graphlets. Derived by matching Algorithm-2 α
 /// vectors against Table 3 (unique match per column on the SRW(1..3)
 /// rows); verified by the alpha test suite.
-pub(crate) const PAPER_TO_CANON_5: [usize; 21] = [
-    2, 1, 0, 4, 6, 3, 7, 5, 8, 11, 10, 9, 12, 13, 14, 15, 16, 17, 18, 19, 20,
-];
+pub(crate) const PAPER_TO_CANON_5: [usize; 21] =
+    [2, 1, 0, 4, 6, 3, 7, 5, 8, 11, 10, 9, 12, 13, 14, 15, 16, 17, 18, 19, 20];
 
 /// Names for the 5-node graphlets in paper (Table 3) order. Standard names
 /// from the graphlet-counting literature where they exist:
@@ -126,8 +123,7 @@ fn build_atlas(k: usize) -> Vec<GraphletInfo> {
         6 => (0..m)
             .map(|i| {
                 let rep = SmallGraph::from_mask(6, table.representative(i));
-                let name: &'static str =
-                    Box::leak(format!("g6_{}", i + 1).into_boxed_str());
+                let name: &'static str = Box::leak(format!("g6_{}", i + 1).into_boxed_str());
                 make(i, name, rep)
             })
             .collect(),

@@ -51,10 +51,8 @@ impl CanonTable {
         reps.sort_unstable_by_key(|&m| (m.count_ones(), m));
         let rank: std::collections::HashMap<u32, i16> =
             reps.iter().enumerate().map(|(i, &m)| (m, i as i16)).collect();
-        let table = canon_of
-            .into_iter()
-            .map(|c| if c == u32::MAX { NONE } else { rank[&c] })
-            .collect();
+        let table =
+            canon_of.into_iter().map(|c| if c == u32::MAX { NONE } else { rank[&c] }).collect();
         CanonTable { k, table, reps }
     }
 

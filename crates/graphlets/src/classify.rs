@@ -2,9 +2,10 @@
 
 use crate::atlas::canon_to_paper;
 use crate::canon::canon_table;
-use crate::mask::{pair_index, SmallGraph};
+use crate::mask::{num_pairs, pair_index, SmallGraph};
 use crate::GraphletId;
 use gx_graph::{GraphAccess, NodeId};
+use std::sync::OnceLock;
 
 /// Edge bitmask of the subgraph induced by `nodes` in `g` (pair layout of
 /// [`crate::mask`]). `nodes` must be distinct; order defines the labeling.
@@ -22,10 +23,52 @@ pub fn induced_mask<G: GraphAccess>(g: &G, nodes: &[NodeId]) -> u32 {
     mask
 }
 
+/// Sentinel for disconnected masks in [`graphlet_index_table`].
+const NOT_A_GRAPHLET: u8 = u8::MAX;
+
+/// Direct-indexed `mask → paper graphlet index` table for one `k`:
+/// `table[mask]` is the 0-based paper index, or [`NOT_A_GRAPHLET`] for
+/// disconnected masks. Fuses the two lookups of the canonical path
+/// (`canon_table` + `canon_to_paper`) into one cache-friendly byte load —
+/// this is the estimator's per-sample hot path.
+fn graphlet_index_table(k: usize) -> &'static [u8] {
+    static TABLES: [OnceLock<Vec<u8>>; 6] = [
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+    ];
+    debug_assert!((3..=5).contains(&k));
+    TABLES[k].get_or_init(|| {
+        let canon = canon_table(k);
+        let paper = canon_to_paper(k);
+        (0..1u32 << num_pairs(k))
+            .map(|mask| match canon.class_of(mask) {
+                Some(canon_idx) => paper[canon_idx],
+                None => NOT_A_GRAPHLET,
+            })
+            .collect()
+    })
+}
+
 /// Classifies an edge mask on `k` labeled nodes. Returns `None` for
 /// disconnected subgraphs (which are not graphlets).
+///
+/// For `k ≤ 5` (up to 1024 masks) this is a single lookup in a fused
+/// direct-indexed table; k = 6 keeps the two-step canonical path (its
+/// table is 32768 entries and built lazily in seconds — not worth
+/// duplicating).
 #[inline]
 pub fn classify_mask(k: usize, mask: u32) -> Option<GraphletId> {
+    if k <= 5 {
+        let index = graphlet_index_table(k)[mask as usize];
+        if index == NOT_A_GRAPHLET {
+            return None;
+        }
+        return Some(GraphletId { k: k as u8, index });
+    }
     let canon_idx = canon_table(k).class_of(mask)?;
     Some(GraphletId { k: k as u8, index: canon_to_paper(k)[canon_idx] })
 }
@@ -115,8 +158,22 @@ mod tests {
     }
 
     #[test]
+    fn fused_table_agrees_with_canonical_path_for_all_masks() {
+        for k in 3..=5usize {
+            for mask in 0u32..1 << crate::mask::num_pairs(k) {
+                let fused = classify_mask(k, mask);
+                let canonical = crate::canon::canon_table(k)
+                    .class_of(mask)
+                    .map(|c| GraphletId { k: k as u8, index: crate::atlas::canon_to_paper(k)[c] });
+                assert_eq!(fused, canonical, "k={k} mask={mask:#x}");
+            }
+        }
+    }
+
+    #[test]
     fn induced_mask_respects_labeling_order() {
         let g = classic::path(3); // 0-1-2
+
         // ordering [0,1,2]: edges (0,1),(1,2) -> wedge centered at label 1
         let m = induced_mask(&g, &[0, 1, 2]);
         let sg = SmallGraph::from_mask(3, m);

@@ -17,11 +17,11 @@
 //! There are 2 three-node, 6 four-node, 21 five-node and 112 six-node
 //! graphlets; all four counts are asserted in tests.
 
+pub mod alpha;
 pub mod atlas;
 pub mod canon;
 pub mod classify;
 pub mod mask;
-pub mod alpha;
 pub mod signature;
 
 pub use atlas::{atlas, GraphletInfo};

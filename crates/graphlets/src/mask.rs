@@ -222,7 +222,7 @@ fn heap_permutations(items: &mut Vec<usize>, n: usize, out: &mut Vec<Vec<usize>>
     }
     for i in 0..n {
         heap_permutations(items, n - 1, out);
-        if n % 2 == 0 {
+        if n.is_multiple_of(2) {
             items.swap(i, n - 1);
         } else {
             items.swap(0, n - 1);

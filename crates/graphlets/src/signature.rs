@@ -25,8 +25,11 @@ pub fn signature(g: &SmallGraph) -> (Vec<u8>, Vec<u8>) {
     (g.degree_sequence(), g.triangle_profile())
 }
 
-fn signature_map(k: usize) -> &'static HashMap<(Vec<u8>, Vec<u8>), GraphletId> {
-    static MAPS: [OnceLock<HashMap<(Vec<u8>, Vec<u8>), GraphletId>>; 7] = [
+/// A degree-sequence + triangle-profile signature key.
+type Signature = (Vec<u8>, Vec<u8>);
+
+fn signature_map(k: usize) -> &'static HashMap<Signature, GraphletId> {
+    static MAPS: [OnceLock<HashMap<Signature, GraphletId>>; 7] = [
         OnceLock::new(),
         OnceLock::new(),
         OnceLock::new(),
@@ -41,12 +44,7 @@ fn signature_map(k: usize) -> &'static HashMap<(Vec<u8>, Vec<u8>), GraphletId> {
         for info in atlas(k) {
             let rep = SmallGraph::from_mask(k, info.canonical_mask);
             let prev = map.insert(signature(&rep), info.id);
-            assert!(
-                prev.is_none(),
-                "signature collision at k={k}: {:?} vs {:?}",
-                prev,
-                info.id
-            );
+            assert!(prev.is_none(), "signature collision at k={k}: {:?} vs {:?}", prev, info.id);
         }
         map
     })
@@ -104,7 +102,10 @@ mod tests {
             }
             seen.insert(rep.degree_sequence(), info.canonical_mask);
         }
-        assert!(collision, "expected at least one degree-sequence collision among 5-node graphlets");
+        assert!(
+            collision,
+            "expected at least one degree-sequence collision among 5-node graphlets"
+        );
     }
 
     #[test]

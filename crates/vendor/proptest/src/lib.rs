@@ -1,0 +1,248 @@
+//! Minimal, deterministic shim of the `proptest` macro surface used by
+//! this workspace: `proptest! { #[test] fn f(x in strategy) { .. } }`,
+//! `prop_assert!`, `prop_assert_eq!`, `prop_assume!`, and
+//! `proptest::collection::vec`. Vendored because the build environment
+//! cannot fetch crates.io.
+//!
+//! Unlike real proptest there is no shrinking: each test runs a fixed
+//! number of cases drawn from a PCG64 stream seeded from the test's
+//! name, so failures are exactly reproducible run-to-run.
+
+use rand::Rng;
+pub use rand::RngCore;
+
+/// The RNG driving case generation (PCG64, seeded per test).
+pub type TestRng = rand_pcg::Pcg64;
+
+/// Builds the deterministic per-test RNG.
+pub fn rng_for(test_name: &str) -> TestRng {
+    use rand::SeedableRng;
+    // FNV-1a over the test name: stable, collision-irrelevant here.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// Runtime configuration (only the case count is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A source of random values for one proptest argument.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy producing `Vec`s of `elem` with a length drawn from
+    /// `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// `proptest::collection::vec(elem, len_range)`.
+    pub fn vec<S: Strategy>(elem: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Defines deterministic property tests. Each `fn name(arg in strategy)`
+/// becomes a `#[test]` running `cases` iterations (default 256,
+/// overridable with `#![proptest_config(ProptestConfig::with_cases(n))]`).
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)+ ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)+ }
+    };
+    ( $($rest:tt)+ ) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)+ }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases: u32 = ($cfg).cases;
+                let mut prop_rng = $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut prop_rng);)+
+                    let run = || -> () { $body };
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest {}: failed at case {}/{}",
+                            stringify!($name), case + 1, cases
+                        );
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// `use proptest::prelude::*;` compatibility.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// The harness samples in range and respects tuple/vec strategies.
+        #[test]
+        fn harness_samples_in_range(
+            x in 0u32..10,
+            pair in (0usize..4, 0usize..4),
+            v in collection::vec(0u32..7, 0..20),
+        ) {
+            prop_assert!(x < 10);
+            prop_assert!(pair.0 < 4 && pair.1 < 4);
+            prop_assert!(v.len() < 20);
+            prop_assert!(v.iter().all(|&e| e < 7));
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        use rand::RngCore;
+        let mut a = super::rng_for("x");
+        let mut b = super::rng_for("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = super::rng_for("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

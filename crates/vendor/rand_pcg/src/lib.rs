@@ -1,0 +1,119 @@
+//! PCG64 (XSL-RR 128/64) — the permuted congruential generator of
+//! O'Neill (2014), vendored because the build environment cannot fetch
+//! crates.io. The algorithm matches the reference `rand_pcg::Pcg64`:
+//! a 128-bit LCG state advanced by the PCG default multiplier, output
+//! by xor-folding the halves and rotating by the top 6 bits.
+//!
+//! Streams are deterministic functions of the seed, which is all the
+//! workspace requires (every experiment pins its seeds).
+
+use rand::{RngCore, SeedableRng};
+
+/// PCG64: 128-bit state, 64-bit output, period 2^128 per stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg64 {
+    state: u128,
+    increment: u128,
+}
+
+/// The PCG default 128-bit multiplier.
+const MULTIPLIER: u128 = 0x2360_ED05_1FC6_5DA4_4385_DF64_9FCC_F645;
+
+impl Pcg64 {
+    /// Creates a generator from an explicit `(state, stream)` pair.
+    pub fn new(state: u128, stream: u128) -> Self {
+        // pcg_setseq seeding, exactly as the reference `rand_pcg` does
+        // it: odd increment, fold it into the seed state, advance once.
+        let increment = (stream << 1) | 1;
+        let mut pcg = Self { state: state.wrapping_add(increment), increment };
+        pcg.step();
+        pcg
+    }
+
+    #[inline]
+    fn step(&mut self) {
+        self.state = self.state.wrapping_mul(MULTIPLIER).wrapping_add(self.increment);
+    }
+
+    /// XSL-RR output function: xor the state halves, rotate right by the
+    /// top 6 bits of the state.
+    #[inline]
+    fn output(state: u128) -> u64 {
+        let rot = (state >> 122) as u32;
+        let xsl = ((state >> 64) as u64) ^ (state as u64);
+        xsl.rotate_right(rot)
+    }
+}
+
+impl RngCore for Pcg64 {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.step();
+        Self::output(self.state)
+    }
+}
+
+impl SeedableRng for Pcg64 {
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let state = u128::from_le_bytes(seed[..16].try_into().expect("16 bytes"));
+        let stream = u128::from_le_bytes(seed[16..].try_into().expect("16 bytes"));
+        Self::new(state, stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Pcg64::seed_from_u64(42);
+        let mut b = Pcg64::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Pcg64::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn output_is_well_distributed() {
+        // Cheap uniformity sanity checks: bit balance and byte coverage.
+        let mut rng = Pcg64::seed_from_u64(7);
+        let mut ones = 0u64;
+        let mut seen = [false; 256];
+        for _ in 0..4096 {
+            let x = rng.next_u64();
+            ones += x.count_ones() as u64;
+            seen[(x & 0xFF) as usize] = true;
+        }
+        let frac = ones as f64 / (4096.0 * 64.0);
+        assert!((frac - 0.5).abs() < 0.01, "bit balance {frac}");
+        assert!(seen.iter().all(|&s| s), "all low bytes seen");
+    }
+
+    #[test]
+    fn streams_do_not_collide_across_seeds() {
+        let mut outs = std::collections::HashSet::new();
+        for seed in 0..64 {
+            let mut rng = Pcg64::seed_from_u64(seed);
+            outs.insert(rng.next_u64());
+        }
+        assert_eq!(outs.len(), 64);
+    }
+
+    #[test]
+    fn works_through_rng_trait() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        let x: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&x));
+        let v = rng.gen_range(0usize..10);
+        assert!(v < 10);
+    }
+}

@@ -1,0 +1,158 @@
+//! Minimal shim of rayon's parallel-iterator API, backed by
+//! `std::thread::scope`. Only the surface this workspace uses is
+//! provided: `(range).into_par_iter()`, `.map(f)`, `.chunks(n)`, and
+//! `.collect::<Vec<_>>()` / `collect()` into any `FromIterator`.
+//!
+//! Work is split into one contiguous chunk per available core; results
+//! are reassembled in input order, so deterministic pipelines stay
+//! deterministic.
+
+/// Number of worker threads: the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f` over `items` in parallel, preserving order.
+fn par_map_vec<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut slots: Vec<Option<Vec<R>>> = Vec::new();
+    slots.resize_with(threads, || None);
+    // Hand each worker an owned chunk of inputs and a result slot.
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(chunk.min(items.len()));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    std::thread::scope(|scope| {
+        for (slot, chunk_items) in slots.iter_mut().zip(chunks) {
+            scope.spawn(move || {
+                *slot = Some(chunk_items.into_iter().map(f).collect());
+            });
+        }
+    });
+    slots.into_iter().flatten().flatten().collect()
+}
+
+/// Conversion into a "parallel iterator" (eager item list).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Builds the parallel pipeline head.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+macro_rules! impl_range_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_par!(u32, u64, usize, i32, i64);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Head of a parallel pipeline: a materialized item list.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap { items: self.items, f }
+    }
+
+    /// Groups items into `Vec`s of at most `size` (rayon's `chunks`).
+    pub fn chunks(self, size: usize) -> ParIter<Vec<T>> {
+        assert!(size > 0, "chunks: size must be positive");
+        let mut out = Vec::new();
+        let mut items = self.items;
+        while !items.is_empty() {
+            let rest = items.split_off(size.min(items.len()));
+            out.push(std::mem::replace(&mut items, rest));
+        }
+        ParIter { items: out }
+    }
+
+    /// Collects the (unmapped) items.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// A mapped parallel pipeline; `collect` executes it across threads.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Executes the map in parallel and collects in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        par_map_vec(self.items, &self.f).into_iter().collect()
+    }
+
+    /// Parallel sum of the mapped values.
+    pub fn sum<R>(self) -> R
+    where
+        R: Send + core::iter::Sum<R>,
+        F: Fn(T) -> R + Sync,
+    {
+        par_map_vec(self.items, &self.f).into_iter().sum()
+    }
+}
+
+/// `use rayon::prelude::*;` compatibility.
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(out.len(), 1000);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == (i * i) as u64));
+    }
+
+    #[test]
+    fn chunks_cover_everything() {
+        let out: Vec<Vec<u32>> = (0u32..10).into_par_iter().chunks(3).collect();
+        assert_eq!(out, vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8], vec![9]]);
+        let mapped: Vec<u32> =
+            (0u32..100).into_par_iter().chunks(7).map(|c| c.iter().sum()).collect();
+        assert_eq!(mapped.iter().sum::<u32>(), (0..100).sum());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let out: Vec<u32> = (0u32..0).into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let out: Vec<u32> = (5u32..6).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![6]);
+    }
+}

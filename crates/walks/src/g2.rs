@@ -10,6 +10,7 @@
 //! O(1) per step, an order of magnitude cheaper than populating `G(3)`
 //! neighborhoods (the paper's core argument for small d).
 
+use crate::rng::WalkRng;
 use crate::traits::StateWalk;
 use gx_graph::{GraphAccess, NodeId};
 use rand::Rng;
@@ -42,7 +43,7 @@ impl<'g, G: GraphAccess> G2Walk<'g, G> {
     }
 
     /// Samples one uniformly random neighboring edge of the current edge.
-    fn sample_neighbor(&self, rng: &mut dyn rand::RngCore) -> [NodeId; 2] {
+    fn sample_neighbor(&self, rng: &mut WalkRng) -> [NodeId; 2] {
         let [u, v] = self.state;
         let (du, dv) = (self.g.degree(u), self.g.degree(v));
         debug_assert!(du + dv > 2, "isolated edge cannot step");
@@ -71,7 +72,7 @@ impl<G: GraphAccess> StateWalk for G2Walk<'_, G> {
         self.edge_degree()
     }
 
-    fn step(&mut self, rng: &mut dyn rand::RngCore) {
+    fn step(&mut self, rng: &mut WalkRng) {
         let deg = self.edge_degree();
         let next = if self.nb {
             match self.prev {

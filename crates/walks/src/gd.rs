@@ -8,6 +8,7 @@
 //! is exactly why the paper argues for small d: [`crate::G2Walk`] does the
 //! same job in O(1).
 
+use crate::rng::WalkRng;
 use crate::traits::StateWalk;
 use gx_graph::{GraphAccess, NodeId};
 use rand::Rng;
@@ -137,9 +138,9 @@ pub fn subset_is_connected<G: GraphAccess>(g: &G, nodes: &[NodeId]) -> bool {
     let mut reached: u16 = 1;
     loop {
         let mut next = reached;
-        for i in 0..d {
+        for (i, &row) in adj.iter().enumerate().take(d) {
             if reached & (1 << i) != 0 {
-                next |= adj[i];
+                next |= row;
             }
         }
         if next == reached {
@@ -171,7 +172,7 @@ impl<G: GraphAccess> StateWalk for GdWalk<'_, G> {
         self.neighbors.len()
     }
 
-    fn step(&mut self, rng: &mut dyn rand::RngCore) {
+    fn step(&mut self, rng: &mut WalkRng) {
         self.refresh_neighbors();
         debug_assert!(!self.neighbors.is_empty(), "connected G(d) state must have neighbors");
         let choice = if self.nb {

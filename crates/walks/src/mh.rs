@@ -7,6 +7,7 @@
 //! `min(1, w(y)·d_x / (w(x)·d_y))` therefore reduces to the paper's
 //! `min(1, (d_w − 1)/(d_v − 1))` for that weight.
 
+use crate::rng::WalkRng;
 use gx_graph::{GraphAccess, NodeId};
 use rand::Rng;
 
@@ -27,10 +28,7 @@ impl<'g, G: GraphAccess, W: Fn(usize) -> f64> MhWalk<'g, G, W> {
     /// stationary probability (must be > 0 on reachable nodes).
     pub fn new(g: &'g G, start: NodeId, weight: W) -> Self {
         assert!(g.degree(start) > 0, "MH walk start {start} is isolated");
-        assert!(
-            weight(g.degree(start)) > 0.0,
-            "MH walk start has zero target weight"
-        );
+        assert!(weight(g.degree(start)) > 0.0, "MH walk start has zero target weight");
         Self { g, current: start, weight, accepted: 0, proposed: 0 }
     }
 
@@ -42,7 +40,7 @@ impl<'g, G: GraphAccess, W: Fn(usize) -> f64> MhWalk<'g, G, W> {
     /// Proposes and accepts/rejects one move; returns the (possibly
     /// unchanged) current node. Counts a self-transition on rejection,
     /// exactly like Algorithm 4.
-    pub fn step(&mut self, rng: &mut dyn rand::RngCore) -> NodeId {
+    pub fn step(&mut self, rng: &mut WalkRng) -> NodeId {
         let v = self.current;
         let dv = self.g.degree(v);
         let w = self.g.neighbor_at(v, rng.gen_range(0..dv));
@@ -109,13 +107,10 @@ mod tests {
             visits[walk.step(&mut rng) as usize] += 1;
         }
         let total: f64 = (0..g.num_nodes()).map(|v| choose2(g.degree(v as NodeId))).sum();
-        for v in 0..g.num_nodes() {
+        for (v, &count) in visits.iter().enumerate() {
             let expected = choose2(g.degree(v as NodeId)) / total;
-            let got = visits[v] as f64 / steps as f64;
-            assert!(
-                (got - expected).abs() < 0.012,
-                "node {v}: {got:.4} vs {expected:.4}"
-            );
+            let got = count as f64 / steps as f64;
+            assert!((got - expected).abs() < 0.012, "node {v}: {got:.4} vs {expected:.4}");
         }
     }
 

@@ -1,5 +1,6 @@
 //! Simple (and non-backtracking) random walk on `G` itself (d = 1).
 
+use crate::rng::WalkRng;
 use crate::traits::StateWalk;
 use gx_graph::{GraphAccess, NodeId};
 use rand::Rng;
@@ -41,7 +42,7 @@ impl<G: GraphAccess> StateWalk for SrwWalk<'_, G> {
         self.g.degree(self.state[0])
     }
 
-    fn step(&mut self, rng: &mut dyn rand::RngCore) {
+    fn step(&mut self, rng: &mut WalkRng) {
         let v = self.state[0];
         let deg = self.g.degree(v);
         let next = if self.nb {
@@ -100,13 +101,10 @@ mod tests {
             visits[w.current() as usize] += 1;
         }
         let two_m = g.degree_sum() as f64;
-        for v in 0..g.num_nodes() {
+        for (v, &count) in visits.iter().enumerate() {
             let expected = g.degree(v as NodeId) as f64 / two_m;
-            let got = visits[v] as f64 / steps as f64;
-            assert!(
-                (got - expected).abs() < 0.01,
-                "node {v}: got {got:.4} expected {expected:.4}"
-            );
+            let got = count as f64 / steps as f64;
+            assert!((got - expected).abs() < 0.01, "node {v}: got {got:.4} expected {expected:.4}");
         }
     }
 
@@ -149,13 +147,10 @@ mod tests {
             visits[w.current() as usize] += 1;
         }
         let two_m = g.degree_sum() as f64;
-        for v in 0..g.num_nodes() {
+        for (v, &count) in visits.iter().enumerate() {
             let expected = g.degree(v as NodeId) as f64 / two_m;
-            let got = visits[v] as f64 / steps as f64;
-            assert!(
-                (got - expected).abs() < 0.01,
-                "node {v}: got {got:.4} expected {expected:.4}"
-            );
+            let got = count as f64 / steps as f64;
+            assert!((got - expected).abs() < 0.01, "node {v}: got {got:.4} expected {expected:.4}");
         }
     }
 

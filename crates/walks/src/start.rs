@@ -5,11 +5,12 @@
 //! initial distribution, so these helpers only need to return *valid*
 //! states, not stationary ones. Burn-in is the estimator's concern.
 
+use crate::rng::WalkRng;
 use gx_graph::{GraphAccess, NodeId};
 use rand::Rng;
 
 /// A uniform random non-isolated node.
-pub fn random_start_node<G: GraphAccess>(g: &G, rng: &mut dyn rand::RngCore) -> NodeId {
+pub fn random_start_node<G: GraphAccess>(g: &G, rng: &mut WalkRng) -> NodeId {
     let n = g.num_nodes();
     assert!(n > 0, "empty graph");
     loop {
@@ -22,10 +23,7 @@ pub fn random_start_node<G: GraphAccess>(g: &G, rng: &mut dyn rand::RngCore) -> 
 
 /// A uniform-ish random edge: a random endpoint plus a random neighbor
 /// (degree-biased, which is fine for walk starts).
-pub fn random_start_edge<G: GraphAccess>(
-    g: &G,
-    rng: &mut dyn rand::RngCore,
-) -> (NodeId, NodeId) {
+pub fn random_start_edge<G: GraphAccess>(g: &G, rng: &mut WalkRng) -> (NodeId, NodeId) {
     let u = random_start_node(g, rng);
     let w = g.neighbor_at(u, rng.gen_range(0..g.degree(u)));
     (u, w)
@@ -34,11 +32,7 @@ pub fn random_start_edge<G: GraphAccess>(
 /// A random connected induced d-node subgraph, grown greedily from a
 /// random node by repeatedly attaching a random neighbor of a random
 /// member. Returns sorted nodes.
-pub fn random_start_state<G: GraphAccess>(
-    g: &G,
-    d: usize,
-    rng: &mut dyn rand::RngCore,
-) -> Vec<NodeId> {
+pub fn random_start_state<G: GraphAccess>(g: &G, d: usize, rng: &mut WalkRng) -> Vec<NodeId> {
     assert!(d >= 1);
     'restart: loop {
         let mut state = vec![random_start_node(g, rng)];

@@ -1,5 +1,6 @@
 //! The walk abstraction the estimator is written against.
 
+use crate::rng::WalkRng;
 use gx_graph::NodeId;
 
 /// A random walk over the states of `G(d)` for some fixed `d`.
@@ -23,7 +24,11 @@ pub trait StateWalk {
     fn state_degree(&mut self) -> usize;
 
     /// Advances one step.
-    fn step(&mut self, rng: &mut dyn rand::RngCore);
+    ///
+    /// Takes the concrete workspace RNG rather than `&mut dyn RngCore`:
+    /// `step` is the hottest call in the estimator loop, and the concrete
+    /// type lets every walk's sampling inline without virtual dispatch.
+    fn step(&mut self, rng: &mut WalkRng);
 
     /// Whether steps avoid returning to the previous state.
     fn is_non_backtracking(&self) -> bool;

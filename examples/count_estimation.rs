@@ -17,7 +17,13 @@ fn main() {
     let g = ds.graph();
     let steps = 50_000;
 
-    println!("{} ({} nodes, {} edges), {} walk steps\n", ds.name, g.num_nodes(), g.num_edges(), steps);
+    println!(
+        "{} ({} nodes, {} edges), {} walk steps\n",
+        ds.name,
+        g.num_nodes(),
+        g.num_edges(),
+        steps
+    );
 
     // triangles via SRW1CSSNB and 2|R(1)| = 2|E|
     let cfg = EstimatorConfig::recommended(3);
@@ -38,9 +44,8 @@ fn main() {
     let two_r2 = 2.0 * relationship_edge_count(g, 2) as f64;
     let counts = est.counts(two_r2);
     let exact4 = exact_counts(g, 4);
-    for (i, name) in ["4-path", "3-star", "4-cycle", "tailed-tri", "chordal", "4-clique"]
-        .iter()
-        .enumerate()
+    for (i, name) in
+        ["4-path", "3-star", "4-cycle", "tailed-tri", "chordal", "4-clique"].iter().enumerate()
     {
         println!(
             "{:<13} ({}): estimated {:>12.0} | exact {:>12}",

@@ -25,10 +25,8 @@ fn main() {
     for cand in candidates {
         let est = estimate(cand.graph(), &cfg, steps, 13).concentrations();
         let sim_est = cosine_similarity(&weibo_conc, &est);
-        let sim_exact = cosine_similarity(
-            &weibo.exact_concentrations(4),
-            &cand.exact_concentrations(4),
-        );
+        let sim_exact =
+            cosine_similarity(&weibo.exact_concentrations(4), &cand.exact_concentrations(4));
         println!(
             "similarity({}, {}): estimated {:.4} | exact {:.4}",
             weibo.name, cand.name, sim_est, sim_exact

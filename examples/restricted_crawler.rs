@@ -55,5 +55,7 @@ fn main() {
             100.0 * coverage
         );
     }
-    println!("\nAccuracy improves with budget while the crawler still sees only a sliver of the graph.");
+    println!(
+        "\nAccuracy improves with budget while the crawler still sees only a sliver of the graph."
+    );
 }

@@ -45,6 +45,8 @@ pub use gx_baselines as baselines;
 /// Synthetic analogs of the paper's evaluation datasets.
 pub use gx_datasets as datasets;
 
-pub use gx_core::{estimate, Estimate, EstimatorConfig};
+pub use gx_core::{
+    estimate, estimate_parallel, Estimate, EstimatorConfig, EstimatorPool, ParallelConfig,
+};
 pub use gx_graph::{Graph, GraphAccess, NodeId};
 pub use gx_graphlets::GraphletId;

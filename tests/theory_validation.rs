@@ -19,12 +19,7 @@ fn weighted_concentration_explains_why_small_d_wins() {
     let w3 = weighted_concentration(&counts.counts, 4, 3);
     let clique = 5;
     assert!(w2[clique] > plain[clique], "SRW2 lifts the clique");
-    assert!(
-        w2[clique] > w3[clique],
-        "SRW2 lifts more than SRW3: {} vs {}",
-        w2[clique],
-        w3[clique]
-    );
+    assert!(w2[clique] > w3[clique], "SRW2 lifts more than SRW3: {} vs {}", w2[clique], w3[clique]);
 }
 
 #[test]
