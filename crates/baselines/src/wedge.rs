@@ -8,7 +8,7 @@
 
 use crate::alias::AliasTable;
 use gx_graph::stats::wedge_count;
-use gx_graph::{Graph, GraphAccess, NodeId};
+use gx_graph::{Graph, NodeId};
 use gx_walks::rng_from_seed;
 use rand::Rng;
 

@@ -6,7 +6,9 @@ use crate::pie::pie_tilde;
 use crate::result::Estimate;
 use crate::window::NodeWindow;
 use gx_graph::GraphAccess;
-use gx_graphlets::{alpha::alpha_table, classify_mask, num_graphlets};
+use gx_graphlets::{
+    alpha::alpha_table, classify_mask, classify_table, num_graphlets, NOT_A_GRAPHLET,
+};
 use gx_walks::{
     effective_degree, random_start_edge, random_start_node, random_start_state, rng_from_seed,
     G2Walk, GdWalk, SrwWalk, StateWalk, WalkRng,
@@ -40,6 +42,124 @@ pub fn estimate<G: GraphAccess>(g: &G, cfg: &EstimatorConfig, steps: usize, seed
     }
 }
 
+/// Builds every process-wide table the configuration will touch (α,
+/// classification, dense CSS), so parallel walkers never serialize on a
+/// cold `OnceLock` and the hot loop starts warm from step one.
+pub(crate) fn prewarm(cfg: &EstimatorConfig) {
+    let _ = alpha_table(cfg.k, cfg.d);
+    let _ = classify_table(cfg.k);
+    if cfg.css && cfg.k <= 5 {
+        let _ = CssWeights::new(cfg.k, cfg.d);
+    }
+}
+
+/// The per-step scoring state of Algorithm 1, hoisted out of the loop:
+/// the α row, the resolved dense classification table, the CSS helper and
+/// the raw accumulators. [`Scorer::score`] is the fused
+/// mask-extract → classify → weight → accumulate path — no intermediate
+/// structs, no per-step table resolution, no allocation.
+struct Scorer {
+    k: usize,
+    l: usize,
+    non_backtracking: bool,
+    alphas: &'static [u64],
+    /// Dense `mask → paper index` byte table (k ≤ 5); `None` falls back
+    /// to the two-step canonical classification (k = 6).
+    dense_classify: Option<&'static [u8]>,
+    css: Option<CssWeights>,
+    /// Raw scores in a fixed stack array (112 covers every k ≤ 6), so the
+    /// per-sample accumulate is an array store with no heap indirection.
+    raw: [f64; MAX_TYPES],
+    valid: usize,
+}
+
+/// Upper bound on `num_graphlets(k)` for supported k (112 at k = 6).
+const MAX_TYPES: usize = 112;
+
+impl Scorer {
+    fn new(cfg: &EstimatorConfig) -> Self {
+        debug_assert!(num_graphlets(cfg.k) <= MAX_TYPES);
+        Self {
+            k: cfg.k,
+            l: cfg.l(),
+            non_backtracking: cfg.non_backtracking,
+            alphas: alpha_table(cfg.k, cfg.d),
+            dense_classify: classify_table(cfg.k),
+            css: if cfg.css { Some(CssWeights::new(cfg.k, cfg.d)) } else { None },
+            raw: [0.0f64; MAX_TYPES],
+            valid: 0,
+        }
+    }
+
+    /// Scores the current window if it is a valid sample (Algorithm 1
+    /// lines 4–7).
+    #[inline(always)]
+    fn score<G: GraphAccess>(&mut self, g: &G, window: &NodeWindow) {
+        if !window.is_valid_sample() {
+            return;
+        }
+        let (mask, _nodes) = window.sample();
+        let idx = match self.dense_classify {
+            Some(table) => {
+                let id = table[mask as usize];
+                assert_ne!(
+                    id, NOT_A_GRAPHLET,
+                    "a window covering k distinct nodes induces a connected subgraph"
+                );
+                id as usize
+            }
+            None => {
+                classify_mask(self.k, mask)
+                    .expect("a window covering k distinct nodes induces a connected subgraph")
+                    .index as usize
+            }
+        };
+        self.valid += 1;
+        let weight = if self.l == 1 {
+            // π̃_e = d_X (Theorem 2, l = 1); CSS coincides.
+            let deg = window.states().next().expect("l = 1").degree as usize;
+            let deg = effective_degree(deg, self.non_backtracking) as f64;
+            1.0 / (self.alphas[idx] as f64 * deg)
+        } else if let Some(css) = self.css.as_mut() {
+            1.0 / css.sampling_probability_windowed(g, mask, window, self.non_backtracking)
+        } else {
+            debug_assert!(self.alphas[idx] > 0, "sampled a type with α = 0");
+            1.0 / (self.alphas[idx] as f64 * pie_tilde(window, self.non_backtracking))
+        };
+        self.raw[idx] += weight;
+    }
+}
+
+/// One fused iteration of Algorithm 1's main loop: advance the walk,
+/// score the current window, then slide the window over the new state
+/// (lines 4–10). The advance is skipped after the last scored window,
+/// where stepping would waste an API call.
+///
+/// The walk steps *before* the window is scored — legal because scoring
+/// consumes no randomness and never touches the walk, so the reordering
+/// is observationally identical to score-then-step — which puts the
+/// whole scoring computation between choosing the next node and probing
+/// its adjacency in `push`, giving the out-of-order core independent
+/// work to overlap that (cold, data-dependent) adjacency fetch with.
+#[inline(always)]
+fn step_and_accumulate<G: GraphAccess, W: StateWalk>(
+    g: &G,
+    walk: &mut W,
+    rng: &mut WalkRng,
+    window: &mut NodeWindow,
+    scorer: &mut Scorer,
+    advance: bool,
+) {
+    if advance {
+        walk.step(rng);
+    }
+    scorer.score(g, window);
+    if advance {
+        let deg = walk.state_degree();
+        window.push(g, walk.state(), deg);
+    }
+}
+
 /// Runs Algorithm 1 with a caller-supplied walk (any [`StateWalk`] whose
 /// `d` matches `cfg.d`).
 pub fn estimate_with_walk<G: GraphAccess, W: StateWalk>(
@@ -51,12 +171,8 @@ pub fn estimate_with_walk<G: GraphAccess, W: StateWalk>(
 ) -> Estimate {
     cfg.validate();
     assert_eq!(walk.d(), cfg.d, "walk dimension must match configuration");
-    let k = cfg.k;
     let l = cfg.l();
-    let alphas = alpha_table(k, cfg.d);
-    let m = num_graphlets(k);
-    let mut raw = vec![0.0f64; m];
-    let mut css = if cfg.css { Some(CssWeights::new(cfg.d)) } else { None };
+    let mut scorer = Scorer::new(cfg);
 
     for _ in 0..cfg.burn_in {
         walk.step(&mut rng);
@@ -71,36 +187,21 @@ pub fn estimate_with_walk<G: GraphAccess, W: StateWalk>(
         window.push(g, walk.state(), deg);
     }
 
-    let mut valid = 0usize;
-    for t in 0..steps {
-        if window.is_valid_sample() {
-            let (mask, nodes) = window.sample();
-            let id = classify_mask(k, mask)
-                .expect("a window covering k distinct nodes induces a connected subgraph");
-            let idx = id.index as usize;
-            valid += 1;
-            let weight = if l == 1 {
-                // π̃_e = d_X (Theorem 2, l = 1); CSS coincides.
-                let deg = window.states().next().expect("l = 1").degree as usize;
-                let deg = effective_degree(deg, cfg.non_backtracking) as f64;
-                1.0 / (alphas[idx] as f64 * deg)
-            } else if let Some(css) = css.as_mut() {
-                1.0 / css.sampling_probability(g, mask, nodes, cfg.non_backtracking)
-            } else {
-                debug_assert!(alphas[idx] > 0, "sampled a type with α = 0");
-                1.0 / (alphas[idx] as f64 * pie_tilde(&window, cfg.non_backtracking))
-            };
-            raw[idx] += weight;
+    // Peeled final iteration: the loop body carries no `last step?`
+    // branch, and the walk is never advanced past the last scored window
+    // (stepping there would waste an API call).
+    if steps > 0 {
+        for _ in 1..steps {
+            step_and_accumulate(g, &mut walk, &mut rng, &mut window, &mut scorer, true);
         }
-        // Step and slide (Algorithm 1 lines 8–10) — except after the last
-        // scored window, where stepping would waste an API call.
-        if t + 1 < steps {
-            walk.step(&mut rng);
-            let deg = walk.state_degree();
-            window.push(g, walk.state(), deg);
-        }
+        step_and_accumulate(g, &mut walk, &mut rng, &mut window, &mut scorer, false);
     }
-    Estimate { config: cfg.clone(), steps, valid_samples: valid, raw_scores: raw }
+    Estimate {
+        config: cfg.clone(),
+        steps,
+        valid_samples: scorer.valid,
+        raw_scores: scorer.raw[..num_graphlets(cfg.k)].to_vec(),
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +280,91 @@ mod tests {
         let g = classic::lollipop(5, 3);
         let cfg = EstimatorConfig { k: 3, d: 3, ..Default::default() };
         assert_converges(&g, &cfg, 60_000, 31, 0.03);
+    }
+
+    /// The dense-table / windowed-CSS rewrite must not move a single bit
+    /// of any estimate: raw-score bit patterns for fixed (graph, config,
+    /// seed) captured from the seed `HashMap` implementation.
+    #[test]
+    fn css_raw_scores_bit_identical_to_seed() {
+        fn bits(est: &crate::Estimate) -> Vec<u64> {
+            est.raw_scores.iter().map(|x| x.to_bits()).collect()
+        }
+
+        let g = classic::petersen();
+        let cfg = EstimatorConfig { k: 4, d: 2, css: true, ..Default::default() };
+        let est = estimate(&g, &cfg, 5_000, 77);
+        assert_eq!(est.valid_samples, 3709);
+        assert_eq!(bits(&est), vec![0x40b3180000000000, 0x408a5aaaaaaaaa38, 0, 0, 0, 0]);
+
+        let g = holme_kim(40, 4, 0.5, &mut rng_from_seed(9));
+        let cfg = EstimatorConfig { k: 5, d: 2, css: true, ..Default::default() };
+        let est = estimate(&g, &cfg, 20_000, 23);
+        assert_eq!(est.valid_samples, 16494);
+        assert_eq!(
+            bits(&est),
+            vec![
+                0x40e67e7000000000,
+                0x40fc1212924b98ef,
+                0x40e4d14a26d74fc1,
+                0x40e7d287b0fdc97c,
+                0x40d93f27471d50ab,
+                0x40ed684fcbec857b,
+                0x4099248a95a014f5,
+                0x40cae0b8bf6029d2,
+                0x40e2877cc7cec35a,
+                0x40b84ad8a9b49cfc,
+                0x40ceb82059f75574,
+                0x4072e70164677852,
+                0x40b4b5fe77a44ae1,
+                0x40b2b69ae35e4427,
+                0x40b8a58278ff0ede,
+                0x40c246e348190317,
+                0x408b10f457935da4,
+                0x40b090459d459fc9,
+                0x40748b888fddf216,
+                0x409021fd28a7582d,
+                0x40568ee095b0470f,
+            ]
+        );
+
+        let g = classic::lollipop(5, 4);
+        let cfg = EstimatorConfig { k: 3, d: 1, css: true, non_backtracking: true, burn_in: 0 };
+        let est = estimate(&g, &cfg, 10_000, 11);
+        assert_eq!(est.valid_samples, 9621);
+        assert_eq!(bits(&est), vec![0x40a4ba0000000000, 0x40ab1c2e8ba2e798]);
+
+        // d = 3 exercises the G(d)-degree fallback + state-degree reuse.
+        let g = classic::petersen();
+        let cfg = EstimatorConfig { k: 5, d: 3, css: true, ..Default::default() };
+        let est = estimate(&g, &cfg, 3_000, 5);
+        assert_eq!(est.valid_samples, 2372);
+        assert_eq!(
+            bits(&est),
+            vec![
+                0x408e900000000000,
+                0x408ff800000000f0,
+                0,
+                0,
+                0,
+                0,
+                0x4069933333333308,
+                0,
+                0,
+                0,
+                0,
+                0,
+                0,
+                0,
+                0,
+                0,
+                0,
+                0,
+                0,
+                0,
+                0
+            ]
+        );
     }
 
     #[test]

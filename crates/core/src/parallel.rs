@@ -132,6 +132,10 @@ pub fn estimate_parallel<G: GraphAccess + Sync>(
     if walkers == 1 {
         return estimate(g, cfg, steps, seed);
     }
+    // Build the process-wide tables (α, dense classification, dense CSS)
+    // once, up front: otherwise every walker thread races to the same
+    // cold `OnceLock` and the whole fan-out serializes behind one build.
+    crate::estimator::prewarm(cfg);
     // One OS thread per *core*, not per walker: each thread runs a
     // contiguous chunk of walkers sequentially, so pathological fan-outs
     // (walkers ≫ cores) cannot exhaust thread limits. Results are

@@ -6,15 +6,26 @@
 //! edge set is maintained with k − 1 adjacency probes per step instead of
 //! C(k,2) — the edges among surviving nodes are reused from the previous
 //! window.
+//!
+//! Everything lives in fixed-size arrays (`MAX_NODES` slots, `MAX_STATES`
+//! ring entries): the steady-state `push` touches no heap at all, and the
+//! window additionally caches each slot's *node degree* at entry time, so
+//! downstream consumers (CSS in particular) never re-derive degrees the
+//! walk has already paid for. For d = 1 walks the cached degree is the
+//! walk's own recorded state degree; for d ≥ 2 it is fetched once per node
+//! entry (an O(1) CSR offset difference) instead of once per CSS subset
+//! per sample.
 
 use gx_graph::{GraphAccess, NodeId};
 use gx_graphlets::mask::pair_index;
-use std::collections::VecDeque;
 
 /// Maximum union size (k ≤ 6 supported by the taxonomy, + headroom).
 const MAX_NODES: usize = 8;
 /// Maximum subgraph size d per state.
 const MAX_D: usize = 7;
+/// Ring capacity for remembered states (l ≤ 6; power of two for cheap
+/// wraparound).
+const MAX_STATES: usize = 8;
 
 /// One remembered walk state.
 #[derive(Debug, Clone, Copy)]
@@ -26,6 +37,8 @@ pub struct StateRec {
 }
 
 impl StateRec {
+    const EMPTY: StateRec = StateRec { nodes: [0; MAX_D], len: 0, degree: 0 };
+
     /// The state's node set.
     pub fn nodes(&self) -> &[NodeId] {
         &self.nodes[..self.len as usize]
@@ -37,11 +50,20 @@ impl StateRec {
 pub struct NodeWindow {
     l: usize,
     k: usize,
-    states: VecDeque<StateRec>,
+    d: usize,
+    /// Ring buffer of the last `l` states (`head` is the oldest).
+    states: [StateRec; MAX_STATES],
+    head: usize,
+    count: usize,
     /// Distinct nodes currently in the union, in slot order.
-    distinct: Vec<NodeId>,
+    distinct: [NodeId; MAX_NODES],
+    /// Node degree in the host graph, parallel to `distinct` — cached at
+    /// slot entry so per-sample consumers read it as an array load.
+    degrees: [u32; MAX_NODES],
     /// Reference counts parallel to `distinct`.
-    refcount: Vec<u8>,
+    refcount: [u8; MAX_NODES],
+    /// Number of occupied slots.
+    dlen: usize,
     /// Adjacency among slots: bit `q` of `adj[p]` is set iff slots `p`
     /// and `q` are adjacent in the host graph. A per-slot bitmask keeps
     /// [`NodeWindow::sample`] pure bit manipulation instead of a scan
@@ -58,55 +80,96 @@ impl NodeWindow {
         let k = l + d - 1;
         assert!(l >= 1, "window needs l >= 1");
         assert!(k <= MAX_NODES, "union size k={k} exceeds {MAX_NODES}");
+        assert!(l <= MAX_STATES, "window length l={l} exceeds {MAX_STATES}");
         assert!(d <= MAX_D);
         Self {
             l,
             k,
-            states: VecDeque::with_capacity(l),
-            distinct: Vec::with_capacity(MAX_NODES),
-            refcount: Vec::with_capacity(MAX_NODES),
+            d,
+            states: [StateRec::EMPTY; MAX_STATES],
+            head: 0,
+            count: 0,
+            distinct: [0; MAX_NODES],
+            degrees: [0; MAX_NODES],
+            refcount: [0; MAX_NODES],
+            dlen: 0,
             adj: [0; MAX_NODES],
             probes: 0,
         }
     }
 
     /// Number of states currently held.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.states.len()
+        self.count
     }
 
     /// True when no states are held.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.states.is_empty()
+        self.count == 0
     }
 
     /// True when the window holds `l` states.
+    #[inline]
     pub fn is_full(&self) -> bool {
-        self.states.len() == self.l
+        self.count == self.l
     }
 
     /// Number of distinct underlying nodes in the union.
+    #[inline]
     pub fn distinct_count(&self) -> usize {
-        self.distinct.len()
+        self.dlen
     }
 
     /// Whether the current window is a *valid* sample: full and covering
     /// exactly `k = l + d − 1` distinct nodes (paper §3.1 discards the
     /// rest).
+    #[inline]
     pub fn is_valid_sample(&self) -> bool {
-        self.is_full() && self.distinct.len() == self.k
+        self.is_full() && self.dlen == self.k
     }
 
     /// The remembered states, oldest first.
     pub fn states(&self) -> impl Iterator<Item = &StateRec> {
-        self.states.iter()
+        (0..self.count).map(move |i| &self.states[(self.head + i) & (MAX_STATES - 1)])
     }
 
     /// Degrees of the *interior* states X₂ … X_{l−1} (the ones whose
     /// degrees enter π_e for l > 2, Theorem 2).
     pub fn interior_degrees(&self) -> impl Iterator<Item = u32> + '_ {
-        let end = self.states.len().saturating_sub(1);
-        self.states.iter().take(end).skip(1).map(|s| s.degree)
+        let end = self.count.saturating_sub(1);
+        self.states().take(end).skip(1).map(|s| s.degree)
+    }
+
+    /// The distinct underlying nodes, in slot order (the labeling of
+    /// [`NodeWindow::sample`]'s mask).
+    #[inline]
+    pub fn distinct_nodes(&self) -> &[NodeId] {
+        &self.distinct[..self.dlen]
+    }
+
+    /// Host-graph degree of each distinct node, parallel to
+    /// [`NodeWindow::distinct_nodes`] — the degree information the walk
+    /// already paid for, cached at slot entry.
+    #[inline]
+    pub fn slot_degrees(&self) -> &[u32] {
+        &self.degrees[..self.dlen]
+    }
+
+    /// Slot-position bitmask and recorded `G(d)` degree of each remembered
+    /// state, oldest first. The bitmask uses the same slot labeling as
+    /// [`NodeWindow::sample`], so a CSS subset whose bits equal a state's
+    /// bitmask *is* that state and can reuse its degree instead of
+    /// re-enumerating `G(d)` neighbors.
+    pub fn state_slot_masks(&self) -> impl Iterator<Item = (u8, u32)> + '_ {
+        self.states().map(move |s| {
+            let mut bits = 0u8;
+            for &v in s.nodes() {
+                bits |= 1 << self.slot_of(v).expect("state node is in the union");
+            }
+            (bits, s.degree)
+        })
     }
 
     /// Total adjacency probes issued (k − 1 per step once warm).
@@ -121,45 +184,90 @@ impl NodeWindow {
             u32::try_from(degree).is_ok(),
             "state degree {degree} exceeds u32 (would truncate)"
         );
-        if self.states.len() == self.l {
-            let old = self.states.pop_front().expect("non-empty");
+        if self.count == self.l {
+            let old = self.states[self.head];
+            self.head = (self.head + 1) & (MAX_STATES - 1);
+            self.count -= 1;
             for &v in old.nodes() {
                 self.release(v);
             }
         }
-        let mut rec =
-            StateRec { nodes: [0; MAX_D], len: state_nodes.len() as u8, degree: degree as u32 };
+        // Write the record straight into its ring slot (no stack copy).
+        let slot = (self.head + self.count) & (MAX_STATES - 1);
+        let rec = &mut self.states[slot];
+        rec.len = state_nodes.len() as u8;
+        rec.degree = degree as u32;
         rec.nodes[..state_nodes.len()].copy_from_slice(state_nodes);
-        for &v in state_nodes {
-            self.acquire(g, v);
+        self.count += 1;
+        if self.d == 2 && state_nodes.len() == 2 {
+            // A G(2) state *is* an edge: each endpoint's adjacency to the
+            // other is known without a probe (one of the paper's k − 1
+            // per-step probes comes for free on the edge walk), and since
+            // the state degree is d_a + d_b − 2, the second endpoint's
+            // node degree follows from the first's cached slot degree
+            // without touching the graph.
+            let (a, b) = (state_nodes[0], state_nodes[1]);
+            let pa = self.acquire(g, a, None, Some(b));
+            let db = (degree + 2 - self.degrees[pa] as usize) as u32;
+            self.acquire(g, b, Some(db), Some(a));
+        } else {
+            // For d = 1 the state degree *is* the node degree — reuse it
+            // so the walk's own degree lookups are never repeated.
+            let known = if state_nodes.len() == 1 { Some(degree as u32) } else { None };
+            for &v in state_nodes {
+                let _ = self.acquire(g, v, known, None);
+            }
         }
-        self.states.push_back(rec);
     }
 
+    #[inline]
     fn slot_of(&self, v: NodeId) -> Option<usize> {
-        self.distinct.iter().position(|&x| x == v)
+        self.distinct[..self.dlen].iter().position(|&x| x == v)
     }
 
-    fn acquire<G: GraphAccess>(&mut self, g: &G, v: NodeId) {
+    fn acquire<G: GraphAccess>(
+        &mut self,
+        g: &G,
+        v: NodeId,
+        known_degree: Option<u32>,
+        known_adjacent: Option<NodeId>,
+    ) -> usize {
         if let Some(p) = self.slot_of(v) {
             self.refcount[p] += 1;
-            return;
+            return p;
         }
-        let p = self.distinct.len();
+        let p = self.dlen;
         assert!(p < MAX_NODES, "window union overflow");
         // probe adjacency vs every existing slot: the paper's k − 1
-        // binary searches per step.
+        // binary searches per step (minus any pair the walk already
+        // knows, passed as `known_adjacent`). Every probe searches the
+        // entering node's own list — fetched once and cache-warm across
+        // the k − 1 probes — which measures faster than the generic
+        // `has_edge` (no per-pair hub-index or degree-comparison
+        // overhead, one hot list instead of k − 1 cold ones).
+        let nbrs = g.neighbors(v);
         let mut row = 0u64;
+        let mut probed = 0u64;
         for q in 0..p {
-            self.probes += 1;
-            if g.has_edge(v, self.distinct[q]) {
+            let u = self.distinct[q];
+            let adjacent = if known_adjacent == Some(u) {
+                true
+            } else {
+                probed += 1;
+                nbrs.binary_search(&u).is_ok()
+            };
+            if adjacent {
                 row |= 1 << q;
                 self.adj[q] |= 1 << p;
             }
         }
+        self.probes += probed;
         self.adj[p] = row;
-        self.distinct.push(v);
-        self.refcount.push(1);
+        self.distinct[p] = v;
+        self.degrees[p] = known_degree.unwrap_or_else(|| g.degree(v) as u32);
+        self.refcount[p] = 1;
+        self.dlen += 1;
+        p
     }
 
     fn release(&mut self, v: NodeId) {
@@ -169,21 +277,23 @@ impl NodeWindow {
             return;
         }
         // swap-remove slot p, relocating the last slot's adjacency bits.
-        let last = self.distinct.len() - 1;
-        self.distinct.swap_remove(p);
-        self.refcount.swap_remove(p);
+        let last = self.dlen - 1;
+        self.distinct[p] = self.distinct[last];
+        self.degrees[p] = self.degrees[last];
+        self.refcount[p] = self.refcount[last];
+        self.dlen = last;
         let pbit = 1u64 << p;
         let lastbit = 1u64 << last;
         if p != last {
             // Move `last`'s row into slot p, dropping its (p, last) bit.
             self.adj[p] = self.adj[last] & !pbit;
-            // In every other row, rewrite the `last` bit as the `p` bit.
+            // In every other row, rewrite the `last` bit as the `p` bit,
+            // branchlessly. (For q = p the moved row has no `last` bit —
+            // it would be a self-loop — so the or-in is a no-op there.)
             for q in 0..=last {
-                let had_last = self.adj[q] & lastbit != 0;
-                self.adj[q] &= !(pbit | lastbit);
-                if had_last && q != p {
-                    self.adj[q] |= pbit;
-                }
+                let row = self.adj[q];
+                let had_last = (row >> last) & 1;
+                self.adj[q] = (row & !(pbit | lastbit)) | (had_last << p);
             }
         } else {
             for row in self.adj.iter_mut() {
@@ -202,8 +312,9 @@ impl NodeWindow {
     /// edges `(i, j)`, and the upper-triangle pair layout stores them
     /// contiguously — so each row contributes one shifted bit-block, no
     /// per-pair scan.
+    #[inline]
     pub fn sample(&self) -> (u32, &[NodeId]) {
-        let m = self.distinct.len();
+        let m = self.dlen;
         let mut mask = 0u32;
         // pair_index(i, j, m) = base(i) + (j - i - 1) with
         // base(i) = i*m - i(i+1)/2: within a row the pair bits are
@@ -215,12 +326,12 @@ impl NodeWindow {
             base += m - i - 1;
         }
         debug_assert_eq!(mask, self.reference_mask(), "bit-block mask extraction");
-        (mask, &self.distinct)
+        (mask, &self.distinct[..m])
     }
 
     /// Reference mask built pairwise (debug cross-check for `sample`).
     fn reference_mask(&self) -> u32 {
-        let m = self.distinct.len();
+        let m = self.dlen;
         let mut mask = 0u32;
         for i in 0..m {
             for j in (i + 1)..m {
@@ -306,6 +417,44 @@ mod tests {
         // steady state: one node leaves, one enters: k-1 = 2 probes
         w.push(&g, &[3], 5);
         assert_eq!(w.probes(), 5);
+    }
+
+    #[test]
+    fn slot_degrees_track_host_graph() {
+        let g = classic::paper_figure1(); // degrees: 3, 2, 3, 2
+        let mut w = NodeWindow::new(3, 2);
+        w.push(&g, &[0, 1], 3);
+        w.push(&g, &[0, 2], 4);
+        w.push(&g, &[2, 3], 3);
+        for (&v, &deg) in w.distinct_nodes().iter().zip(w.slot_degrees()) {
+            assert_eq!(deg as usize, g.degree(v), "slot degree of node {v}");
+        }
+        // slot degrees survive evictions / slot relocation
+        w.push(&g, &[1, 2], 3);
+        w.push(&g, &[1, 3], 2);
+        for (&v, &deg) in w.distinct_nodes().iter().zip(w.slot_degrees()) {
+            assert_eq!(deg as usize, g.degree(v), "slot degree of node {v}");
+        }
+    }
+
+    #[test]
+    fn state_slot_masks_identify_visited_states() {
+        let g = classic::paper_figure1();
+        let mut w = NodeWindow::new(3, 2);
+        w.push(&g, &[0, 1], 3);
+        w.push(&g, &[0, 2], 4);
+        w.push(&g, &[2, 3], 3);
+        let nodes = w.distinct_nodes();
+        for ((bits, deg), rec) in w.state_slot_masks().zip(w.states()) {
+            assert_eq!(deg, rec.degree);
+            // the bitmask decodes back to exactly the state's node set
+            let mut decoded: Vec<_> =
+                (0..nodes.len()).filter(|&p| bits & (1 << p) != 0).map(|p| nodes[p]).collect();
+            decoded.sort_unstable();
+            let mut want = rec.nodes().to_vec();
+            want.sort_unstable();
+            assert_eq!(decoded, want);
+        }
     }
 
     #[test]

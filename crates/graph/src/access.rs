@@ -63,6 +63,13 @@ impl GraphAccess for Graph {
     fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         Graph::has_edge(self, u, v)
     }
+    #[inline]
+    fn neighbor_at(&self, v: NodeId, i: usize) -> NodeId {
+        // One offset load instead of the trait default's slice
+        // construction (two offset loads + bounds check) — this sits on
+        // the walk's per-step critical path.
+        Graph::neighbor_at(self, v, i)
+    }
 }
 
 impl<T: GraphAccess + ?Sized> GraphAccess for &T {

@@ -44,9 +44,20 @@ pub(crate) struct HubIndex {
 }
 
 /// Degree at or above which a node gets a dense adjacency bitset.
+///
+/// The floor of 32 (rather than 64) roughly doubles hub coverage on
+/// small and mid-size graphs for the remaining `has_edge` consumers —
+/// the d ≥ 3 subset-connectivity checks of `GdWalk`/`gd_state_degree`
+/// (O(d²) probes per state, degree-biased toward hubs), the baseline
+/// samplers, and induced-mask classification. (The sliding window's
+/// per-step probes no longer route through `has_edge`: they
+/// binary-search the entering node's own list, see
+/// `NodeWindow::acquire`.) The memory bound is unchanged in the regime
+/// where it matters: for large graphs `n / 64` dominates the floor,
+/// keeping total row storage O(|E|).
 #[inline]
 pub(crate) fn hub_threshold(num_nodes: usize) -> usize {
-    (num_nodes / 64).max(64)
+    (num_nodes / 64).max(32)
 }
 
 impl HubIndex {
@@ -154,7 +165,7 @@ impl Graph {
     }
 
     /// Whether the undirected edge `(u, v)` exists. O(1) bitset probe
-    /// when either endpoint is a hub (degree ≥ `max(64, n/64)`), binary
+    /// when either endpoint is a hub (degree ≥ [`hub_threshold`]), binary
     /// search on the smaller adjacency list otherwise.
     #[inline]
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
@@ -171,6 +182,14 @@ impl Graph {
         }
         let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
         self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// The `i`-th neighbor of `v` (`i < degree(v)`), with a single
+    /// offset load.
+    #[inline]
+    pub fn neighbor_at(&self, v: NodeId, i: usize) -> NodeId {
+        debug_assert!(i < self.degree(v), "neighbor_at({v}, {i}) out of range");
+        self.adjacency[self.offsets[v as usize] + i]
     }
 
     /// Iterator over all nodes.
@@ -322,8 +341,8 @@ mod tests {
 
     #[test]
     fn hub_threshold_scales_with_graph_size() {
-        assert_eq!(super::hub_threshold(10), 64);
-        assert_eq!(super::hub_threshold(64 * 64), 64);
+        assert_eq!(super::hub_threshold(10), 32);
+        assert_eq!(super::hub_threshold(32 * 64), 32);
         assert_eq!(super::hub_threshold(6400 * 64), 6400);
     }
 

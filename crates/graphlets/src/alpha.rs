@@ -66,6 +66,27 @@ pub struct CoveringSequences {
     pub sequences: Vec<Vec<u8>>,
 }
 
+impl CoveringSequences {
+    /// The interior subset-indices (X₂ … X_{l−1}) of every sequence,
+    /// flattened into one contiguous array with constant stride `l − 2`
+    /// (empty for `l ≤ 2`, where sequences have no interior states).
+    ///
+    /// CSS sums `Π 1/d_{X_i}` over exactly these interiors (Algorithm 3);
+    /// the flat layout lets that sum stream through one cache-friendly
+    /// array instead of chasing one heap pointer per sequence.
+    pub fn flat_interiors(&self, l: usize) -> Vec<u8> {
+        if l <= 2 {
+            return Vec::new();
+        }
+        let mut flat = Vec::with_capacity(self.sequences.len() * (l - 2));
+        for seq in &self.sequences {
+            debug_assert_eq!(seq.len(), l, "covering sequence length is l");
+            flat.extend_from_slice(&seq[1..seq.len() - 1]);
+        }
+        flat
+    }
+}
+
 /// Enumerates the covering sequences of `g` under SRW(d) — the machinery
 /// shared by Algorithm 2 (α = number of sequences) and Algorithm 3 (CSS
 /// sums π_e over exactly these sequences).
@@ -298,6 +319,30 @@ mod tests {
                 "column {}: α = {a} is not (s−1)s for integral s",
                 c + 1
             );
+        }
+    }
+
+    #[test]
+    fn flat_interiors_matches_nested_layout() {
+        // Tailed triangle under SRW(2): l = 3, stride 1, α = 10 interiors.
+        let tt = SmallGraph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let cover = covering_sequences(&tt, 2);
+        let flat = cover.flat_interiors(3);
+        assert_eq!(flat.len(), cover.sequences.len());
+        for (chunk, seq) in flat.chunks_exact(1).zip(&cover.sequences) {
+            assert_eq!(chunk, &seq[1..2]);
+        }
+        // l = 2 (PSRW) and l = 1 have no interiors.
+        assert!(cover.flat_interiors(2).is_empty());
+        let tri = SmallGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert!(covering_sequences(&tri, 3).flat_interiors(1).is_empty());
+        // k = 5, d = 2: l = 4, stride 2.
+        let k5 = SmallGraph::from_mask(5, (1 << 10) - 1);
+        let cover5 = covering_sequences(&k5, 2);
+        let flat5 = cover5.flat_interiors(4);
+        assert_eq!(flat5.len(), 2 * cover5.sequences.len());
+        for (chunk, seq) in flat5.chunks_exact(2).zip(&cover5.sequences) {
+            assert_eq!(chunk, &seq[1..3]);
         }
     }
 

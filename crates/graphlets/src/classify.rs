@@ -23,8 +23,8 @@ pub fn induced_mask<G: GraphAccess>(g: &G, nodes: &[NodeId]) -> u32 {
     mask
 }
 
-/// Sentinel for disconnected masks in [`graphlet_index_table`].
-const NOT_A_GRAPHLET: u8 = u8::MAX;
+/// Sentinel for disconnected masks in [`classify_table`].
+pub const NOT_A_GRAPHLET: u8 = u8::MAX;
 
 /// Direct-indexed `mask → paper graphlet index` table for one `k`:
 /// `table[mask]` is the 0-based paper index, or [`NOT_A_GRAPHLET`] for
@@ -51,6 +51,16 @@ fn graphlet_index_table(k: usize) -> &'static [u8] {
             })
             .collect()
     })
+}
+
+/// The dense `mask → paper graphlet index` table for `k ≤ 5`, with
+/// [`NOT_A_GRAPHLET`] marking disconnected masks; `None` for `k = 6`
+/// (whose table stays on the two-step canonical path).
+///
+/// Exposed so per-step hot loops can resolve the `OnceLock` once and
+/// classify with a single byte load per sample afterwards.
+pub fn classify_table(k: usize) -> Option<&'static [u8]> {
+    ((3..=5).contains(&k)).then(|| graphlet_index_table(k))
 }
 
 /// Classifies an edge mask on `k` labeled nodes. Returns `None` for

@@ -25,7 +25,7 @@ pub mod mask;
 pub mod signature;
 
 pub use atlas::{atlas, GraphletInfo};
-pub use classify::{classify_mask, classify_nodes, induced_mask};
+pub use classify::{classify_mask, classify_nodes, classify_table, induced_mask, NOT_A_GRAPHLET};
 pub use mask::SmallGraph;
 
 /// Identifies a graphlet type: `k` nodes, `index` in the paper's ordering

@@ -93,7 +93,7 @@ impl SmallGraph {
 
     /// Degree of node `i`.
     pub fn degree(&self, i: usize) -> usize {
-        (0..self.k()).filter(|&j| j != i && self.has_edge(i, j)).count()
+        self.neighbors_bits(i).count_ones() as usize
     }
 
     /// Sorted (ascending) degree sequence.

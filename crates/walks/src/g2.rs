@@ -20,7 +20,11 @@ pub struct G2Walk<'g, G: GraphAccess> {
     g: &'g G,
     /// Current edge, sorted ascending.
     state: [NodeId; 2],
-    prev: Option<[NodeId; 2]>,
+    /// Endpoint degrees, parallel to `state` — cached so the per-step
+    /// endpoint pick, the state degree and the next-state bookkeeping
+    /// never re-read the graph for a degree the walk already fetched.
+    deg: [u32; 2],
+    prev: Option<([NodeId; 2], [u32; 2])>,
     nb: bool,
 }
 
@@ -29,7 +33,8 @@ impl<'g, G: GraphAccess> G2Walk<'g, G> {
     pub fn new(g: &'g G, u: NodeId, v: NodeId, non_backtracking: bool) -> Self {
         assert!(g.has_edge(u, v), "G2Walk start ({u},{v}) is not an edge");
         let state = if u < v { [u, v] } else { [v, u] };
-        Self { g, state, prev: None, nb: non_backtracking }
+        let deg = [g.degree(state[0]) as u32, g.degree(state[1]) as u32];
+        Self { g, state, deg, prev: None, nb: non_backtracking }
     }
 
     /// Current edge (sorted).
@@ -38,14 +43,18 @@ impl<'g, G: GraphAccess> G2Walk<'g, G> {
     }
 
     /// Degree of the current edge-state in `G(2)`: `d_u + d_v − 2`.
+    #[inline]
     pub fn edge_degree(&self) -> usize {
-        self.g.degree(self.state[0]) + self.g.degree(self.state[1]) - 2
+        (self.deg[0] + self.deg[1]) as usize - 2
     }
 
-    /// Samples one uniformly random neighboring edge of the current edge.
-    fn sample_neighbor(&self, rng: &mut WalkRng) -> [NodeId; 2] {
+    /// Samples one uniformly random neighboring edge of the current edge,
+    /// returned with its endpoint degrees (one fresh degree fetch per
+    /// accepted candidate; the kept endpoint's degree is already cached).
+    #[inline]
+    fn sample_neighbor(&self, rng: &mut WalkRng) -> ([NodeId; 2], [u32; 2]) {
         let [u, v] = self.state;
-        let (du, dv) = (self.g.degree(u), self.g.degree(v));
+        let [du, dv] = [self.deg[0] as usize, self.deg[1] as usize];
         debug_assert!(du + dv > 2, "isolated edge cannot step");
         loop {
             // endpoint-weighted choice, then uniform neighbor, reject w = other
@@ -53,7 +62,9 @@ impl<'g, G: GraphAccess> G2Walk<'g, G> {
             let (a, b, da) = if pick_u { (u, v, du) } else { (v, u, dv) };
             let w = self.g.neighbor_at(a, rng.gen_range(0..da));
             if w != b {
-                return if a < w { [a, w] } else { [w, a] };
+                let dw = self.g.degree(w) as u32;
+                let da = da as u32;
+                return if a < w { ([a, w], [da, dw]) } else { ([w, a], [dw, da]) };
             }
         }
     }
@@ -64,21 +75,24 @@ impl<G: GraphAccess> StateWalk for G2Walk<'_, G> {
         2
     }
 
+    #[inline]
     fn state(&self) -> &[NodeId] {
         &self.state
     }
 
+    #[inline]
     fn state_degree(&mut self) -> usize {
         self.edge_degree()
     }
 
+    #[inline]
     fn step(&mut self, rng: &mut WalkRng) {
         let deg = self.edge_degree();
-        let next = if self.nb {
+        let (next, next_deg) = if self.nb {
             match self.prev {
-                Some(p) if deg > 1 => loop {
+                Some((p, _)) if deg > 1 => loop {
                     let cand = self.sample_neighbor(rng);
-                    if cand != p {
+                    if cand.0 != p {
                         break cand;
                     }
                 },
@@ -88,8 +102,13 @@ impl<G: GraphAccess> StateWalk for G2Walk<'_, G> {
         } else {
             self.sample_neighbor(rng)
         };
-        self.prev = Some(self.state);
+        if self.nb {
+            // `prev` is only ever read on the non-backtracking path; the
+            // plain walk skips the bookkeeping store entirely.
+            self.prev = Some((self.state, self.deg));
+        }
         self.state = next;
+        self.deg = next_deg;
     }
 
     fn is_non_backtracking(&self) -> bool {

@@ -20,7 +20,10 @@ pub struct GdWalk<'g, G: GraphAccess> {
     d: usize,
     /// Current state, sorted ascending.
     state: Vec<NodeId>,
-    prev: Option<Vec<NodeId>>,
+    /// Previous state (sorted) when `has_prev`; kept as a reused buffer so
+    /// the steady-state step path performs zero heap allocation.
+    prev: Vec<NodeId>,
+    has_prev: bool,
     nb: bool,
     /// Neighbor states of `state`, materialized as (drop_position,
     /// incoming_node) pairs; refreshed lazily once per state.
@@ -29,6 +32,8 @@ pub struct GdWalk<'g, G: GraphAccess> {
     /// Scratch buffers reused across steps.
     candidates: Vec<NodeId>,
     scratch: Vec<NodeId>,
+    /// Scratch: indices of neighbors that differ from `prev` (NB steps).
+    non_prev: Vec<usize>,
 }
 
 impl<'g, G: GraphAccess> GdWalk<'g, G> {
@@ -49,12 +54,14 @@ impl<'g, G: GraphAccess> GdWalk<'g, G> {
             g,
             d,
             state,
-            prev: None,
+            prev: Vec::with_capacity(d),
+            has_prev: false,
             nb: non_backtracking,
             neighbors: Vec::new(),
             neighbors_valid: false,
             candidates: Vec::new(),
             scratch: Vec::new(),
+            non_prev: Vec::new(),
         }
     }
 
@@ -106,7 +113,9 @@ impl<'g, G: GraphAccess> GdWalk<'g, G> {
     }
 
     fn apply(&mut self, drop: usize, incoming: NodeId) {
-        self.prev = Some(self.state.clone());
+        self.prev.clear();
+        self.prev.extend_from_slice(&self.state);
+        self.has_prev = true;
         self.state.remove(drop);
         let pos = self.state.binary_search(&incoming).unwrap_err();
         self.state.insert(pos, incoming);
@@ -150,12 +159,71 @@ pub fn subset_is_connected<G: GraphAccess>(g: &G, nodes: &[NodeId]) -> bool {
     }
 }
 
+/// Reusable buffers for [`gd_state_degree_with`], so repeated degree
+/// queries (the CSS d ≥ 3 fallback issues several per sample) allocate
+/// nothing after the first call.
+#[derive(Debug, Default)]
+pub struct GdDegreeScratch {
+    state: Vec<NodeId>,
+    candidates: Vec<NodeId>,
+    kept: Vec<NodeId>,
+}
+
 /// Degree of an arbitrary state in `G(d)` by neighbor enumeration — the
 /// expensive generic fallback (the paper's reason to prefer d ≤ 2, and the
 /// reason it skips SRW3CSS). Exposed for the estimator's d ≥ 3 paths.
 pub fn gd_state_degree<G: GraphAccess>(g: &G, nodes: &[NodeId]) -> usize {
-    let mut w = GdWalk::new(g, nodes, false);
-    w.neighbor_count()
+    gd_state_degree_with(g, nodes, &mut GdDegreeScratch::default())
+}
+
+/// [`gd_state_degree`] with caller-provided scratch. Counts the `G(d)`
+/// neighbors of `nodes` (a connected induced d-subgraph, any order)
+/// without materializing the neighbor list or constructing a walk: the
+/// same drop-one/replace-one enumeration as [`GdWalk::refresh_neighbors`],
+/// reduced to a counter.
+pub fn gd_state_degree_with<G: GraphAccess>(
+    g: &G,
+    nodes: &[NodeId],
+    s: &mut GdDegreeScratch,
+) -> usize {
+    let d = nodes.len();
+    debug_assert!(d >= 2, "G(d) degrees need d >= 2");
+    s.state.clear();
+    s.state.extend_from_slice(nodes);
+    s.state.sort_unstable();
+    debug_assert!(s.state.windows(2).all(|w| w[0] < w[1]), "state has duplicate nodes");
+    debug_assert!(subset_is_connected(g, &s.state), "state must induce a connected subgraph");
+    let mut count = 0usize;
+    for drop in 0..d {
+        // candidate incoming nodes: neighbors of the kept nodes
+        s.candidates.clear();
+        for (pos, &b) in s.state.iter().enumerate() {
+            if pos == drop {
+                continue;
+            }
+            s.candidates.extend_from_slice(g.neighbors(b));
+        }
+        s.candidates.sort_unstable();
+        s.candidates.dedup();
+        for i in 0..s.candidates.len() {
+            let w = s.candidates[i];
+            if s.state.binary_search(&w).is_ok() {
+                continue;
+            }
+            // connectivity of kept ∪ {w}
+            s.kept.clear();
+            for (pos, &b) in s.state.iter().enumerate() {
+                if pos != drop {
+                    s.kept.push(b);
+                }
+            }
+            s.kept.push(w);
+            if subset_is_connected(g, &s.kept) {
+                count += 1;
+            }
+        }
+    }
+    count
 }
 
 impl<G: GraphAccess> StateWalk for GdWalk<'_, G> {
@@ -175,26 +243,26 @@ impl<G: GraphAccess> StateWalk for GdWalk<'_, G> {
     fn step(&mut self, rng: &mut WalkRng) {
         self.refresh_neighbors();
         debug_assert!(!self.neighbors.is_empty(), "connected G(d) state must have neighbors");
-        let choice = if self.nb {
-            if let Some(prev) = self.prev.clone() {
-                // uniform over neighbors != prev; forced backtrack if none
-                let matches_prev = |&(drop, w): &(u8, NodeId)| {
-                    // next state equals prev iff prev = state \ {dropped} ∪ {w}
-                    let dropped = self.state[drop as usize];
-                    prev.binary_search(&w).is_ok()
-                        && prev.binary_search(&dropped).is_err()
-                        && prev.len() == self.state.len()
-                };
-                let non_prev: Vec<usize> = (0..self.neighbors.len())
-                    .filter(|&i| !matches_prev(&self.neighbors[i]))
-                    .collect();
-                if non_prev.is_empty() {
-                    self.neighbors[rng.gen_range(0..self.neighbors.len())]
-                } else {
-                    self.neighbors[non_prev[rng.gen_range(0..non_prev.len())]]
+        let choice = if self.nb && self.has_prev {
+            // uniform over neighbors != prev; forced backtrack if none.
+            // `non_prev` is a reused scratch buffer — no per-step clone of
+            // the previous state, no per-step index Vec.
+            self.non_prev.clear();
+            for i in 0..self.neighbors.len() {
+                let (drop, w) = self.neighbors[i];
+                // next state equals prev iff prev = state \ {dropped} ∪ {w}
+                let dropped = self.state[drop as usize];
+                let matches_prev = self.prev.binary_search(&w).is_ok()
+                    && self.prev.binary_search(&dropped).is_err()
+                    && self.prev.len() == self.state.len();
+                if !matches_prev {
+                    self.non_prev.push(i);
                 }
-            } else {
+            }
+            if self.non_prev.is_empty() {
                 self.neighbors[rng.gen_range(0..self.neighbors.len())]
+            } else {
+                self.neighbors[self.non_prev[rng.gen_range(0..self.non_prev.len())]]
             }
         } else {
             self.neighbors[rng.gen_range(0..self.neighbors.len())]
@@ -288,8 +356,18 @@ mod tests {
     fn gd_state_degree_matches_materialization() {
         let g = classic::grid(3, 3);
         let rel = subgraph_relationship_graph(&g, 3);
+        let mut scratch = GdDegreeScratch::default();
         for (i, s) in rel.states.iter().enumerate() {
             assert_eq!(gd_state_degree(&g, s), rel.graph.degree(i as NodeId), "state {s:?}");
+            // the scratch-reusing path counts exactly what the walk
+            // materializes, regardless of input order
+            let mut rev = s.to_vec();
+            rev.reverse();
+            assert_eq!(
+                gd_state_degree_with(&g, &rev, &mut scratch),
+                rel.graph.degree(i as NodeId),
+                "scratch path, state {s:?}"
+            );
         }
     }
 

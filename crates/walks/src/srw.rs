@@ -12,6 +12,9 @@ use rand::Rng;
 pub struct SrwWalk<'g, G: GraphAccess> {
     g: &'g G,
     state: [NodeId; 1],
+    /// Cached degree of the current node (fetched once per transition,
+    /// reused by both the next step's neighbor pick and `state_degree`).
+    deg: usize,
     prev: Option<NodeId>,
     nb: bool,
 }
@@ -19,8 +22,9 @@ pub struct SrwWalk<'g, G: GraphAccess> {
 impl<'g, G: GraphAccess> SrwWalk<'g, G> {
     /// Starts a walk at `start` (which must have at least one neighbor).
     pub fn new(g: &'g G, start: NodeId, non_backtracking: bool) -> Self {
-        assert!(g.degree(start) > 0, "walk start {start} is isolated");
-        Self { g, state: [start], prev: None, nb: non_backtracking }
+        let deg = g.degree(start);
+        assert!(deg > 0, "walk start {start} is isolated");
+        Self { g, state: [start], deg, prev: None, nb: non_backtracking }
     }
 
     /// Current node.
@@ -30,21 +34,25 @@ impl<'g, G: GraphAccess> SrwWalk<'g, G> {
 }
 
 impl<G: GraphAccess> StateWalk for SrwWalk<'_, G> {
+    #[inline]
     fn d(&self) -> usize {
         1
     }
 
+    #[inline]
     fn state(&self) -> &[NodeId] {
         &self.state
     }
 
+    #[inline]
     fn state_degree(&mut self) -> usize {
-        self.g.degree(self.state[0])
+        self.deg
     }
 
+    #[inline]
     fn step(&mut self, rng: &mut WalkRng) {
         let v = self.state[0];
-        let deg = self.g.degree(v);
+        let deg = self.deg;
         let next = if self.nb {
             match self.prev {
                 Some(p) if deg > 1 => loop {
@@ -59,8 +67,11 @@ impl<G: GraphAccess> StateWalk for SrwWalk<'_, G> {
         } else {
             self.g.neighbor_at(v, rng.gen_range(0..deg))
         };
-        self.prev = Some(v);
+        if self.nb {
+            self.prev = Some(v);
+        }
         self.state[0] = next;
+        self.deg = self.g.degree(next);
     }
 
     fn is_non_backtracking(&self) -> bool {

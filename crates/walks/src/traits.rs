@@ -46,6 +46,15 @@ pub fn effective_degree(degree: usize, non_backtracking: bool) -> usize {
     }
 }
 
+/// `1 / effective_degree` as `f64` — the per-subset quantity of the CSS
+/// hot loop (each covering sequence multiplies these reciprocals over its
+/// interior states). Kept next to [`effective_degree`] so the simple-walk
+/// vs non-backtracking substitution has a single source of truth.
+#[inline]
+pub fn effective_degree_recip(degree: usize, non_backtracking: bool) -> f64 {
+    1.0 / (effective_degree(degree, non_backtracking) as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,5 +66,15 @@ mod tests {
         assert_eq!(effective_degree(1, true), 1);
         assert_eq!(effective_degree(0, true), 1);
         assert_eq!(effective_degree(0, false), 0);
+    }
+
+    #[test]
+    fn recip_matches_effective_degree_bitwise() {
+        for deg in 0..64usize {
+            for nb in [false, true] {
+                let want = 1.0 / (effective_degree(deg, nb) as f64);
+                assert_eq!(effective_degree_recip(deg, nb).to_bits(), want.to_bits());
+            }
+        }
     }
 }
