@@ -1,4 +1,4 @@
-//! GUISE (Bhuiyan et al. [6]): uniform Metropolis–Hastings sampling over
+//! GUISE (Bhuiyan et al. \[6\]): uniform Metropolis–Hastings sampling over
 //! the union of all 3-, 4-, 5-node connected induced subgraphs,
 //! estimating all three concentration vectors simultaneously.
 //!

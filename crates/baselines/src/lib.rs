@@ -1,22 +1,22 @@
 //! Competing estimators the paper evaluates against (§6.3).
 //!
-//! * [`wedge`] — wedge sampling (Seshadhri–Pinar–Kolda [32]): independent
+//! * [`wedge`] — wedge sampling (Seshadhri–Pinar–Kolda \[32\]): independent
 //!   uniform wedges, full-access, needs O(|V|) preprocessing;
-//! * [`path_sampling`] — 3-path sampling (Jha–Seshadhri–Pinar [14]):
+//! * [`path_sampling`] — 3-path sampling (Jha–Seshadhri–Pinar \[14\]):
 //!   independent weighted 3-paths for 4-node counts, full-access, O(|E|)
 //!   preprocessing (plus centered star sampling for the 3-star, which
 //!   contains no 3-path);
-//! * [`wedge_mhrw`] — the paper's own adaptation of wedge sampling to the
+//! * [`mod@wedge_mhrw`] — the paper's own adaptation of wedge sampling to the
 //!   restricted-access setting (Appendix F, Algorithm 4): a
 //!   Metropolis–Hastings walk targeting π(v) ∝ C(d_v, 2), paying 3 API
 //!   calls per step;
-//! * [`guise`] — GUISE (Bhuiyan et al. [6]): Metropolis–Hastings walk that
+//! * [`guise`] — GUISE (Bhuiyan et al. \[6\]): Metropolis–Hastings walk that
 //!   samples uniformly over the union of all 3-, 4-, 5-node connected
 //!   subgraphs, estimating all three concentration vectors at once;
 //! * [`alias`] — the alias-method sampler underpinning the full-access
 //!   baselines' preprocessing.
 //!
-//! PSRW [36] and the Hardiman–Katzir clustering estimator [11] need no
+//! PSRW \[36\] and the Hardiman–Katzir clustering estimator \[11\] need no
 //! code here: they are exactly `EstimatorConfig::psrw(k)` and
 //! `EstimatorConfig { k: 3, d: 1, .. }` of `gx-core` (paper §6.3.1).
 

@@ -1,4 +1,4 @@
-//! 3-path sampling (Jha, Seshadhri, Pinar [14]) — the full-access baseline
+//! 3-path sampling (Jha, Seshadhri, Pinar \[14\]) — the full-access baseline
 //! for 4-node graphlet counts (§6.3.2).
 //!
 //! An edge e = (u, v) is drawn ∝ τ_e = (d_u − 1)(d_v − 1) (alias table,

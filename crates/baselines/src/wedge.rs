@@ -1,4 +1,4 @@
-//! Wedge sampling (Seshadhri, Pinar, Kolda [32]) — the full-access
+//! Wedge sampling (Seshadhri, Pinar, Kolda \[32\]) — the full-access
 //! baseline for triadic measures (§6.3.2).
 //!
 //! A uniform wedge is drawn by picking a center v ∝ C(d_v, 2) (alias

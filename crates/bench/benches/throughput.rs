@@ -181,6 +181,25 @@ fn main() {
     json.insert("srw2css_par_steps_per_sec".into(), serde_json::json!(par_rate));
     json.insert("srw2css_speedup".into(), serde_json::json!(speedup));
 
+    // CI-width-vs-steps telemetry: the widest relative 95% half-width
+    // over common types (concentration ≥ 1%) at a quarter, half, and the
+    // full budget — the error-bar subsystem's convergence trajectory,
+    // tracked alongside the throughput numbers it rides on.
+    {
+        let mut curve: Vec<serde_json::Value> = Vec::new();
+        for div in [4usize, 2, 1] {
+            let budget = steps / div;
+            let est = estimate(g, &cfg, budget, 42);
+            let width = est.max_relative_half_width(1.96, 0.01);
+            println!("SRW2CSS 95% CI width  @ {budget:>9} steps  {:>7.3}%", 100.0 * width);
+            let mut row = serde_json::Map::new();
+            row.insert("steps".into(), serde_json::json!(budget));
+            row.insert("rel_ci_half_width_95".into(), serde_json::json!(width));
+            curve.push(serde_json::Value::Object(row));
+        }
+        json.insert("srw2css_ci_curve".into(), serde_json::Value::Array(curve));
+    }
+
     // Persist at the repo root so the perf trajectory is tracked in-tree.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_walks.json");
     let body = serde_json::to_string_pretty(&serde_json::Value::Object(json)).expect("serialize");

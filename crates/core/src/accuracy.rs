@@ -1,0 +1,569 @@
+//! Error bars for running estimates: streaming batch-means variance and
+//! the adaptive stopping rule built on it.
+//!
+//! The paper evaluates estimators by after-the-fact NRMSE over many
+//! repeated runs (§6.1). A production service answering "how many
+//! triangles?" cannot repeat the run a thousand times — it must ship a
+//! confidence interval *with* the point estimate, computed online from
+//! the one chain it has. The samples of that chain are serially
+//! correlated (consecutive windows share `l − 1` states), so the naive
+//! i.i.d. variance `s²/n` is badly optimistic. The standard fix from the
+//! MCMC / steady-state-simulation literature is **batch means**: split
+//! the step stream into `b` non-overlapping batches of `B` consecutive
+//! steps, average each batch, and treat the `b` batch means as
+//! approximately independent draws — valid once `B` exceeds the chain's
+//! mixing scale. With the classic `B ≈ √n` policy both `b` and `B` grow
+//! with the budget, which makes the variance estimator consistent under
+//! geometric mixing.
+//!
+//! The accumulator here ([`ScoreAccumulator`]) threads through the fused
+//! estimator loop at near-zero cost: the per-step work is one counter
+//! increment and one predictable branch, because a batch mean is
+//! recovered at the batch boundary as a *difference of running raw-score
+//! snapshots* — the hot loop's own `raw[idx] += weight` store doubles as
+//! the accumulation, and nothing else is touched per step. Per-type
+//! means, second moments, and the cross-moment with the per-step score
+//! total (needed for concentration error bars via the delta method) are
+//! maintained with Welford updates per *batch*, not per step.
+//!
+//! [`BatchStats`] is mergeable: independent walkers produce independent
+//! batches, so [`BatchStats::merge`] pools them with the standard
+//! parallel Welford combination — in walker order, keeping
+//! [`crate::estimate_parallel`] deterministic per `(seed, walkers)`.
+
+/// Streaming batch-means statistics over per-step score vectors.
+///
+/// For each graphlet type `i` this tracks, across completed batches, the
+/// batch-mean average `mean(i)` (an estimate of the per-step expected
+/// score `E[Y_i]`), its second central moment, and the cross-moment with
+/// the per-step score *total* `T = Σ_i Y_i` — enough to put error bars
+/// on both count estimates (linear in `E[Y_i]`) and concentration
+/// estimates (`E[Y_i]/E[T]`, via the delta method).
+///
+/// All quantities are on the *per-step score* scale; callers rescale
+/// (counts multiply by `2|R(d)|`, see [`crate::Estimate`]). Only steps
+/// inside completed batches contribute; a trailing partial batch is
+/// ignored, which is the usual batch-means convention.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchStats {
+    batch_len: usize,
+    /// Completed batches folded so far.
+    batches: u64,
+    /// Per-type average of batch means.
+    mean: Vec<f64>,
+    /// Per-type sum of squared deviations of batch means (Welford M2).
+    m2: Vec<f64>,
+    /// Per-type co-moment of (batch mean, batch total mean).
+    cov_total: Vec<f64>,
+    /// Average of batch total means.
+    mean_total: f64,
+    /// M2 of batch total means.
+    m2_total: f64,
+}
+
+impl BatchStats {
+    /// Empty statistics for `types` graphlet types and batches of
+    /// `batch_len` steps.
+    pub fn new(types: usize, batch_len: usize) -> Self {
+        assert!(batch_len >= 1, "batch length must be at least 1");
+        Self {
+            batch_len,
+            batches: 0,
+            mean: vec![0.0; types],
+            m2: vec![0.0; types],
+            cov_total: vec![0.0; types],
+            mean_total: 0.0,
+            m2_total: 0.0,
+        }
+    }
+
+    /// Number of graphlet types tracked.
+    pub fn types(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Steps per batch.
+    pub fn batch_len(&self) -> usize {
+        self.batch_len
+    }
+
+    /// Completed batches folded so far.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Average per-step score of type `i` over completed batches (the
+    /// batch-means estimate of `E[Y_i]`).
+    pub fn mean_score(&self, i: usize) -> f64 {
+        self.mean[i]
+    }
+
+    /// Average per-step score total over completed batches.
+    pub fn mean_total(&self) -> f64 {
+        self.mean_total
+    }
+
+    /// Batch-means concentration of type `i`: `mean(i) / mean_total`.
+    /// `NaN` when no score mass has been seen.
+    pub fn concentration(&self, i: usize) -> f64 {
+        self.mean[i] / self.mean_total
+    }
+
+    /// Variance of the *mean-score estimator* for type `i`:
+    /// `s²_batch / b` with the sample variance of the `b` batch means.
+    /// `NaN` with fewer than two completed batches.
+    pub fn var_of_mean(&self, i: usize) -> f64 {
+        if self.batches < 2 {
+            return f64::NAN;
+        }
+        let b = self.batches as f64;
+        self.m2[i] / (b - 1.0) / b
+    }
+
+    /// Standard error of the mean score of type `i` (`NaN` with fewer
+    /// than two completed batches).
+    pub fn std_error(&self, i: usize) -> f64 {
+        self.var_of_mean(i).sqrt()
+    }
+
+    /// Standard error of the concentration of type `i` by the delta
+    /// method on `c_i = E[Y_i] / E[T]`:
+    /// `Var(ĉ_i) ≈ (Var(μ̂_i) + c² Var(μ̂_T) − 2c Cov(μ̂_i, μ̂_T)) / μ_T²`.
+    /// `NaN` with fewer than two batches or zero score mass.
+    pub fn concentration_std_error(&self, i: usize) -> f64 {
+        if self.batches < 2 || self.mean_total <= 0.0 {
+            return f64::NAN;
+        }
+        let b = self.batches as f64;
+        let scale = 1.0 / (b - 1.0) / b;
+        let c = self.concentration(i);
+        let var_i = self.m2[i] * scale;
+        let var_t = self.m2_total * scale;
+        let cov_it = self.cov_total[i] * scale;
+        let var_c =
+            (var_i + c * c * var_t - 2.0 * c * cov_it) / (self.mean_total * self.mean_total);
+        // The delta-method quadratic form can dip below zero by rounding
+        // when the terms nearly cancel; clamp instead of returning NaN.
+        var_c.max(0.0).sqrt()
+    }
+
+    /// Relative half-width of the `z`-confidence interval of type `i`'s
+    /// mean score: `z · SE(i) / mean(i)`. Since count estimates are the
+    /// mean score times a constant, this is also the relative half-width
+    /// of the count CI. `NaN` when the mean is zero or batches < 2.
+    pub fn relative_half_width(&self, i: usize, z: f64) -> f64 {
+        z * self.std_error(i) / self.mean[i]
+    }
+
+    /// The widest [`BatchStats::relative_half_width`] over the types
+    /// whose concentration is at least `min_concentration` — the scalar
+    /// the adaptive stopping rule drives to its target. Types rarer than
+    /// the floor are excluded (their relative error decays like
+    /// `1/√(n·c_i)` and would dominate the maximum forever). The floor
+    /// is capped at `1/types`: concentrations sum to 1, so by pigeonhole
+    /// at least one type always qualifies — a diffuse distribution over
+    /// many types (k = 6 has 112) cannot silently disqualify every type
+    /// and leave the stopping rule unable to ever fire. `NaN` when
+    /// nothing has been sampled or batches < 2.
+    pub fn max_relative_half_width(&self, z: f64, min_concentration: f64) -> f64 {
+        if self.batches < 2 {
+            return f64::NAN;
+        }
+        let floor = min_concentration.min(1.0 / self.types() as f64);
+        let mut widest = f64::NAN;
+        for i in 0..self.types() {
+            if self.concentration(i) >= floor {
+                let w = self.relative_half_width(i, z);
+                if w.is_nan() {
+                    // A qualifying type with an undefined width (possible
+                    // only at floor 0, for a type never sampled) keeps
+                    // the whole bound undefined.
+                    return f64::NAN;
+                }
+                if widest.is_nan() || w > widest {
+                    widest = w; // first qualifying type, or a wider one
+                }
+            }
+        }
+        widest
+    }
+
+    /// Folds one completed batch given the raw-score snapshot difference
+    /// already divided down to batch means. `delta[i]` must be the mean
+    /// per-step score of type `i` over the batch.
+    fn fold_batch(&mut self, delta: &[f64], total: f64) {
+        self.batches += 1;
+        let n = self.batches as f64;
+        let dt_old = total - self.mean_total;
+        self.mean_total += dt_old / n;
+        let dt_new = total - self.mean_total;
+        self.m2_total += dt_old * dt_new;
+        for (i, &x) in delta.iter().enumerate() {
+            let dx_old = x - self.mean[i];
+            self.mean[i] += dx_old / n;
+            let dx_new = x - self.mean[i];
+            self.m2[i] += dx_old * dx_new;
+            self.cov_total[i] += dx_old * dt_new;
+        }
+    }
+
+    /// Pools another chain's batches into this one (parallel Welford /
+    /// Chan combination). Batches from independent walkers are
+    /// independent draws of the same batch-mean distribution, so pooling
+    /// is exact — provided both sides used the same `batch_len`
+    /// (asserted). Merge order matters at the bit level: callers must
+    /// fold walkers in a fixed order for deterministic output.
+    pub fn merge(&mut self, other: &BatchStats) {
+        assert_eq!(self.batch_len, other.batch_len, "pooled batch means need equal batch lengths");
+        assert_eq!(self.types(), other.types(), "mismatched type counts");
+        if other.batches == 0 {
+            return;
+        }
+        if self.batches == 0 {
+            *self = other.clone();
+            return;
+        }
+        let na = self.batches as f64;
+        let nb = other.batches as f64;
+        let w = na * nb / (na + nb);
+        let dt = other.mean_total - self.mean_total;
+        self.m2_total += other.m2_total + dt * dt * w;
+        for i in 0..self.mean.len() {
+            let dx = other.mean[i] - self.mean[i];
+            self.m2[i] += other.m2[i] + dx * dx * w;
+            self.cov_total[i] += other.cov_total[i] + dx * dt * w;
+            self.mean[i] += dx * nb / (na + nb);
+        }
+        self.mean_total += dt * nb / (na + nb);
+        self.batches += other.batches;
+    }
+}
+
+/// The hot-loop side of the batch-means machinery: ticks once per scored
+/// window and recovers batch means as snapshot differences of the
+/// estimator's running raw-score array.
+///
+/// Per-step cost is one increment plus one predictable compare; the
+/// `O(types)` fold runs once per `batch_len` steps.
+#[derive(Debug, Clone)]
+pub struct ScoreAccumulator {
+    stats: BatchStats,
+    /// Raw-score array as of the last batch boundary.
+    snapshot: Vec<f64>,
+    /// Scratch for the per-batch mean vector (avoids a per-fold alloc).
+    delta: Vec<f64>,
+    in_batch: usize,
+}
+
+impl ScoreAccumulator {
+    /// Accumulator for `types` graphlet types with `batch_len`-step
+    /// batches.
+    pub fn new(types: usize, batch_len: usize) -> Self {
+        Self {
+            stats: BatchStats::new(types, batch_len),
+            snapshot: vec![0.0; types],
+            delta: vec![0.0; types],
+            in_batch: 0,
+        }
+    }
+
+    /// Registers one scored window. `raw` is the estimator's running
+    /// raw-score accumulator *after* this window's contribution (its
+    /// first `types` entries are read; extra capacity is ignored).
+    #[inline(always)]
+    pub fn tick(&mut self, raw: &[f64]) {
+        self.in_batch += 1;
+        if self.in_batch == self.stats.batch_len {
+            self.fold(raw);
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn fold(&mut self, raw: &[f64]) {
+        let inv = 1.0 / (self.stats.batch_len as f64);
+        let mut total = 0.0;
+        for ((snap, d), &r) in self.snapshot.iter_mut().zip(&mut self.delta).zip(raw) {
+            let x = (r - *snap) * inv;
+            *d = x;
+            total += x;
+            *snap = r;
+        }
+        let delta = std::mem::take(&mut self.delta);
+        self.stats.fold_batch(&delta, total);
+        self.delta = delta;
+        self.in_batch = 0;
+    }
+
+    /// The statistics folded so far (a trailing partial batch is not
+    /// included).
+    pub fn stats(&self) -> &BatchStats {
+        &self.stats
+    }
+
+    /// Consumes the accumulator, returning the folded statistics.
+    pub fn into_stats(self) -> BatchStats {
+        self.stats
+    }
+}
+
+/// The default batch-length policy: `B ≈ √n` for an `n`-step budget
+/// (floored at 16 so tiny runs still form batches), giving `b ≈ √n`
+/// batches — the classic consistent choice for batch means under
+/// geometrically mixing chains.
+pub fn default_batch_len(steps: usize) -> usize {
+    ((steps as f64).sqrt() as usize).max(16)
+}
+
+/// When to stop an adaptive estimation run ([`crate::estimate_until`]).
+///
+/// The run stops at the first convergence check where at least
+/// `min_batches` batches have completed and the widest relative
+/// CI half-width over types with concentration ≥ `min_concentration`
+/// is at most `target_rel_ci` — or unconditionally at `max_steps`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoppingRule {
+    /// Target relative half-width of the `z`-CI (e.g. 0.05 for ±5%).
+    pub target_rel_ci: f64,
+    /// Steps between convergence checks.
+    pub check_every: usize,
+    /// Hard step budget; the run never exceeds it.
+    pub max_steps: usize,
+    /// CI critical value (1.96 ≈ 95% normal coverage).
+    pub z: f64,
+    /// Steps per batch for the batch-means variance. Must exceed the
+    /// chain's mixing scale for honest intervals; the default (512)
+    /// is generous for the small-world graphs the estimator targets.
+    pub batch_len: usize,
+    /// Minimum completed batches before stopping is allowed — below
+    /// ~20 the batch variance itself is too noisy to trust.
+    pub min_batches: u64,
+    /// Types with batch-means concentration below this floor are
+    /// excluded from the stopping metric (their relative error decays
+    /// like `1/√(n·c_i)` and would hold the run hostage).
+    pub min_concentration: f64,
+}
+
+impl StoppingRule {
+    /// A rule with the given target, check cadence, and budget, and
+    /// default `z` / batching / floor parameters.
+    pub fn new(target_rel_ci: f64, check_every: usize, max_steps: usize) -> Self {
+        Self { target_rel_ci, check_every, max_steps, ..Self::default() }
+    }
+
+    /// Panics if the rule is out of domain.
+    pub fn validate(&self) {
+        assert!(self.target_rel_ci > 0.0, "target_rel_ci must be positive");
+        assert!(self.check_every >= 1, "check_every must be at least 1");
+        assert!(self.z > 0.0, "z must be positive");
+        assert!(self.batch_len >= 1, "batch_len must be at least 1");
+        assert!(self.min_batches >= 2, "min_batches must be at least 2");
+        assert!(
+            (0.0..=1.0).contains(&self.min_concentration),
+            "min_concentration must be a concentration"
+        );
+    }
+
+    /// Whether `stats` satisfies the stopping criterion.
+    pub fn converged(&self, stats: &BatchStats) -> bool {
+        if stats.batches() < self.min_batches {
+            return false;
+        }
+        let w = stats.max_relative_half_width(self.z, self.min_concentration);
+        w.is_finite() && w <= self.target_rel_ci
+    }
+}
+
+impl Default for StoppingRule {
+    /// ±5% at 95% confidence, checked every 10 000 steps, capped at one
+    /// million steps.
+    fn default() -> Self {
+        Self {
+            target_rel_ci: 0.05,
+            check_every: 10_000,
+            max_steps: 1_000_000,
+            z: 1.96,
+            batch_len: 512,
+            min_batches: 20,
+            min_concentration: 0.01,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives an accumulator with a known per-step score stream.
+    fn accumulate(stream: &[Vec<f64>], batch_len: usize) -> BatchStats {
+        let types = stream[0].len();
+        let mut acc = ScoreAccumulator::new(types, batch_len);
+        let mut raw = vec![0.0; types];
+        for step in stream {
+            for (r, x) in raw.iter_mut().zip(step) {
+                *r += x;
+            }
+            acc.tick(&raw);
+        }
+        acc.into_stats()
+    }
+
+    #[test]
+    fn batch_means_match_direct_computation() {
+        // 7 steps, batch_len 2 -> 3 complete batches, 1 step dropped.
+        let stream: Vec<Vec<f64>> =
+            [1.0, 3.0, 2.0, 2.0, 0.0, 4.0, 9.0].iter().map(|&x| vec![x, 2.0 * x]).collect();
+        let stats = accumulate(&stream, 2);
+        assert_eq!(stats.batches(), 3);
+        // batch means of type 0: [2.0, 2.0, 2.0]; type 1 doubles them.
+        assert!((stats.mean_score(0) - 2.0).abs() < 1e-12);
+        assert!((stats.mean_score(1) - 4.0).abs() < 1e-12);
+        assert!((stats.mean_total() - 6.0).abs() < 1e-12);
+        // zero variance across identical batch means
+        assert!(stats.var_of_mean(0).abs() < 1e-12);
+        assert!((stats.concentration(0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_of_mean_is_sample_variance_over_batches() {
+        // batch means of type 0: [1.0, 3.0] -> s² = 2, var(mean) = 1.
+        let stream: Vec<Vec<f64>> = [1.0, 1.0, 3.0, 3.0].iter().map(|&x| vec![x]).collect();
+        let stats = accumulate(&stream, 2);
+        assert_eq!(stats.batches(), 2);
+        assert!((stats.var_of_mean(0) - 1.0).abs() < 1e-12);
+        assert!((stats.std_error(0) - 1.0).abs() < 1e-12);
+        // relative half-width at z = 2: 2 * 1 / 2 = 1.
+        assert!((stats.relative_half_width(0, 2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insufficient_batches_give_nan() {
+        let stats = accumulate(&[vec![1.0], vec![2.0]], 2);
+        assert_eq!(stats.batches(), 1);
+        assert!(stats.var_of_mean(0).is_nan());
+        assert!(stats.std_error(0).is_nan());
+        assert!(stats.concentration_std_error(0).is_nan());
+        assert!(stats.max_relative_half_width(1.96, 0.0).is_nan());
+    }
+
+    #[test]
+    fn concentration_delta_method_is_exact_for_constant_total() {
+        // Total is constant (4.0) per step; concentration variance then
+        // reduces to Var(μ̂_i)/μ_T² exactly, and the cross term vanishes
+        // in expectation but not per-sample — check against a direct
+        // delta-method computation on the same batch means.
+        let stream: Vec<Vec<f64>> =
+            [[1.0, 3.0], [3.0, 1.0], [2.0, 2.0], [0.0, 4.0]].iter().map(|x| x.to_vec()).collect();
+        let stats = accumulate(&stream, 1);
+        let b = 4.0f64;
+        // direct: batch means are the steps themselves (batch_len 1)
+        let m0 = 1.5;
+        let var0 = [1.0f64, 3.0, 2.0, 0.0].iter().map(|x| (x - m0) * (x - m0)).sum::<f64>()
+            / (b - 1.0)
+            / b;
+        let c = m0 / 4.0;
+        // total variance and covariance are 0 (total constant at 4).
+        let want = (var0 / (4.0 * 4.0)).sqrt();
+        assert!((stats.concentration(0) - c).abs() < 1e-12);
+        assert!((stats.concentration_std_error(0) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_matches_single_stream_fold() {
+        // Folding one stream must equal merging its two halves, up to
+        // floating-point association (compare loosely).
+        let stream: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 7) as f64, (i % 3) as f64]).collect();
+        let whole = accumulate(&stream, 4);
+        let mut left = accumulate(&stream[..20], 4);
+        let right = accumulate(&stream[20..], 4);
+        left.merge(&right);
+        assert_eq!(left.batches(), whole.batches());
+        for i in 0..2 {
+            assert!((left.mean_score(i) - whole.mean_score(i)).abs() < 1e-12);
+            assert!((left.var_of_mean(i) - whole.var_of_mean(i)).abs() < 1e-12);
+            assert!(
+                (left.concentration_std_error(i) - whole.concentration_std_error(i)).abs() < 1e-12
+            );
+        }
+        assert!((left.mean_total() - whole.mean_total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let stream: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
+        let stats = accumulate(&stream, 2);
+        let mut a = stats.clone();
+        a.merge(&BatchStats::new(1, 2));
+        assert_eq!(a, stats);
+        let mut b = BatchStats::new(1, 2);
+        b.merge(&stats);
+        assert_eq!(b, stats);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal batch lengths")]
+    fn merge_rejects_mismatched_batch_len() {
+        let mut a = BatchStats::new(1, 2);
+        a.merge(&BatchStats::new(1, 4));
+    }
+
+    #[test]
+    fn max_relative_half_width_respects_floor() {
+        // Type 0 carries ~99% of mass with tight batches; type 1 is rare
+        // and noisy. With a 5% floor the rare type is excluded.
+        let stream: Vec<Vec<f64>> = (0..64)
+            .map(|i| vec![10.0 + ((i % 2) as f64) * 0.1, if i % 16 == 0 { 1.0 } else { 0.0 }])
+            .collect();
+        let stats = accumulate(&stream, 4);
+        let with_floor = stats.max_relative_half_width(1.96, 0.05);
+        let without = stats.max_relative_half_width(1.96, 0.0);
+        assert!(with_floor < without, "{with_floor} vs {without}");
+    }
+
+    #[test]
+    fn floor_is_capped_so_some_type_always_qualifies() {
+        // 112 types (k = 6) with near-uniform mass: every concentration
+        // (~0.009) sits below the default 0.01 floor, but the 1/types
+        // cap keeps the bound defined — the stopping rule can still
+        // fire on a diffuse distribution.
+        let types = 112;
+        let stream: Vec<Vec<f64>> = (0..32)
+            .map(|i| {
+                let mut step = vec![1.0; types];
+                step[i % types] += 0.01; // tiny jitter so variance > 0
+                step
+            })
+            .collect();
+        let stats = accumulate(&stream, 4);
+        let w = stats.max_relative_half_width(1.96, 0.01);
+        assert!(w.is_finite(), "capped floor must keep the bound defined, got {w}");
+    }
+
+    #[test]
+    fn stopping_rule_gates_on_batches_and_width() {
+        let rule = StoppingRule { min_batches: 4, target_rel_ci: 0.5, ..Default::default() };
+        rule.validate();
+        // Identical batches -> zero width, but too few batches.
+        let tight: Vec<Vec<f64>> = (0..3 * 512).map(|_| vec![1.0]).collect();
+        let stats = accumulate(&tight, 512);
+        assert_eq!(stats.batches(), 3);
+        assert!(!rule.converged(&stats));
+        let tight: Vec<Vec<f64>> = (0..4 * 512).map(|_| vec![1.0]).collect();
+        let stats = accumulate(&tight, 512);
+        assert!(rule.converged(&stats));
+    }
+
+    #[test]
+    fn default_batch_len_scales_as_sqrt() {
+        assert_eq!(default_batch_len(0), 16);
+        assert_eq!(default_batch_len(100), 16);
+        assert_eq!(default_batch_len(10_000), 100);
+        assert_eq!(default_batch_len(1_000_000), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "target_rel_ci")]
+    fn stopping_rule_rejects_zero_target() {
+        StoppingRule::new(0.0, 1_000, 10_000).validate();
+    }
+}

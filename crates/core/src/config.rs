@@ -7,7 +7,7 @@ pub struct EstimatorConfig {
     /// Graphlet size to estimate (3..=6).
     pub k: usize,
     /// Walk on `G(d)`; `1 ≤ d ≤ k`. `d = k − 1` is PSRW; `d = k` is the
-    /// plain subgraph random walk of [36] (l = 1).
+    /// plain subgraph random walk of \[36\] (l = 1).
     pub d: usize,
     /// Corresponding state sampling (§4.1). A no-op when `l ≤ 2` (the
     /// inclusion probabilities coincide, paper footnote 4).
@@ -27,15 +27,42 @@ impl Default for EstimatorConfig {
 }
 
 impl EstimatorConfig {
+    /// Upper bound accepted for [`EstimatorConfig::burn_in`]: beyond
+    /// ~4 × 10⁹ discarded steps the configuration is a typo, not a
+    /// burn-in (the estimator would walk for hours before its first
+    /// sample — and `usize::MAX` would spin effectively forever).
+    /// `u64` so the constant exists on 32-bit targets, where every
+    /// representable `burn_in` is below it anyway.
+    pub const MAX_BURN_IN: u64 = 1 << 32;
+
     /// Window length `l = k − d + 1`.
+    ///
+    /// Defined only for validated configurations (`1 ≤ d ≤ k`). Calling
+    /// it with `d > k + 1` is a domain error: debug builds panic with
+    /// the domain message (not the bare subtraction-overflow panic the
+    /// unguarded `k − d + 1` produced), and release builds saturate to 0
+    /// — an impossible window length every consumer rejects immediately
+    /// — instead of silently wrapping to a huge length.
     pub fn l(&self) -> usize {
-        self.k - self.d + 1
+        debug_assert!(
+            self.d >= 1 && self.d <= self.k,
+            "d={} must be in 1..=k (k={}) — validate() the config before use",
+            self.d,
+            self.k
+        );
+        (self.k + 1).saturating_sub(self.d)
     }
 
     /// Panics if the configuration is out of the supported domain.
     pub fn validate(&self) {
         assert!((3..=6).contains(&self.k), "k={} unsupported (3..=6)", self.k);
         assert!(self.d >= 1 && self.d <= self.k, "d={} must be in 1..=k (k={})", self.d, self.k);
+        assert!(
+            self.burn_in as u64 <= Self::MAX_BURN_IN,
+            "burn_in={} is pathological (max {}) — the walk would never reach sampling",
+            self.burn_in,
+            Self::MAX_BURN_IN
+        );
     }
 
     /// The paper's method name, e.g. `SRW2CSS`, `SRW1CSSNB`.
@@ -98,5 +125,39 @@ mod tests {
     #[should_panic(expected = "unsupported")]
     fn validate_rejects_k7() {
         EstimatorConfig { k: 7, d: 1, ..Default::default() }.validate();
+    }
+
+    // Regression: `l()` on an unvalidated config with d > k + 1 used to
+    // wrap (`k - d + 1` on usize) in release builds and panic with the
+    // bare overflow message in debug builds. Now debug builds panic
+    // with the domain message, and release builds saturate to 0, which
+    // no window consumer accepts.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "must be in 1..=k")]
+    fn l_debug_panics_with_domain_message_on_unvalidated_d() {
+        let _ = EstimatorConfig { k: 3, d: 6, ..Default::default() }.l();
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn l_saturates_instead_of_wrapping_in_release() {
+        assert_eq!(EstimatorConfig { k: 3, d: 6, ..Default::default() }.l(), 0);
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    #[should_panic(expected = "pathological")]
+    fn validate_rejects_pathological_burn_in() {
+        let burn_in = (EstimatorConfig::MAX_BURN_IN + 1) as usize;
+        EstimatorConfig { burn_in, ..Default::default() }.validate();
+    }
+
+    #[test]
+    fn validate_accepts_large_but_sane_burn_in() {
+        #[cfg(target_pointer_width = "64")]
+        EstimatorConfig { burn_in: EstimatorConfig::MAX_BURN_IN as usize, ..Default::default() }
+            .validate();
+        EstimatorConfig { burn_in: 1_000_000, ..Default::default() }.validate();
     }
 }

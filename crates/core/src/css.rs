@@ -13,7 +13,7 @@
 //!
 //! The covering sequences of a sampled subgraph depend only on its edge
 //! mask, so the per-(k, d) structure is precomputed *once per process*
-//! into a dense, direct-indexed table ([`DenseCss`], shared via
+//! into a dense, direct-indexed table (`DenseCss`, shared via
 //! `OnceLock` across estimators and walker threads) instead of a lazily
 //! filled `HashMap<(k, mask), _>`:
 //!

@@ -1,5 +1,6 @@
 //! Algorithm 1: unbiased estimation of graphlet statistics.
 
+use crate::accuracy::{default_batch_len, ScoreAccumulator, StoppingRule};
 use crate::config::EstimatorConfig;
 use crate::css::CssWeights;
 use crate::pie::pie_tilde;
@@ -21,23 +22,74 @@ use gx_walks::{
 /// `steps` is the sample budget n of Algorithm 1: the number of windows
 /// scored, matching the paper's "random walk steps" (e.g. 20K in §6).
 pub fn estimate<G: GraphAccess>(g: &G, cfg: &EstimatorConfig, steps: usize, seed: u64) -> Estimate {
+    estimate_batch(g, cfg, steps, seed, default_batch_len(steps))
+}
+
+/// [`estimate`] with an explicit batch length for the error-bar
+/// accumulator. The parallel engine routes through this so every walker
+/// uses the batch length derived from the *total* budget — pooled batch
+/// means are only valid over equal-length batches.
+pub(crate) fn estimate_batch<G: GraphAccess>(
+    g: &G,
+    cfg: &EstimatorConfig,
+    steps: usize,
+    seed: u64,
+    batch_len: usize,
+) -> Estimate {
     cfg.validate();
     let mut rng = rng_from_seed(seed);
     match cfg.d {
         1 => {
             let start = random_start_node(g, &mut rng);
             let walk = SrwWalk::new(g, start, cfg.non_backtracking);
-            estimate_with_walk(g, cfg, walk, steps, rng)
+            estimate_with_walk_batch(g, cfg, walk, steps, rng, batch_len)
         }
         2 => {
             let (u, v) = random_start_edge(g, &mut rng);
             let walk = G2Walk::new(g, u, v, cfg.non_backtracking);
-            estimate_with_walk(g, cfg, walk, steps, rng)
+            estimate_with_walk_batch(g, cfg, walk, steps, rng, batch_len)
         }
         _ => {
             let start = random_start_state(g, cfg.d, &mut rng);
             let walk = GdWalk::new(g, &start, cfg.non_backtracking);
-            estimate_with_walk(g, cfg, walk, steps, rng)
+            estimate_with_walk_batch(g, cfg, walk, steps, rng, batch_len)
+        }
+    }
+}
+
+/// Runs the estimator until [`StoppingRule::converged`] holds at a
+/// convergence check (every `rule.check_every` scored windows) or the
+/// `rule.max_steps` budget is exhausted — adaptive stopping on the
+/// batch-means confidence intervals of [`crate::accuracy`].
+///
+/// The scored-window stream is identical to [`estimate`]'s for the same
+/// `(g, cfg, seed)` — scoring consumes no randomness — so a run that
+/// exhausts `max_steps` returns bit-identical `raw_scores` to
+/// `estimate(g, cfg, max_steps, seed)`.
+pub fn estimate_until<G: GraphAccess>(
+    g: &G,
+    cfg: &EstimatorConfig,
+    seed: u64,
+    rule: &StoppingRule,
+) -> Estimate {
+    cfg.validate();
+    rule.validate();
+    let mut rng = rng_from_seed(seed);
+    match cfg.d {
+        1 => {
+            let start = random_start_node(g, &mut rng);
+            let walk = SrwWalk::new(g, start, cfg.non_backtracking);
+            estimate_until_with_walk(g, cfg, walk, rule, rng)
+        }
+        2 => {
+            let (u, v) = random_start_edge(g, &mut rng);
+            let walk = G2Walk::new(g, u, v, cfg.non_backtracking);
+            estimate_until_with_walk(g, cfg, walk, rule, rng)
+        }
+        _ => {
+            let start = random_start_state(g, cfg.d, &mut rng);
+            let walk = GdWalk::new(g, &start, cfg.non_backtracking);
+            estimate_until_with_walk(g, cfg, walk, rule, rng)
         }
     }
 }
@@ -71,13 +123,18 @@ struct Scorer {
     /// per-sample accumulate is an array store with no heap indirection.
     raw: [f64; MAX_TYPES],
     valid: usize,
+    /// Batch-means error-bar accumulator: one tick per scored window
+    /// (valid or not), reading batch means off `raw` snapshots — see
+    /// [`crate::accuracy`]. Adds one increment and one predictable
+    /// branch to the per-step path.
+    acc: ScoreAccumulator,
 }
 
 /// Upper bound on `num_graphlets(k)` for supported k (112 at k = 6).
 const MAX_TYPES: usize = 112;
 
 impl Scorer {
-    fn new(cfg: &EstimatorConfig) -> Self {
+    fn new(cfg: &EstimatorConfig, batch_len: usize) -> Self {
         debug_assert!(num_graphlets(cfg.k) <= MAX_TYPES);
         Self {
             k: cfg.k,
@@ -88,14 +145,29 @@ impl Scorer {
             css: if cfg.css { Some(CssWeights::new(cfg.k, cfg.d)) } else { None },
             raw: [0.0f64; MAX_TYPES],
             valid: 0,
+            acc: ScoreAccumulator::new(num_graphlets(cfg.k), batch_len),
+        }
+    }
+
+    /// Packs the accumulated state into an [`Estimate`] for a run that
+    /// scored `steps` windows.
+    fn finish(self, cfg: &EstimatorConfig, steps: usize) -> Estimate {
+        Estimate {
+            config: cfg.clone(),
+            steps,
+            valid_samples: self.valid,
+            raw_scores: self.raw[..num_graphlets(cfg.k)].to_vec(),
+            accuracy: Some(self.acc.into_stats()),
         }
     }
 
     /// Scores the current window if it is a valid sample (Algorithm 1
-    /// lines 4–7).
+    /// lines 4–7). Every call — valid window or not — is one step of the
+    /// error-bar accumulator's batch stream.
     #[inline(always)]
     fn score<G: GraphAccess>(&mut self, g: &G, window: &NodeWindow) {
         if !window.is_valid_sample() {
+            self.acc.tick(&self.raw);
             return;
         }
         let (mask, _nodes) = window.sample();
@@ -127,6 +199,7 @@ impl Scorer {
             1.0 / (self.alphas[idx] as f64 * pie_tilde(window, self.non_backtracking))
         };
         self.raw[idx] += weight;
+        self.acc.tick(&self.raw);
     }
 }
 
@@ -165,27 +238,26 @@ fn step_and_accumulate<G: GraphAccess, W: StateWalk>(
 pub fn estimate_with_walk<G: GraphAccess, W: StateWalk>(
     g: &G,
     cfg: &EstimatorConfig,
+    walk: W,
+    steps: usize,
+    rng: WalkRng,
+) -> Estimate {
+    estimate_with_walk_batch(g, cfg, walk, steps, rng, default_batch_len(steps))
+}
+
+/// [`estimate_with_walk`] with an explicit error-bar batch length.
+fn estimate_with_walk_batch<G: GraphAccess, W: StateWalk>(
+    g: &G,
+    cfg: &EstimatorConfig,
     mut walk: W,
     steps: usize,
     mut rng: WalkRng,
+    batch_len: usize,
 ) -> Estimate {
     cfg.validate();
     assert_eq!(walk.d(), cfg.d, "walk dimension must match configuration");
-    let l = cfg.l();
-    let mut scorer = Scorer::new(cfg);
-
-    for _ in 0..cfg.burn_in {
-        walk.step(&mut rng);
-    }
-    // Prime the window with the first l states (Algorithm 1 line 3).
-    let mut window = NodeWindow::new(l, cfg.d);
-    let deg = walk.state_degree();
-    window.push(g, walk.state(), deg);
-    for _ in 1..l {
-        walk.step(&mut rng);
-        let deg = walk.state_degree();
-        window.push(g, walk.state(), deg);
-    }
+    let mut scorer = Scorer::new(cfg, batch_len);
+    let mut window = prime_window(g, cfg, &mut walk, &mut rng);
 
     // Peeled final iteration: the loop body carries no `last step?`
     // branch, and the walk is never advanced past the last scored window
@@ -196,12 +268,66 @@ pub fn estimate_with_walk<G: GraphAccess, W: StateWalk>(
         }
         step_and_accumulate(g, &mut walk, &mut rng, &mut window, &mut scorer, false);
     }
-    Estimate {
-        config: cfg.clone(),
-        steps,
-        valid_samples: scorer.valid,
-        raw_scores: scorer.raw[..num_graphlets(cfg.k)].to_vec(),
+    scorer.finish(cfg, steps)
+}
+
+/// Burn-in plus the first `l` states (Algorithm 1 line 3): the shared
+/// preamble of the fixed-budget and adaptive runners.
+fn prime_window<G: GraphAccess, W: StateWalk>(
+    g: &G,
+    cfg: &EstimatorConfig,
+    walk: &mut W,
+    rng: &mut WalkRng,
+) -> NodeWindow {
+    for _ in 0..cfg.burn_in {
+        walk.step(rng);
     }
+    let l = cfg.l();
+    let mut window = NodeWindow::new(l, cfg.d);
+    let deg = walk.state_degree();
+    window.push(g, walk.state(), deg);
+    for _ in 1..l {
+        walk.step(rng);
+        let deg = walk.state_degree();
+        window.push(g, walk.state(), deg);
+    }
+    window
+}
+
+/// [`estimate_until`] with a caller-supplied walk.
+///
+/// Scores windows in the same order as [`estimate_with_walk`] (score,
+/// then advance — the reordering argument of `step_and_accumulate`
+/// applies unchanged), checking the stopping rule every
+/// `rule.check_every` scored windows. Like the fixed-budget runner, the
+/// walk is never advanced past the last scored window.
+pub fn estimate_until_with_walk<G: GraphAccess, W: StateWalk>(
+    g: &G,
+    cfg: &EstimatorConfig,
+    mut walk: W,
+    rule: &StoppingRule,
+    mut rng: WalkRng,
+) -> Estimate {
+    cfg.validate();
+    rule.validate();
+    assert_eq!(walk.d(), cfg.d, "walk dimension must match configuration");
+    let mut scorer = Scorer::new(cfg, rule.batch_len);
+    let mut window = prime_window(g, cfg, &mut walk, &mut rng);
+
+    let mut steps = 0usize;
+    while steps < rule.max_steps {
+        scorer.score(g, &window);
+        steps += 1;
+        if steps == rule.max_steps
+            || (steps.is_multiple_of(rule.check_every) && rule.converged(scorer.acc.stats()))
+        {
+            break;
+        }
+        walk.step(&mut rng);
+        let deg = walk.state_degree();
+        window.push(g, walk.state(), deg);
+    }
+    scorer.finish(cfg, steps)
 }
 
 #[cfg(test)]
@@ -410,6 +536,79 @@ mod tests {
         let est = estimate(&g, &cfg, 10_000, 5);
         assert_eq!(est.steps, 10_000);
         assert!(est.valid_samples > 0);
+    }
+
+    #[test]
+    fn estimates_carry_accuracy_stats() {
+        let g = classic::petersen();
+        let cfg = EstimatorConfig { k: 3, d: 1, ..Default::default() };
+        let est = estimate(&g, &cfg, 10_000, 5);
+        let stats = est.accuracy().expect("estimator runs collect accuracy");
+        assert_eq!(stats.batch_len(), crate::accuracy::default_batch_len(10_000));
+        assert_eq!(stats.batches() as usize, 10_000 / stats.batch_len());
+        // The batch-means mean-score estimate tracks raw/steps (they
+        // differ only by the dropped partial batch).
+        for i in 0..est.raw_scores.len() {
+            let per_step = est.raw_scores[i] / est.steps as f64;
+            assert!(
+                (stats.mean_score(i) - per_step).abs() <= 0.1 * per_step.max(1e-9),
+                "type {i}: batch mean {} vs per-step {per_step}",
+                stats.mean_score(i)
+            );
+        }
+        // The frequent type (wedges — the triangle-free Petersen graph
+        // has no type 1 mass) carries a finite, nonzero error bar.
+        assert!(est.std_error(0).is_finite());
+        assert!(est.relative_half_width(0, 1.96) > 0.0);
+    }
+
+    #[test]
+    fn estimate_until_stops_on_tight_intervals() {
+        let g = classic::petersen();
+        let cfg = EstimatorConfig { k: 3, d: 1, ..Default::default() };
+        let rule = StoppingRule {
+            target_rel_ci: 0.2,
+            check_every: 2_000,
+            max_steps: 2_000_000,
+            batch_len: 128,
+            ..Default::default()
+        };
+        let est = estimate_until(&g, &cfg, 7, &rule);
+        assert!(est.steps < rule.max_steps, "converged before the cap (took {})", est.steps);
+        assert_eq!(est.steps % rule.check_every, 0, "stopped at a check point");
+        let w = est.max_relative_half_width(rule.z, rule.min_concentration);
+        assert!(w <= rule.target_rel_ci, "measured width {w} above target");
+    }
+
+    #[test]
+    fn estimate_until_at_the_cap_matches_fixed_budget_bitwise() {
+        // Scoring consumes no randomness, so a run that exhausts
+        // max_steps scores exactly the windows estimate() scores.
+        let g = classic::lollipop(5, 4);
+        let cfg = EstimatorConfig { k: 4, d: 2, css: true, ..Default::default() };
+        let rule = StoppingRule {
+            target_rel_ci: 1e-9, // unreachable: always runs to the cap
+            check_every: 1_000,
+            max_steps: 5_000,
+            ..Default::default()
+        };
+        let until = estimate_until(&g, &cfg, 77, &rule);
+        let fixed = estimate(&g, &cfg, 5_000, 77);
+        assert_eq!(until.steps, 5_000);
+        assert_eq!(until.raw_scores, fixed.raw_scores);
+        assert_eq!(until.valid_samples, fixed.valid_samples);
+    }
+
+    #[test]
+    fn estimate_until_zero_cap_scores_nothing() {
+        let g = classic::petersen();
+        let cfg = EstimatorConfig { k: 3, d: 1, ..Default::default() };
+        let rule = StoppingRule { max_steps: 0, ..Default::default() };
+        let est = estimate_until(&g, &cfg, 3, &rule);
+        assert_eq!(est.steps, 0);
+        assert_eq!(est.valid_samples, 0);
+        assert!(est.raw_scores.iter().all(|&x| x == 0.0));
+        assert_eq!(est.counts(10.0), vec![0.0; est.raw_scores.len()]);
     }
 
     #[test]

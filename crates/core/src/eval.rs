@@ -17,9 +17,19 @@ pub fn nrmse(estimates: &[f64], truth: f64) -> f64 {
 }
 
 /// Per-type NRMSE across runs: `estimates[r][i]` is run r's estimate of
-/// type i.
+/// type i. Every run must carry exactly `truth.len()` types — ragged
+/// input is rejected up front with the offending run's index (instead of
+/// an opaque out-of-bounds panic mid-computation).
 pub fn nrmse_per_type(estimates: &[Vec<f64>], truth: &[f64]) -> Vec<f64> {
     let m = truth.len();
+    for (r, run) in estimates.iter().enumerate() {
+        assert_eq!(
+            run.len(),
+            m,
+            "nrmse_per_type: run {r} has {} types but truth has {m}",
+            run.len()
+        );
+    }
     (0..m)
         .map(|i| {
             let series: Vec<f64> = estimates.iter().map(|run| run[i]).collect();
@@ -46,7 +56,7 @@ pub fn variance(xs: &[f64]) -> f64 {
 }
 
 /// Cosine similarity of two concentration vectors — the graphlet-kernel
-/// similarity of §6.4 / Table 7 (after [33], restricted to one k).
+/// similarity of §6.4 / Table 7 (after \[33\], restricted to one k).
 pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len());
     let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
@@ -90,6 +100,15 @@ mod tests {
         let out = nrmse_per_type(&runs, &[0.4, 0.6]);
         assert!((out[0] - 0.25).abs() < 1e-12);
         assert!((out[1] - (0.1f64 * 0.1 / 2.0 + 0.1 * 0.1 / 2.0).sqrt() / 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "run 1 has 1 types but truth has 2")]
+    fn per_type_rejects_ragged_runs() {
+        // Regression: a run vector shorter than `truth` used to panic
+        // with an opaque index-out-of-bounds inside the per-type loop.
+        let runs = vec![vec![0.5, 0.5], vec![0.3]];
+        let _ = nrmse_per_type(&runs, &[0.4, 0.6]);
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! The estimator collects k-node graphlet samples from `l = k − d + 1`
 //! consecutive steps of a random walk on the subgraph relationship graph
 //! `G(d)` (built on the fly; `d` is a tunable parameter, with `d = k − 1`
-//! recovering PSRW [36] and `d = 1` on 3-node graphlets recovering
-//! Hardiman–Katzir [11]). Samples are de-biased by their inclusion
+//! recovering PSRW \[36\] and `d = 1` on 3-node graphlets recovering
+//! Hardiman–Katzir \[11\]). Samples are de-biased by their inclusion
 //! probability `α^k_i · π_e(X^{(l)})` (Theorem 2 + Definition 3), or — with
 //! the corresponding state sampling (CSS) optimization of §4.1 — by the
 //! full sampling probability `p(X^{(l)})` (Definition 4). Both plain and
@@ -25,6 +25,7 @@
 //! assert!((c[1] - 0.5).abs() < 0.1); // exact value is 0.5
 //! ```
 
+pub mod accuracy;
 pub mod config;
 pub mod counts;
 pub mod css;
@@ -36,9 +37,10 @@ pub mod result;
 pub mod theory;
 pub mod window;
 
+pub use accuracy::{BatchStats, StoppingRule};
 pub use config::EstimatorConfig;
 pub use counts::relationship_edge_count;
-pub use estimator::{estimate, estimate_with_walk};
+pub use estimator::{estimate, estimate_until, estimate_until_with_walk, estimate_with_walk};
 pub use parallel::{estimate_parallel, EstimatorPool, ParallelConfig};
 pub use result::Estimate;
 pub use window::NodeWindow;

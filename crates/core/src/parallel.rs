@@ -16,8 +16,9 @@
 //! `(seed, walkers)` pair gives bit-identical results on every run and
 //! machine, and `walkers == 1` is *bit-identical* to [`estimate`].
 
+use crate::accuracy::{default_batch_len, BatchStats};
 use crate::config::EstimatorConfig;
-use crate::estimator::estimate;
+use crate::estimator::{estimate, estimate_batch};
 use crate::result::Estimate;
 use gx_graph::GraphAccess;
 use gx_graphlets::num_graphlets;
@@ -136,6 +137,12 @@ pub fn estimate_parallel<G: GraphAccess + Sync>(
     // once, up front: otherwise every walker thread races to the same
     // cold `OnceLock` and the whole fan-out serializes behind one build.
     crate::estimator::prewarm(cfg);
+    // Every walker uses the batch length derived from the *total*
+    // budget, not its own share: pooled batch means (the merge below)
+    // are only comparable across walkers when all batches have equal
+    // length, and the total-budget policy makes walkers == 1 land on
+    // exactly the sequential estimator's batching.
+    let batch_len = default_batch_len(steps);
     // One OS thread per *core*, not per walker: each thread runs a
     // contiguous chunk of walkers sequentially, so pathological fan-outs
     // (walkers ≫ cores) cannot exhaust thread limits. Results are
@@ -151,19 +158,30 @@ pub fn estimate_parallel<G: GraphAccess + Sync>(
                 for (off, slot) in slots.iter_mut().enumerate() {
                     let i = c * chunk + off;
                     let share = walker_steps(steps, walkers, i);
-                    *slot = Some(estimate(g, cfg, share, walker_seed(seed, i)));
+                    *slot = Some(estimate_batch(g, cfg, share, walker_seed(seed, i), batch_len));
                 }
             });
         }
     });
-    merge(cfg, steps, results.into_iter().map(|r| r.expect("walker thread completed")))
+    merge(cfg, steps, batch_len, results.into_iter().map(|r| r.expect("walker thread completed")))
 }
 
-/// Folds per-walker estimates (in iteration order) into one.
-fn merge(cfg: &EstimatorConfig, steps: usize, parts: impl Iterator<Item = Estimate>) -> Estimate {
+/// Folds per-walker estimates (in iteration order) into one: raw scores
+/// and valid-sample counts add, batch-means statistics pool via
+/// [`BatchStats::merge`] (each walker's batches are independent draws of
+/// the same batch-mean distribution — equal batch length is enforced by
+/// construction above). Walker order fixes the floating-point fold
+/// order, keeping the result deterministic per `(seed, walkers)`.
+fn merge(
+    cfg: &EstimatorConfig,
+    steps: usize,
+    batch_len: usize,
+    parts: impl Iterator<Item = Estimate>,
+) -> Estimate {
     let mut raw = vec![0.0f64; num_graphlets(cfg.k)];
     let mut valid = 0usize;
     let mut seen_steps = 0usize;
+    let mut stats = BatchStats::new(num_graphlets(cfg.k), batch_len);
     for part in parts {
         debug_assert_eq!(part.config, *cfg);
         for (acc, x) in raw.iter_mut().zip(&part.raw_scores) {
@@ -171,9 +189,16 @@ fn merge(cfg: &EstimatorConfig, steps: usize, parts: impl Iterator<Item = Estima
         }
         valid += part.valid_samples;
         seen_steps += part.steps;
+        stats.merge(part.accuracy.as_ref().expect("walker estimates carry accuracy stats"));
     }
     debug_assert_eq!(seen_steps, steps, "walker shares must cover the budget");
-    Estimate { config: cfg.clone(), steps, valid_samples: valid, raw_scores: raw }
+    Estimate {
+        config: cfg.clone(),
+        steps,
+        valid_samples: valid,
+        raw_scores: raw,
+        accuracy: Some(stats),
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +221,8 @@ mod tests {
             assert_eq!(seq.raw_scores, par.raw_scores, "{}", cfg.name());
             assert_eq!(seq.valid_samples, par.valid_samples);
             assert_eq!(seq.steps, par.steps);
+            // ... including the error-bar statistics.
+            assert_eq!(seq.accuracy, par.accuracy, "{}", cfg.name());
         }
     }
 
@@ -207,9 +234,28 @@ mod tests {
         let b = estimate_parallel(&g, &cfg, 8_000, 42, 4);
         assert_eq!(a.raw_scores, b.raw_scores);
         assert_eq!(a.valid_samples, b.valid_samples);
+        // CI output is part of the determinism contract: the pooled
+        // batch-means statistics must match bit-for-bit too.
+        assert_eq!(a.accuracy, b.accuracy);
         // Different fan-out is a different (deterministic) estimate.
         let c = estimate_parallel(&g, &cfg, 8_000, 42, 3);
         assert_ne!(a.raw_scores, c.raw_scores);
+    }
+
+    #[test]
+    fn pooled_batches_cover_every_walker() {
+        let g = classic::petersen();
+        let cfg = EstimatorConfig { k: 3, d: 1, ..Default::default() };
+        let (steps, walkers, seed) = (9_000, 4, 11);
+        let par = estimate_parallel(&g, &cfg, steps, seed, walkers);
+        let stats = par.accuracy().expect("parallel runs pool accuracy");
+        let batch_len = crate::accuracy::default_batch_len(steps);
+        assert_eq!(stats.batch_len(), batch_len, "batch length follows the total budget");
+        let expected: u64 =
+            (0..walkers).map(|i| (walker_steps(steps, walkers, i) / batch_len) as u64).sum();
+        assert_eq!(stats.batches(), expected, "pooled batches are the per-walker sum");
+        // The pooled error bar is usable: finite SE on a frequent type.
+        assert!(par.std_error(0).is_finite() || par.std_error(1).is_finite());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Connectivity: BFS, connected components, LCC extraction.
 //!
 //! The paper evaluates exclusively on the largest connected component of
-//! each dataset (§6.1), and Theorem 3.1 of [36] needs `G` connected for
+//! each dataset (§6.1), and Theorem 3.1 of \[36\] needs `G` connected for
 //! `G(d)` to be connected — so LCC extraction is part of every dataset's
 //! construction here too.
 

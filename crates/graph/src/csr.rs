@@ -24,7 +24,7 @@ pub struct Graph {
     pub(crate) hubs: HubIndex,
 }
 
-/// Dense bitset adjacency for *hub* nodes (degree ≥ [`hub_threshold`]),
+/// Dense bitset adjacency for *hub* nodes (degree ≥ `hub_threshold`),
 /// making `has_edge` O(1) when either endpoint is a hub — the common
 /// case on power-law graphs, where walks spend most steps around hubs
 /// and the binary-search probe is deepest exactly there.
@@ -165,7 +165,7 @@ impl Graph {
     }
 
     /// Whether the undirected edge `(u, v)` exists. O(1) bitset probe
-    /// when either endpoint is a hub (degree ≥ [`hub_threshold`]), binary
+    /// when either endpoint is a hub (degree ≥ `hub_threshold`), binary
     /// search on the smaller adjacency list otherwise.
     #[inline]
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {

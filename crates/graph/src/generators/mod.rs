@@ -5,9 +5,9 @@
 //! `DESIGN.md` §3). The families are chosen so the *axes that drive the
 //! estimator's behaviour* can be dialed in:
 //!
-//! * heavy-tailed degrees → [`barabasi_albert`], [`holme_kim`];
-//! * tunable triangle density (graphlet concentration) → [`holme_kim`]
-//!   (triad-formation probability), [`watts_strogatz`];
+//! * heavy-tailed degrees → [`mod@barabasi_albert`], [`mod@holme_kim`];
+//! * tunable triangle density (graphlet concentration) → [`mod@holme_kim`]
+//!   (triad-formation probability), [`mod@watts_strogatz`];
 //! * low-clustering nulls → [`erdos_renyi`];
 //! * community structure → [`sbm`];
 //! * worst/best-case mixing → [`classic`] (lollipop vs complete).

@@ -11,9 +11,10 @@ use crate::error::GraphError;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-/// Reads an edge list from any reader. Node ids must be non-negative
-/// integers; the node count is `max id + 1`.
-pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, GraphError> {
+/// Parses the raw `u v` pairs of an edge list: the shared front half of
+/// [`read_edge_list`] and [`read_edge_list_compact`]. Returns the edges
+/// plus the maximum node id seen (0 for an empty list).
+fn parse_edges<R: Read>(reader: R) -> Result<(Vec<(u64, u64)>, u64), GraphError> {
     let mut edges: Vec<(u64, u64)> = Vec::new();
     let mut max_id: u64 = 0;
     let mut r = BufReader::new(reader);
@@ -43,6 +44,21 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, GraphError> {
         max_id = max_id.max(u).max(v);
         edges.push((u, v));
     }
+    Ok((edges, max_id))
+}
+
+/// Reads an edge list from any reader. Node ids must be non-negative
+/// integers; the node count is `max id + 1`.
+///
+/// **Default id semantics:** ids are taken as dense — the graph is
+/// allocated over `0..=max id`, and ids that never appear become
+/// isolated nodes. That matches SNAP-style files with (near-)contiguous
+/// ids, but is a footgun for KONECT-style files with sparse ids: one
+/// stray id like 10⁹ allocates a billion-node graph. For such files use
+/// [`read_edge_list_compact`], which remaps ids to `0..n` and returns
+/// the remap table.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, GraphError> {
+    let (edges, max_id) = parse_edges(reader)?;
     let n = if edges.is_empty() { 0 } else { max_id as usize + 1 };
     if n > u32::MAX as usize {
         return Err(GraphError::NodeOutOfRange { node: max_id, num_nodes: u32::MAX as usize });
@@ -57,6 +73,83 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, GraphError> {
 /// Reads an edge list from a file path.
 pub fn read_edge_list_file(path: impl AsRef<Path>) -> Result<Graph, GraphError> {
     read_edge_list(std::fs::File::open(path)?)
+}
+
+/// The id remap produced by [`read_edge_list_compact`]: compact id `c`
+/// (a node of the returned graph) corresponds to original file id
+/// `originals()[c]`. Compact ids follow the sorted order of the original
+/// ids, so the mapping is deterministic for a given edge set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeIdMap {
+    originals: Vec<u64>,
+}
+
+impl NodeIdMap {
+    /// Number of distinct original ids (the compact graph's node count).
+    pub fn len(&self) -> usize {
+        self.originals.len()
+    }
+
+    /// True when the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.originals.is_empty()
+    }
+
+    /// Original file id of compact node `compact`.
+    pub fn original(&self, compact: u32) -> u64 {
+        self.originals[compact as usize]
+    }
+
+    /// Compact id of an original file id, or `None` if it never appeared.
+    pub fn compact(&self, original: u64) -> Option<u32> {
+        self.originals.binary_search(&original).ok().map(|i| i as u32)
+    }
+
+    /// All original ids, indexed by compact id (sorted ascending).
+    pub fn originals(&self) -> &[u64] {
+        &self.originals
+    }
+}
+
+/// Reads an edge list with **id compaction**: the distinct original ids
+/// are sorted, deduplicated, and remapped to `0..n`, so memory scales
+/// with the number of ids actually present rather than with their
+/// magnitude. This is the right entry point for KONECT-style snapshots
+/// whose ids are sparse (e.g. a single id near 10⁹ — which would make
+/// [`read_edge_list`] allocate a billion-node graph). Returns the graph
+/// together with the [`NodeIdMap`] for translating results back to
+/// original ids.
+pub fn read_edge_list_compact<R: Read>(reader: R) -> Result<(Graph, NodeIdMap), GraphError> {
+    let (edges, _) = parse_edges(reader)?;
+    let mut ids: Vec<u64> = Vec::with_capacity(edges.len() * 2);
+    for &(u, v) in &edges {
+        ids.push(u);
+        ids.push(v);
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    if ids.len() > u32::MAX as usize {
+        return Err(GraphError::NodeOutOfRange {
+            node: *ids.last().expect("non-empty id set"),
+            num_nodes: u32::MAX as usize,
+        });
+    }
+    let map = NodeIdMap { originals: ids };
+    let mut b = GraphBuilder::with_edge_capacity(map.len(), edges.len());
+    for (u, v) in edges {
+        let cu = map.compact(u).expect("endpoint is in the id set");
+        let cv = map.compact(v).expect("endpoint is in the id set");
+        b.add_edge(cu, cv)?;
+    }
+    Ok((b.build(), map))
+}
+
+/// Reads an edge list from a file path with id compaction
+/// (see [`read_edge_list_compact`]).
+pub fn read_edge_list_compact_file(
+    path: impl AsRef<Path>,
+) -> Result<(Graph, NodeIdMap), GraphError> {
+    read_edge_list_compact(std::fs::File::open(path)?)
 }
 
 /// Writes each edge once as `u v` with `u < v`, preceded by a summary
@@ -113,6 +206,64 @@ mod tests {
     fn empty_input_gives_empty_graph() {
         let g = read_edge_list("".as_bytes()).unwrap();
         assert_eq!(g.num_nodes(), 0);
+    }
+
+    #[test]
+    fn compact_remaps_sparse_konect_style_ids() {
+        // One KONECT-style id near 10⁹: the dense reader would allocate a
+        // billion-node graph; the compact reader allocates three nodes.
+        let text = "# sparse ids\n1000000000 7\n7 42\n";
+        let (g, map) = read_edge_list_compact(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(map.len(), 3);
+        assert_eq!(map.originals(), &[7, 42, 1_000_000_000]);
+        // compact ids follow sorted original order
+        assert_eq!(map.compact(7), Some(0));
+        assert_eq!(map.compact(42), Some(1));
+        assert_eq!(map.compact(1_000_000_000), Some(2));
+        assert_eq!(map.compact(8), None);
+        for c in 0..3u32 {
+            assert_eq!(map.compact(map.original(c)), Some(c));
+        }
+        // edges survive the remap: 10⁹–7 and 7–42
+        assert!(g.has_edge(map.compact(1_000_000_000).unwrap(), map.compact(7).unwrap()));
+        assert!(g.has_edge(map.compact(7).unwrap(), map.compact(42).unwrap()));
+        assert!(!g.has_edge(map.compact(1_000_000_000).unwrap(), map.compact(42).unwrap()));
+    }
+
+    #[test]
+    fn compact_on_contiguous_ids_is_the_identity_remap() {
+        let g = classic::petersen();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let (back, map) = read_edge_list_compact(&buf[..]).unwrap();
+        assert_eq!(g, back);
+        assert_eq!(map.originals(), (0..10u64).collect::<Vec<_>>().as_slice());
+    }
+
+    #[test]
+    fn compact_tolerates_comments_duplicates_and_empty_input() {
+        let (g, map) = read_edge_list_compact("".as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert!(map.is_empty());
+        let text = "# c\n% c\n\n5 9\n9 5\n9 9\n";
+        let (g, map) = read_edge_list_compact(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1); // dup + self-loop dropped at build
+        assert_eq!(map.originals(), &[5, 9]);
+    }
+
+    #[test]
+    fn compact_file_roundtrip() {
+        let dir = std::env::temp_dir().join("gx_graph_io_compact_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sparse.txt");
+        std::fs::write(&path, "100 200\n200 300000\n").unwrap();
+        let (g, map) = read_edge_list_compact_file(&path).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(map.originals(), &[100, 200, 300_000]);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

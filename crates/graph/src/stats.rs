@@ -32,7 +32,7 @@ pub fn degree_moment(g: &Graph, p: f64) -> f64 {
 }
 
 /// Total number of wedges (paths of length two), `Σ_v C(d_v, 2)`. This is
-/// the normalizer of wedge sampling [32] and the `W` of clustering
+/// the normalizer of wedge sampling \[32\] and the `W` of clustering
 /// coefficient computations.
 pub fn wedge_count(g: &Graph) -> u64 {
     (0..g.num_nodes())
@@ -44,7 +44,7 @@ pub fn wedge_count(g: &Graph) -> u64 {
 }
 
 /// `Σ_{(u,v) ∈ E} (d_u − 1)(d_v − 1)`, the normalizer `S` of 3-path
-/// sampling [14] and, divided by 2, the edge count of `G(2)` plus...
+/// sampling \[14\] and, divided by 2, the edge count of `G(2)` plus...
 /// precisely: `|R(2)| = ½ Σ_{(u,v)∈E} (d_u + d_v − 2)` is
 /// [`g2_edge_count`]; this function is the *path* normalizer.
 pub fn three_path_weight(g: &Graph) -> u64 {

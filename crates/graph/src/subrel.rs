@@ -1,7 +1,7 @@
 //! Explicit construction of the d-node subgraph relationship graph `G(d)`
 //! and ESU enumeration of connected induced subgraphs.
 //!
-//! Definition (paper §2.1, following [36]): the nodes of `G(d)` are all
+//! Definition (paper §2.1, following \[36\]): the nodes of `G(d)` are all
 //! connected induced d-node subgraphs of `G`; two are adjacent iff they
 //! share `d − 1` nodes of `G`. `G(1) = G`.
 //!

@@ -6,7 +6,7 @@
 //! * k = 5: Table 3 fixes the order through its shape row, which we cannot
 //!   see in text form — but the table's α-coefficient columns pin it down
 //!   uniquely: the (SRW1..SRW4) α-vector of every 5-node graphlet is
-//!   distinct. [`PAPER_TO_CANON_5`] stores the resulting permutation from
+//!   distinct. `PAPER_TO_CANON_5` stores the resulting permutation from
 //!   paper index to canonical class index; the `gx-graphlets` test
 //!   `alpha::tests::table3_five_node_alphas_match_paper` recomputes every α
 //!   with Algorithm 2 and verifies the assignment, so a wrong permutation

@@ -7,7 +7,7 @@
 //! process lifetime.
 //!
 //! Classes are numbered here in *canonical order* (ascending edge count,
-//! then ascending canonical mask). The [`crate::atlas`] module maps
+//! then ascending canonical mask). The [`mod@crate::atlas`] module maps
 //! canonical order to the paper's ordering.
 
 use crate::mask::{num_pairs, SmallGraph};

@@ -6,12 +6,12 @@
 //! * [`mask`] — small graphs on k ≤ 7 nodes as edge bitmasks;
 //! * [`canon`] — exact classification tables built by canonicalizing every
 //!   possible mask over all k! permutations (k = 3..6);
-//! * [`atlas`] — the catalogue of graphlet types, ordered to match the
+//! * [`mod@atlas`] — the catalogue of graphlet types, ordered to match the
 //!   paper's Figure 2 (k = 3, 4) and Table 3 (k = 5), with names, canonical
 //!   edge lists and degree sequences;
 //! * [`classify`] — classifying a concrete node set of a host graph;
 //! * [`signature`] — the degree-signature fast path described in the
-//!   paper's §5 (after GUISE [6]), kept as an independently-implemented
+//!   paper's §5 (after GUISE \[6\]), kept as an independently-implemented
 //!   classifier that the tests cross-validate against the canonical tables.
 //!
 //! There are 2 three-node, 6 four-node, 21 five-node and 112 six-node

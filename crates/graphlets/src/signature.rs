@@ -1,4 +1,4 @@
-//! The degree-signature classifier (paper §5, after GUISE [6]).
+//! The degree-signature classifier (paper §5, after GUISE \[6\]).
 //!
 //! The paper identifies sample types by comparing the subgraph's
 //! degree-signature against precomputed signatures — cheaper than a full

@@ -179,7 +179,7 @@ pub fn gd_state_degree<G: GraphAccess>(g: &G, nodes: &[NodeId]) -> usize {
 /// [`gd_state_degree`] with caller-provided scratch. Counts the `G(d)`
 /// neighbors of `nodes` (a connected induced d-subgraph, any order)
 /// without materializing the neighbor list or constructing a walk: the
-/// same drop-one/replace-one enumeration as [`GdWalk::refresh_neighbors`],
+/// same drop-one/replace-one enumeration as `GdWalk::refresh_neighbors`,
 /// reduced to a counter.
 pub fn gd_state_degree_with<G: GraphAccess>(
     g: &G,

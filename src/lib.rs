@@ -46,7 +46,8 @@ pub use gx_baselines as baselines;
 pub use gx_datasets as datasets;
 
 pub use gx_core::{
-    estimate, estimate_parallel, Estimate, EstimatorConfig, EstimatorPool, ParallelConfig,
+    estimate, estimate_parallel, estimate_until, BatchStats, Estimate, EstimatorConfig,
+    EstimatorPool, ParallelConfig, StoppingRule,
 };
 pub use gx_graph::{Graph, GraphAccess, NodeId};
 pub use gx_graphlets::GraphletId;
