@@ -14,7 +14,10 @@
 //! the fastest trial is kept, the standard steady-state-throughput
 //! protocol on shared/noisy machines).
 
-use gx_core::{estimate, estimate_parallel, EstimatorConfig, NodeWindow};
+use gx_core::{
+    estimate, estimate_parallel, estimate_until_parallel, EstimatorConfig, NodeWindow,
+    ParallelConfig, StoppingRule,
+};
 use gx_datasets::dataset;
 use gx_graphlets::classify_mask;
 use gx_walks::{random_start_edge, rng_from_seed, G2Walk, SrwWalk, StateWalk};
@@ -198,6 +201,47 @@ fn main() {
             curve.push(serde_json::Value::Object(row));
         }
         json.insert("srw2css_ci_curve".into(), serde_json::Value::Array(curve));
+    }
+
+    // Adaptive CI-width-vs-wallclock curve: what the coordinator
+    // actually costs to hit a given target — the budget-planning data
+    // behind README's "how many steps for ±x%?" recipe. Each row runs
+    // `estimate_until_parallel` against one target (capped at the
+    // bench's step budget so a smoke run stays fast) and records the
+    // steps it chose to spend, the wallclock, and the width it reached.
+    {
+        let mut curve: Vec<serde_json::Value> = Vec::new();
+        let par = ParallelConfig::with_walkers(walkers);
+        for target in [0.10, 0.05, 0.03] {
+            let rule = StoppingRule {
+                target_rel_ci: target,
+                check_every: (steps / 8).max(1_000),
+                max_steps: steps,
+                batch_len: 256,
+                min_batches: 8,
+                ..Default::default()
+            };
+            let t = Instant::now();
+            let est = estimate_until_parallel(g, &cfg, 42, &rule, &par);
+            let secs = t.elapsed().as_secs_f64();
+            let report = est.adaptive().expect("adaptive runs carry a report");
+            let width = est.max_relative_half_width(report.critical_value, rule.min_concentration);
+            println!(
+                "SRW2CSS adaptive ±{:>4.1}%  {:>9} steps  {secs:.3} s  reached {:>6.3}%{}",
+                100.0 * target,
+                est.steps,
+                100.0 * width,
+                if report.target_met { "" } else { "  (budget-capped)" }
+            );
+            let mut row = serde_json::Map::new();
+            row.insert("target_rel_ci".into(), serde_json::json!(target));
+            row.insert("steps".into(), serde_json::json!(est.steps));
+            row.insert("secs".into(), serde_json::json!(secs));
+            row.insert("rel_ci_half_width".into(), serde_json::json!(width));
+            row.insert("target_met".into(), serde_json::json!(report.target_met));
+            curve.push(serde_json::Value::Object(row));
+        }
+        json.insert("srw2css_adaptive_curve".into(), serde_json::Value::Array(curve));
     }
 
     // Persist at the repo root so the perf trajectory is tracked in-tree.

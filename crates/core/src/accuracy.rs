@@ -169,7 +169,7 @@ impl BatchStats {
         if self.batches < 2 {
             return f64::NAN;
         }
-        let floor = min_concentration.min(1.0 / self.types() as f64);
+        let floor = self.qualifying_floor(min_concentration);
         let mut widest = f64::NAN;
         for i in 0..self.types() {
             if self.concentration(i) >= floor {
@@ -186,6 +186,16 @@ impl BatchStats {
             }
         }
         widest
+    }
+
+    /// The concentration floor actually applied when deciding which
+    /// types qualify for the stopping metric: the caller's floor capped
+    /// at `1/types` — the single source of the qualification rule shared
+    /// by [`BatchStats::max_relative_half_width`] and the adaptive
+    /// tracker's per-type latching, so the latch set can never diverge
+    /// from the stopping decision.
+    pub(crate) fn qualifying_floor(&self, min_concentration: f64) -> f64 {
+        min_concentration.min(1.0 / self.types() as f64)
     }
 
     /// Folds one completed batch given the raw-score snapshot difference
@@ -315,21 +325,289 @@ pub fn default_batch_len(steps: usize) -> usize {
     ((steps as f64).sqrt() as usize).max(16)
 }
 
-/// When to stop an adaptive estimation run ([`crate::estimate_until`]).
+// --- Studentized critical values -------------------------------------------
+//
+// Batch-means intervals divide by an *estimated* standard error, so the
+// pivotal quantity is Student-t with `batches − 1` degrees of freedom,
+// not normal. With the default √n batching a short adaptive run easily
+// reaches its first convergence check with 10–20 batches, where the
+// normal quantile understates the interval by 5–15% — exactly the regime
+// where an adaptive stopping rule would otherwise stop too early with an
+// overconfident CI. The inverse-t below replaces the z quantile whenever
+// the pooled batch count is small (see [`studentized_critical`]).
+
+/// Batch counts below this use the Student-t quantile in place of `z`
+/// when sizing confidence intervals (30 is the classic rule-of-thumb
+/// boundary where t and normal quantiles differ by under ~2%).
+pub const STUDENTIZE_BELOW: u64 = 30;
+
+/// Degrees of freedom at which [`student_t_quantile`] switches to the
+/// normal quantile outright. At 200 df the exact t quantile is within
+/// ~1.2% of z at the 95% level — far below the batch-means estimator's
+/// own resolution — and the clamp makes the df → ∞ limit exact.
+pub const T_DF_NORMAL_LIMIT: u64 = 200;
+
+/// `ln Γ(x)` for `x > 0` (Lanczos, g = 5): the only special function the
+/// incomplete beta below needs.
+fn ln_gamma(x: f64) -> f64 {
+    const COF: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_9e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    let mut y = x;
+    for c in COF {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+/// Continued fraction for the regularized incomplete beta (Lentz's
+/// method, Numerical Recipes §6.4).
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=200 {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 3e-14 {
+            break;
+        }
+    }
+    h
+}
+
+/// Regularized incomplete beta `I_x(a, b)`.
+fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let bt = (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln()).exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        bt * betacf(a, b, x) / a
+    } else {
+        1.0 - bt * betacf(b, a, 1.0 - x) / b
+    }
+}
+
+/// CDF of Student's t with `df` degrees of freedom, via the standard
+/// incomplete-beta identity `P(T ≤ t) = 1 − I_{df/(df+t²)}(df/2, 1/2)/2`
+/// for `t ≥ 0` (symmetry for `t < 0`). Exact at every df, so the
+/// quantile inversion below is monotone by construction.
+pub fn student_t_cdf(t: f64, df: f64) -> f64 {
+    debug_assert!(df >= 1.0);
+    let x = df / (df + t * t);
+    let tail = 0.5 * reg_inc_beta(0.5 * df, 0.5, x);
+    if t >= 0.0 {
+        1.0 - tail
+    } else {
+        tail
+    }
+}
+
+/// Standard normal CDF `Φ(z)` via the complementary error function
+/// (Chebyshev fit, |error| < 1.2 × 10⁻⁷ — far below batch-means noise).
+pub fn normal_cdf(z: f64) -> f64 {
+    let x = -z / std::f64::consts::SQRT_2;
+    // erfc on [0, ∞), reflected for negative arguments.
+    let ax = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * ax);
+    let erfc_ax = t
+        * (-ax * ax - 1.265_512_23
+            + t * (1.000_023_68
+                + t * (0.374_091_96
+                    + t * (0.096_784_18
+                        + t * (-0.186_288_06
+                            + t * (0.278_868_07
+                                + t * (-1.135_203_98
+                                    + t * (1.488_515_87
+                                        + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
+            .exp();
+    let erfc_x = if x >= 0.0 { erfc_ax } else { 2.0 - erfc_ax };
+    0.5 * erfc_x
+}
+
+/// Standard normal quantile `Φ⁻¹(p)` (Acklam's rational approximation,
+/// relative error < 1.15 × 10⁻⁹). Panics outside `(0, 1)`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal_quantile needs p in (0, 1), got {p}");
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -normal_quantile(1.0 - p)
+    }
+}
+
+/// Student-t quantile: the `p`-quantile of the t distribution with `df`
+/// degrees of freedom — the inverse-t lookup behind studentized batch-
+/// means intervals. Computed by bisection on [`student_t_cdf`] (monotone
+/// by construction, accurate at every df); at `df ≥`
+/// [`T_DF_NORMAL_LIMIT`] it returns the normal quantile outright (the
+/// exact difference there is already below the CI's resolution).
+///
+/// Panics for `df == 0` or `p` outside `(0, 1)`.
+pub fn student_t_quantile(p: f64, df: u64) -> f64 {
+    assert!(df >= 1, "student_t_quantile needs df >= 1");
+    assert!(p > 0.0 && p < 1.0, "student_t_quantile needs p in (0, 1), got {p}");
+    if df >= T_DF_NORMAL_LIMIT {
+        return normal_quantile(p);
+    }
+    if p < 0.5 {
+        return -student_t_quantile(1.0 - p, df);
+    }
+    if p == 0.5 {
+        return 0.0;
+    }
+    let dff = df as f64;
+    // Bracket: the normal quantile is a lower-ish init; double until the
+    // CDF crosses p (heavy df = 1 tails need a few doublings).
+    let mut hi = normal_quantile(p).max(1.0);
+    while student_t_cdf(hi, dff) < p && hi < 1e300 {
+        hi *= 2.0;
+    }
+    let mut lo = 0.0;
+    for _ in 0..120 {
+        let mid = 0.5 * (lo + hi);
+        if student_t_cdf(mid, dff) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// The critical value for a two-sided CI specified by the normal
+/// critical value `z` (e.g. 1.96 for 95%), studentized for `batches`
+/// batch means: with fewer than [`STUDENTIZE_BELOW`] batches the
+/// matching Student-t quantile at `batches − 1` degrees of freedom
+/// replaces `z` (always ≥ `z`, widening the interval to honest small-
+/// sample coverage); with `batches < 2` no variance estimate exists and
+/// the result is `NaN`.
+///
+/// The matched coverage level is clamped below 1: `normal_cdf` rounds
+/// to exactly 1.0 for `z ≳ 8.3`, which must yield a huge-but-finite
+/// critical value, not a domain panic halfway through a paid-for run.
+/// (Tail precision already degrades for `z ≳ 5.5` — far beyond any
+/// practical confidence level; every sane `z` is unaffected.)
+pub fn studentized_critical(z: f64, batches: u64) -> f64 {
+    if batches < 2 {
+        f64::NAN
+    } else if batches >= STUDENTIZE_BELOW {
+        z
+    } else {
+        student_t_quantile(normal_cdf(z).min(1.0 - 1e-12), batches - 1)
+    }
+}
+
+/// When to stop an adaptive estimation run ([`crate::estimate_until`] /
+/// [`crate::estimate_until_parallel`]).
 ///
 /// The run stops at the first convergence check where at least
 /// `min_batches` batches have completed and the widest relative
 /// CI half-width over types with concentration ≥ `min_concentration`
 /// is at most `target_rel_ci` — or unconditionally at `max_steps`.
+/// Intervals are studentized: while the pooled batch count is below
+/// [`STUDENTIZE_BELOW`], the Student-t quantile matching `z`'s coverage
+/// replaces `z` (see [`StoppingRule::critical_value`]).
+///
+/// With `per_type` set, each type's convergence is *latched* the first
+/// time its own half-width meets the target, and the run stops once
+/// every qualifying type has latched — reported per type in the
+/// [`AdaptiveReport`] the adaptive runners attach to their estimate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StoppingRule {
     /// Target relative half-width of the `z`-CI (e.g. 0.05 for ±5%).
     pub target_rel_ci: f64,
-    /// Steps between convergence checks.
+    /// Steps between convergence checks. In the parallel coordinator
+    /// this is the per-walker round length: pooled checks happen every
+    /// `walkers × check_every` total steps.
     pub check_every: usize,
-    /// Hard step budget; the run never exceeds it.
+    /// Hard step budget (total across walkers); the run never exceeds
+    /// it.
     pub max_steps: usize,
-    /// CI critical value (1.96 ≈ 95% normal coverage).
+    /// Nominal CI critical value (1.96 ≈ 95% normal coverage).
+    /// Studentized at evaluation time — see
+    /// [`StoppingRule::critical_value`].
     pub z: f64,
     /// Steps per batch for the batch-means variance. Must exceed the
     /// chain's mixing scale for honest intervals; the default (512)
@@ -342,13 +620,27 @@ pub struct StoppingRule {
     /// excluded from the stopping metric (their relative error decays
     /// like `1/√(n·c_i)` and would hold the run hostage).
     pub min_concentration: f64,
+    /// Per-type stopping: latch each qualifying type the first time its
+    /// own half-width meets the target and stop once all have latched,
+    /// instead of requiring the *current* widest width to meet it. Can
+    /// stop earlier (a type that converged and later wobbled wider stays
+    /// converged) and fills [`AdaptiveReport::steps_used`] with each
+    /// type's own convergence step.
+    pub per_type: bool,
 }
 
 impl StoppingRule {
     /// A rule with the given target, check cadence, and budget, and
     /// default `z` / batching / floor parameters.
+    ///
+    /// Panics immediately on an out-of-domain rule (zero/negative
+    /// target, zero check cadence, …) — see [`StoppingRule::validate`] —
+    /// so a rule that could never fire is rejected at construction, not
+    /// after a silent full-budget run.
     pub fn new(target_rel_ci: f64, check_every: usize, max_steps: usize) -> Self {
-        Self { target_rel_ci, check_every, max_steps, ..Self::default() }
+        let rule = Self { target_rel_ci, check_every, max_steps, ..Self::default() };
+        rule.validate();
+        rule
     }
 
     /// Panics if the rule is out of domain.
@@ -364,12 +656,22 @@ impl StoppingRule {
         );
     }
 
-    /// Whether `stats` satisfies the stopping criterion.
+    /// The critical value this rule sizes intervals with once `batches`
+    /// batch means are pooled: `z` studentized for small batch counts
+    /// (see [`studentized_critical`]).
+    pub fn critical_value(&self, batches: u64) -> f64 {
+        studentized_critical(self.z, batches)
+    }
+
+    /// Whether `stats` satisfies the (non-latching) stopping criterion:
+    /// enough batches, and the widest studentized relative half-width
+    /// over qualifying types at or below the target.
     pub fn converged(&self, stats: &BatchStats) -> bool {
         if stats.batches() < self.min_batches {
             return false;
         }
-        let w = stats.max_relative_half_width(self.z, self.min_concentration);
+        let crit = self.critical_value(stats.batches());
+        let w = stats.max_relative_half_width(crit, self.min_concentration);
         w.is_finite() && w <= self.target_rel_ci
     }
 }
@@ -386,13 +688,188 @@ impl Default for StoppingRule {
             batch_len: 512,
             min_batches: 20,
             min_concentration: 0.01,
+            per_type: false,
         }
+    }
+}
+
+/// What an adaptive run ([`crate::estimate_until`] /
+/// [`crate::estimate_until_parallel`]) learned about its own
+/// convergence, attached to the [`crate::Estimate`] it returns.
+///
+/// `steps_used[i]` is the pooled step count at the first convergence
+/// check where type `i`'s studentized relative half-width met the
+/// target (with `converged[i] == true`); for types still pending at the
+/// end it is the run's total step count (`converged[i] == false`).
+/// Types below the concentration floor typically never latch — they are
+/// excluded from the stopping decision, not estimated to target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveReport {
+    /// Walkers that cooperated on the budget (1 for the sequential
+    /// runner).
+    pub walkers: usize,
+    /// Convergence checks (coordinator rounds) performed.
+    pub rounds: usize,
+    /// Whether the stopping criterion was met (as opposed to exhausting
+    /// `max_steps`).
+    pub target_met: bool,
+    /// The studentized critical value in effect at the final check
+    /// (`NaN` if no check gathered two batches).
+    pub critical_value: f64,
+    /// Per-type pooled steps at first convergence (total steps for
+    /// types still pending).
+    pub steps_used: Vec<usize>,
+    /// Per-type converged/pending status.
+    pub converged: Vec<bool>,
+}
+
+/// The latching convergence bookkeeping shared by the sequential and
+/// parallel adaptive runners: one `observe` per convergence check,
+/// recording each type's first convergence step and answering whether
+/// the rule says stop.
+#[derive(Debug, Clone)]
+pub(crate) struct AdaptiveTracker {
+    latched: Vec<Option<usize>>,
+}
+
+impl AdaptiveTracker {
+    pub(crate) fn new(types: usize) -> Self {
+        Self { latched: vec![None; types] }
+    }
+
+    /// Evaluates one convergence check against `stats` (the pooled
+    /// statistics) at `pooled_steps` total scored windows. Latches
+    /// newly converged types, and returns whether the run should stop:
+    /// all qualifying types latched (`per_type`), or the current widest
+    /// qualifying half-width at target (default) — both studentized.
+    pub(crate) fn observe(
+        &mut self,
+        rule: &StoppingRule,
+        stats: &BatchStats,
+        pooled_steps: usize,
+    ) -> bool {
+        if stats.batches() < rule.min_batches {
+            return false;
+        }
+        let crit = rule.critical_value(stats.batches());
+        // The capped floor shared with `max_relative_half_width`:
+        // pigeonhole guarantees at least one type qualifies once
+        // anything scored. One pass serves both stop modes: per-type
+        // latching, and the widest-qualifying-width criterion (with the
+        // same NaN poisoning as `max_relative_half_width` — a qualifying
+        // type with an undefined width keeps the bound undefined).
+        let floor = stats.qualifying_floor(rule.min_concentration);
+        let (mut any, mut all) = (false, true);
+        let mut widest = f64::NAN;
+        let mut undefined = false;
+        for (i, latch) in self.latched.iter_mut().enumerate() {
+            let c = stats.concentration(i);
+            if c.is_nan() || c < floor {
+                continue; // NaN concentration (nothing scored) is excluded too
+            }
+            any = true;
+            let w = stats.relative_half_width(i, crit);
+            if w.is_nan() {
+                undefined = true;
+            } else if widest.is_nan() || w > widest {
+                widest = w;
+            }
+            if latch.is_none() {
+                if w.is_finite() && w <= rule.target_rel_ci {
+                    *latch = Some(pooled_steps);
+                } else {
+                    all = false;
+                }
+            }
+        }
+        if rule.per_type {
+            any && all
+        } else {
+            !undefined && widest.is_finite() && widest <= rule.target_rel_ci
+        }
+    }
+
+    /// Packs the latched state into the user-facing report.
+    pub(crate) fn report(
+        &self,
+        walkers: usize,
+        rounds: usize,
+        total_steps: usize,
+        target_met: bool,
+        critical_value: f64,
+    ) -> AdaptiveReport {
+        AdaptiveReport {
+            walkers,
+            rounds,
+            target_met,
+            critical_value,
+            steps_used: self.latched.iter().map(|l| l.unwrap_or(total_steps)).collect(),
+            converged: self.latched.iter().map(|l| l.is_some()).collect(),
+        }
+    }
+}
+
+/// The verdict of [`crate::measure_burn_in`]: initialization bias
+/// measured as the disagreement between early batch means and the
+/// chain's steady-state batch-mean distribution (ROADMAP's "compare
+/// first-batch mean vs the rest").
+///
+/// The reference distribution is the trailing half of the pilot batches
+/// (mean `μ`, standard deviation `σ`); a leading batch is flagged
+/// *biased* when its total-score mean sits more than `3σ` from `μ`.
+/// `suggested_burn_in` is the step count covering everything up to and
+/// including the *last* flagged leading batch (a start state can pass
+/// through an in-band batch before drifting atypical, so the scan must
+/// not stop at the first conforming batch) — pass it as
+/// [`crate::EstimatorConfig::burn_in`] (zero when the chain shows no
+/// measurable initialization bias, the common case on well-connected
+/// graphs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurnInReport {
+    /// Steps per pilot batch.
+    pub batch_len: usize,
+    /// Total-score mean of every pilot batch, in chain order.
+    pub batch_means: Vec<f64>,
+    /// Standardized deviation of the first batch's mean from the
+    /// steady-state reference: `(mean₀ − μ) / σ`. Beyond ±3 the start
+    /// state's neighborhood is measurably atypical.
+    pub first_batch_z: f64,
+    /// Steps to discard before sampling (a multiple of `batch_len`).
+    pub suggested_burn_in: usize,
+}
+
+impl BurnInReport {
+    /// Diagnoses initialization bias from a pilot chain's per-batch
+    /// total-score means. Needs at least four batches (two of reference
+    /// tail).
+    pub fn from_batch_means(batch_means: Vec<f64>, batch_len: usize) -> Self {
+        assert!(batch_len >= 1, "batch length must be at least 1");
+        let n = batch_means.len();
+        assert!(n >= 4, "burn-in diagnosis needs at least 4 pilot batches, got {n}");
+        let tail = &batch_means[n / 2..];
+        let mu = tail.iter().sum::<f64>() / tail.len() as f64;
+        let var = tail.iter().map(|x| (x - mu) * (x - mu)).sum::<f64>() / (tail.len() - 1) as f64;
+        // Guard a degenerate (constant-score) tail: fall back to a tiny
+        // relative scale so exact agreement still reads as unbiased.
+        let sd = var.sqrt().max(1e-12 * mu.abs().max(1.0));
+        let first_batch_z = (batch_means[0] - mu) / sd;
+        let biased_lead = batch_means[..n / 2]
+            .iter()
+            .rposition(|m| (m - mu).abs() > 3.0 * sd)
+            .map_or(0, |last| last + 1);
+        Self { batch_len, batch_means, first_batch_z, suggested_burn_in: biased_lead * batch_len }
+    }
+
+    /// Whether any leading batch was flagged.
+    pub fn biased(&self) -> bool {
+        self.suggested_burn_in > 0
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     /// Drives an accumulator with a known per-step score stream.
     fn accumulate(stream: &[Vec<f64>], batch_len: usize) -> BatchStats {
@@ -561,9 +1038,259 @@ mod tests {
         assert_eq!(default_batch_len(1_000_000), 1000);
     }
 
+    // Regression (constructor validation): a rule with a non-positive
+    // target can never fire and used to silently burn the whole
+    // max_steps budget on every run; check_every == 0 never reached a
+    // convergence check at all. `new` now rejects both up front.
     #[test]
     #[should_panic(expected = "target_rel_ci")]
     fn stopping_rule_rejects_zero_target() {
-        StoppingRule::new(0.0, 1_000, 10_000).validate();
+        let _ = StoppingRule::new(0.0, 1_000, 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "target_rel_ci")]
+    fn stopping_rule_rejects_negative_target() {
+        let _ = StoppingRule::new(-0.05, 1_000, 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "check_every")]
+    fn stopping_rule_rejects_zero_check_cadence() {
+        let _ = StoppingRule::new(0.05, 0, 10_000);
+    }
+
+    #[test]
+    fn studentized_critical_widens_small_batch_intervals() {
+        // Below the studentization threshold the critical value must
+        // exceed z (t-tails are heavier), approaching z from above.
+        let mut prev = f64::INFINITY;
+        for batches in 2..STUDENTIZE_BELOW {
+            let crit = studentized_critical(1.96, batches);
+            assert!(crit > 1.96, "batches={batches}: {crit}");
+            assert!(crit <= prev, "critical value must shrink with more batches");
+            prev = crit;
+        }
+        assert_eq!(studentized_critical(1.96, STUDENTIZE_BELOW), 1.96);
+        assert_eq!(studentized_critical(1.96, 1_000), 1.96);
+        assert!(studentized_critical(1.96, 0).is_nan());
+        assert!(studentized_critical(1.96, 1).is_nan());
+    }
+
+    #[test]
+    fn t_quantile_matches_reference_table() {
+        // Classic two-sided 95% (p = 0.975) column of the t table.
+        for (df, want) in
+            [(1u64, 12.706), (2, 4.303), (5, 2.571), (10, 2.228), (30, 2.042), (100, 1.984)]
+        {
+            let got = student_t_quantile(0.975, df);
+            assert!((got - want).abs() < 1.5e-3, "df={df}: got {got}, want {want}");
+        }
+        // 99% two-sided (p = 0.995).
+        for (df, want) in [(1u64, 63.657), (5, 4.032), (20, 2.845)] {
+            let got = student_t_quantile(0.995, df);
+            assert!((got - want).abs() < 1.5e-3, "df={df}: got {got}, want {want}");
+        }
+        // Symmetry and the median.
+        assert_eq!(student_t_quantile(0.5, 7), 0.0);
+        assert!((student_t_quantile(0.1, 7) + student_t_quantile(0.9, 7)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_quantile_inverts_normal_cdf() {
+        for z in [-3.0, -1.96, -0.5, 0.0, 0.5, 1.0, 1.645, 1.96, 2.576, 3.29] {
+            if z == 0.0 {
+                assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+                continue;
+            }
+            let p = normal_cdf(z);
+            assert!((normal_quantile(p) - z).abs() < 1e-5, "z={z}: round trip {}", {
+                normal_quantile(p)
+            });
+        }
+    }
+
+    #[test]
+    fn t_quantile_converges_to_z_by_df_200() {
+        // The inverse-t lookup clamps to the normal quantile at
+        // T_DF_NORMAL_LIMIT; the property the stopping rule relies on is
+        // that by df = 200 the lookup and z agree to well under 1e-3.
+        for p in [0.8, 0.9, 0.95, 0.975, 0.995] {
+            let t = student_t_quantile(p, 200);
+            let z = normal_quantile(p);
+            assert!((t - z).abs() < 1e-3, "p={p}: t {t} vs z {z}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Strictly increasing in the confidence level at fixed df.
+        #[test]
+        fn t_quantile_monotone_in_confidence(
+            df in 1u64..60,
+            p in 0.55f64..0.98,
+            gap in 0.005f64..0.015,
+        ) {
+            let lo = student_t_quantile(p, df);
+            let hi = student_t_quantile(p + gap, df);
+            prop_assert!(hi > lo, "df={df}: q({p})={lo} !< q({})={hi}", p + gap);
+        }
+
+        /// Decreasing in df at fixed upper-tail level (heavier tails at
+        /// fewer degrees of freedom), down to the normal quantile.
+        #[test]
+        fn t_quantile_decreasing_in_df(df in 1u64..260, p in 0.75f64..0.999) {
+            let here = student_t_quantile(p, df);
+            let next = student_t_quantile(p, df + 1);
+            prop_assert!(here >= next, "df={df}, p={p}: {here} < {next}");
+            let z = normal_quantile(p);
+            prop_assert!(here >= z - 1e-12, "df={df}, p={p}: t {here} below z {z}");
+        }
+
+        /// The studentized interval is wider than the z interval at
+        /// small batch counts: same standard error, larger multiplier.
+        #[test]
+        fn t_interval_wider_than_z_at_small_df(batches in 2u64..30, z in 1.2f64..3.0) {
+            let crit = studentized_critical(z, batches);
+            let se = 0.37; // arbitrary positive standard error
+            prop_assert!(crit * se > z * se, "batches={batches}: t width {} vs z width {}",
+                crit * se, z * se);
+        }
+    }
+
+    #[test]
+    fn tracker_latches_types_and_reports_steps_used() {
+        // Type 0 tight from the start, type 1 noisy: per-type mode must
+        // latch 0 at the first check and 1 only once its width drops.
+        let rule = StoppingRule {
+            target_rel_ci: 0.2,
+            min_batches: 2,
+            min_concentration: 0.0,
+            per_type: true,
+            ..Default::default()
+        };
+        let mut tracker = AdaptiveTracker::new(2);
+        // Check 1 (batch_len 2, so (i/2) % 2 varies *across* batches):
+        // type 0 batch means 10 ± 0.0005, type 1 batch means 0 / 1.
+        let noisy: Vec<Vec<f64>> = (0..8)
+            .map(|i| vec![10.0 + 0.001 * ((i / 2) % 2) as f64, ((i / 2) % 2) as f64])
+            .collect();
+        let stats = accumulate(&noisy, 2);
+        assert!(!tracker.observe(&rule, &stats, 100), "type 1 still wide");
+        // Check 2: both tight now.
+        let tight: Vec<Vec<f64>> = (0..8)
+            .map(|i| vec![10.0 + 0.001 * ((i / 2) % 2) as f64, 1.0 + 0.001 * ((i / 2) % 2) as f64])
+            .collect();
+        let stats = accumulate(&tight, 2);
+        assert!(tracker.observe(&rule, &stats, 200), "all types latched");
+        let report = tracker.report(1, 2, 200, true, 2.2);
+        assert_eq!(report.steps_used, vec![100, 200]);
+        assert_eq!(report.converged, vec![true, true]);
+        assert!(report.target_met);
+        assert_eq!(report.rounds, 2);
+        assert_eq!(report.walkers, 1);
+    }
+
+    #[test]
+    fn tracker_pending_types_report_total_steps() {
+        let rule = StoppingRule {
+            target_rel_ci: 1e-6,
+            min_batches: 2,
+            min_concentration: 0.0,
+            per_type: true,
+            ..Default::default()
+        };
+        let mut tracker = AdaptiveTracker::new(1);
+        // Batch means 0.5, 2.5, 4.5, 6.5 — far too noisy for the target.
+        let stream: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
+        let stats = accumulate(&stream, 2);
+        assert!(!tracker.observe(&rule, &stats, 500));
+        let report = tracker.report(2, 1, 500, false, f64::NAN);
+        assert_eq!(report.steps_used, vec![500]);
+        assert_eq!(report.converged, vec![false]);
+        assert!(!report.target_met);
+    }
+
+    #[test]
+    fn tracker_respects_min_batches_gate() {
+        let rule = StoppingRule { target_rel_ci: 10.0, min_batches: 5, ..Default::default() };
+        let mut tracker = AdaptiveTracker::new(1);
+        let stream: Vec<Vec<f64>> = (0..8).map(|i| vec![1.0 + (i % 2) as f64]).collect();
+        let stats = accumulate(&stream, 2); // 4 batches < 5
+        assert!(!tracker.observe(&rule, &stats, 8));
+        assert!(!tracker.report(1, 1, 8, false, f64::NAN).converged[0]);
+    }
+
+    #[test]
+    fn burn_in_report_flags_biased_lead_batches() {
+        // Two hot leading batches, then a stationary tail.
+        let mut means = vec![9.0, 7.5];
+        means.extend((0..10).map(|i| 1.0 + 0.01 * (i % 3) as f64));
+        let report = BurnInReport::from_batch_means(means, 128);
+        assert!(report.biased());
+        assert_eq!(report.suggested_burn_in, 2 * 128);
+        assert!(report.first_batch_z > 3.0, "z = {}", report.first_batch_z);
+    }
+
+    #[test]
+    fn studentized_critical_survives_extreme_z() {
+        // Regression: normal_cdf rounds to exactly 1.0 for z ≳ 8.3, and
+        // an unclamped level paniced inside student_t_quantile halfway
+        // through a paid-for run. Absurd-but-validated z must produce a
+        // huge finite critical value instead.
+        for batches in [2u64, 5, 10, 29] {
+            let crit = studentized_critical(9.0, batches);
+            assert!(crit.is_finite() && crit > 9.0, "batches={batches}: {crit}");
+        }
+        // Above the studentization threshold z passes through untouched.
+        assert_eq!(studentized_critical(9.0, 30), 9.0);
+    }
+
+    #[test]
+    fn burn_in_scan_does_not_stop_at_a_lucky_in_band_batch() {
+        // Regression: the first batch can land in-band by luck before
+        // the chain drifts through an atypical region; the scan must
+        // cover through the *last* out-of-band leading batch.
+        let mut means = vec![1.0, 9.0, 9.0, 9.0, 1.01, 0.99];
+        means.extend((0..6).map(|i| 1.0 + 0.01 * (i % 3) as f64));
+        let report = BurnInReport::from_batch_means(means, 64);
+        assert!(report.biased());
+        assert_eq!(report.suggested_burn_in, 4 * 64, "covers through the last hot batch");
+        assert!(report.first_batch_z.abs() < 3.0, "first batch itself was in-band");
+    }
+
+    #[test]
+    fn burn_in_report_accepts_stationary_chain() {
+        let means: Vec<f64> = (0..12).map(|i| 5.0 + 0.02 * (i % 4) as f64).collect();
+        let report = BurnInReport::from_batch_means(means, 64);
+        assert!(!report.biased());
+        assert_eq!(report.suggested_burn_in, 0);
+        assert!(report.first_batch_z.abs() < 3.0);
+    }
+
+    #[test]
+    fn burn_in_report_constant_scores_read_as_unbiased() {
+        // A degenerate zero-variance tail must not divide by zero.
+        let report = BurnInReport::from_batch_means(vec![2.0; 8], 32);
+        assert!(!report.biased());
+        assert_eq!(report.first_batch_z, 0.0);
+    }
+
+    #[test]
+    fn burn_in_suggestion_capped_at_half_the_pilot() {
+        // Every batch "biased" relative to the tail is impossible by
+        // construction (the tail defines the reference), but a first
+        // half entirely outside the tail band caps at n/2 batches.
+        let mut means = vec![100.0, 90.0, 80.0, 70.0];
+        means.extend([1.0, 1.1, 0.9, 1.05]);
+        let report = BurnInReport::from_batch_means(means, 16);
+        assert_eq!(report.suggested_burn_in, 4 * 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 pilot batches")]
+    fn burn_in_report_needs_enough_batches() {
+        let _ = BurnInReport::from_batch_means(vec![1.0, 2.0, 3.0], 16);
     }
 }

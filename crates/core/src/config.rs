@@ -92,6 +92,21 @@ impl EstimatorConfig {
             Self { k, d: 2, css: true, non_backtracking: false, burn_in: 0 }
         }
     }
+
+    /// This configuration with `burn_in` discarded steps — the natural
+    /// receiver for [`crate::measure_burn_in`]'s `suggested_burn_in`:
+    ///
+    /// ```
+    /// use gx_core::{measure_burn_in, EstimatorConfig};
+    /// let g = gx_graph::generators::classic::petersen();
+    /// let cfg = EstimatorConfig::recommended(3);
+    /// let pilot = measure_burn_in(&g, &cfg, 7, 4_096, 256);
+    /// let cfg = cfg.with_burn_in(pilot.suggested_burn_in);
+    /// # assert_eq!(cfg.burn_in % 256, 0);
+    /// ```
+    pub fn with_burn_in(self, burn_in: usize) -> Self {
+        Self { burn_in, ..self }
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,8 @@
 //! Algorithm 1: unbiased estimation of graphlet statistics.
 
-use crate::accuracy::{default_batch_len, ScoreAccumulator, StoppingRule};
+use crate::accuracy::{
+    default_batch_len, AdaptiveTracker, BatchStats, BurnInReport, ScoreAccumulator, StoppingRule,
+};
 use crate::config::EstimatorConfig;
 use crate::css::CssWeights;
 use crate::pie::pie_tilde;
@@ -37,24 +39,9 @@ pub(crate) fn estimate_batch<G: GraphAccess>(
     batch_len: usize,
 ) -> Estimate {
     cfg.validate();
-    let mut rng = rng_from_seed(seed);
-    match cfg.d {
-        1 => {
-            let start = random_start_node(g, &mut rng);
-            let walk = SrwWalk::new(g, start, cfg.non_backtracking);
-            estimate_with_walk_batch(g, cfg, walk, steps, rng, batch_len)
-        }
-        2 => {
-            let (u, v) = random_start_edge(g, &mut rng);
-            let walk = G2Walk::new(g, u, v, cfg.non_backtracking);
-            estimate_with_walk_batch(g, cfg, walk, steps, rng, batch_len)
-        }
-        _ => {
-            let start = random_start_state(g, cfg.d, &mut rng);
-            let walk = GdWalk::new(g, &start, cfg.non_backtracking);
-            estimate_with_walk_batch(g, cfg, walk, steps, rng, batch_len)
-        }
-    }
+    let mut session = AnySession::new(g, cfg, seed, batch_len);
+    session.run(steps);
+    session.into_estimate(cfg)
 }
 
 /// Runs the estimator until [`StoppingRule::converged`] holds at a
@@ -74,24 +61,7 @@ pub fn estimate_until<G: GraphAccess>(
 ) -> Estimate {
     cfg.validate();
     rule.validate();
-    let mut rng = rng_from_seed(seed);
-    match cfg.d {
-        1 => {
-            let start = random_start_node(g, &mut rng);
-            let walk = SrwWalk::new(g, start, cfg.non_backtracking);
-            estimate_until_with_walk(g, cfg, walk, rule, rng)
-        }
-        2 => {
-            let (u, v) = random_start_edge(g, &mut rng);
-            let walk = G2Walk::new(g, u, v, cfg.non_backtracking);
-            estimate_until_with_walk(g, cfg, walk, rule, rng)
-        }
-        _ => {
-            let start = random_start_state(g, cfg.d, &mut rng);
-            let walk = GdWalk::new(g, &start, cfg.non_backtracking);
-            estimate_until_with_walk(g, cfg, walk, rule, rng)
-        }
-    }
+    run_adaptive(AnySession::new(g, cfg, seed, rule.batch_len), cfg, rule)
 }
 
 /// Builds every process-wide table the configuration will touch (α,
@@ -158,6 +128,7 @@ impl Scorer {
             valid_samples: self.valid,
             raw_scores: self.raw[..num_graphlets(cfg.k)].to_vec(),
             accuracy: Some(self.acc.into_stats()),
+            adaptive: None,
         }
     }
 
@@ -249,26 +220,15 @@ pub fn estimate_with_walk<G: GraphAccess, W: StateWalk>(
 fn estimate_with_walk_batch<G: GraphAccess, W: StateWalk>(
     g: &G,
     cfg: &EstimatorConfig,
-    mut walk: W,
+    walk: W,
     steps: usize,
-    mut rng: WalkRng,
+    rng: WalkRng,
     batch_len: usize,
 ) -> Estimate {
     cfg.validate();
-    assert_eq!(walk.d(), cfg.d, "walk dimension must match configuration");
-    let mut scorer = Scorer::new(cfg, batch_len);
-    let mut window = prime_window(g, cfg, &mut walk, &mut rng);
-
-    // Peeled final iteration: the loop body carries no `last step?`
-    // branch, and the walk is never advanced past the last scored window
-    // (stepping there would waste an API call).
-    if steps > 0 {
-        for _ in 1..steps {
-            step_and_accumulate(g, &mut walk, &mut rng, &mut window, &mut scorer, true);
-        }
-        step_and_accumulate(g, &mut walk, &mut rng, &mut window, &mut scorer, false);
-    }
-    scorer.finish(cfg, steps)
+    let mut session = WalkSession::from_parts(g, cfg, walk, rng, batch_len);
+    session.run(steps);
+    session.into_estimate(cfg)
 }
 
 /// Burn-in plus the first `l` states (Algorithm 1 line 3): the shared
@@ -294,40 +254,283 @@ fn prime_window<G: GraphAccess, W: StateWalk>(
     window
 }
 
+/// A walker's persistent chain state: walk + RNG + window + scorer,
+/// resumable in increments. This is the unit the adaptive runners are
+/// built on — a chain scores `n` more windows per [`WalkSession::run`]
+/// call with *no* re-burn-in between rounds, so the round-based parallel
+/// coordinator ([`crate::estimate_until_parallel`]) pays priming once
+/// per walker, not once per round.
+///
+/// The scored-window stream is identical to [`estimate_with_walk`]'s
+/// for the same `(g, cfg, walk, rng)`: the walk only advances *between*
+/// scored windows (lazily, before the next score), so a session is
+/// never stepped past its last scored window — splitting a budget
+/// across `run` calls cannot change a single sampled window.
+pub(crate) struct WalkSession<'g, G: GraphAccess, W: StateWalk> {
+    g: &'g G,
+    walk: W,
+    rng: WalkRng,
+    window: NodeWindow,
+    scorer: Scorer,
+    scored: usize,
+}
+
+impl<'g, G: GraphAccess, W: StateWalk> WalkSession<'g, G, W> {
+    /// Primes the window (burn-in + first `l` states) and readies the
+    /// session to score its first window.
+    pub(crate) fn from_parts(
+        g: &'g G,
+        cfg: &EstimatorConfig,
+        mut walk: W,
+        mut rng: WalkRng,
+        batch_len: usize,
+    ) -> Self {
+        assert_eq!(walk.d(), cfg.d, "walk dimension must match configuration");
+        let scorer = Scorer::new(cfg, batch_len);
+        let window = prime_window(g, cfg, &mut walk, &mut rng);
+        Self { g, walk, rng, window, scorer, scored: 0 }
+    }
+
+    /// Scores `n` more windows, advancing the walk between them — the
+    /// peeled [`step_and_accumulate`] loop of Algorithm 1, resumable:
+    /// the body carries no `last step?` branch, and the session is left
+    /// un-advanced past its last scored window, so a finished run wastes
+    /// no API call and a resumed one advances lazily (the one unfused
+    /// boundary per `run` call) before re-entering the fused loop.
+    pub(crate) fn run(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        if self.scored > 0 {
+            // Resume: slide over the state the previous call stopped at.
+            self.walk.step(&mut self.rng);
+            let deg = self.walk.state_degree();
+            self.window.push(self.g, self.walk.state(), deg);
+        }
+        for _ in 1..n {
+            step_and_accumulate(
+                self.g,
+                &mut self.walk,
+                &mut self.rng,
+                &mut self.window,
+                &mut self.scorer,
+                true,
+            );
+        }
+        step_and_accumulate(
+            self.g,
+            &mut self.walk,
+            &mut self.rng,
+            &mut self.window,
+            &mut self.scorer,
+            false,
+        );
+        self.scored += n;
+    }
+
+    pub(crate) fn stats(&self) -> &BatchStats {
+        self.scorer.acc.stats()
+    }
+
+    pub(crate) fn into_estimate(self, cfg: &EstimatorConfig) -> Estimate {
+        let scored = self.scored;
+        self.scorer.finish(cfg, scored)
+    }
+}
+
+/// [`WalkSession`] with the walk flavor resolved at runtime from
+/// `cfg.d`, replaying [`estimate`]'s exact start-state and RNG protocol
+/// — the persistent-chain form of the dispatch in [`estimate_batch`].
+pub(crate) enum AnySession<'g, G: GraphAccess> {
+    D1(WalkSession<'g, G, SrwWalk<'g, G>>),
+    D2(WalkSession<'g, G, G2Walk<'g, G>>),
+    Dn(WalkSession<'g, G, GdWalk<'g, G>>),
+}
+
+impl<'g, G: GraphAccess> AnySession<'g, G> {
+    pub(crate) fn new(g: &'g G, cfg: &EstimatorConfig, seed: u64, batch_len: usize) -> Self {
+        let mut rng = rng_from_seed(seed);
+        match cfg.d {
+            1 => {
+                let start = random_start_node(g, &mut rng);
+                let walk = SrwWalk::new(g, start, cfg.non_backtracking);
+                Self::D1(WalkSession::from_parts(g, cfg, walk, rng, batch_len))
+            }
+            2 => {
+                let (u, v) = random_start_edge(g, &mut rng);
+                let walk = G2Walk::new(g, u, v, cfg.non_backtracking);
+                Self::D2(WalkSession::from_parts(g, cfg, walk, rng, batch_len))
+            }
+            _ => {
+                let start = random_start_state(g, cfg.d, &mut rng);
+                let walk = GdWalk::new(g, &start, cfg.non_backtracking);
+                Self::Dn(WalkSession::from_parts(g, cfg, walk, rng, batch_len))
+            }
+        }
+    }
+
+    pub(crate) fn run(&mut self, n: usize) {
+        match self {
+            Self::D1(s) => s.run(n),
+            Self::D2(s) => s.run(n),
+            Self::Dn(s) => s.run(n),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> &BatchStats {
+        match self {
+            Self::D1(s) => s.stats(),
+            Self::D2(s) => s.stats(),
+            Self::Dn(s) => s.stats(),
+        }
+    }
+
+    /// Raw-score accumulator (all tracked types).
+    pub(crate) fn raw(&self) -> &[f64] {
+        let (scorer, types) = match self {
+            Self::D1(s) => (&s.scorer, num_graphlets(s.scorer.k)),
+            Self::D2(s) => (&s.scorer, num_graphlets(s.scorer.k)),
+            Self::Dn(s) => (&s.scorer, num_graphlets(s.scorer.k)),
+        };
+        &scorer.raw[..types]
+    }
+
+    pub(crate) fn valid(&self) -> usize {
+        match self {
+            Self::D1(s) => s.scorer.valid,
+            Self::D2(s) => s.scorer.valid,
+            Self::Dn(s) => s.scorer.valid,
+        }
+    }
+
+    pub(crate) fn scored(&self) -> usize {
+        match self {
+            Self::D1(s) => s.scored,
+            Self::D2(s) => s.scored,
+            Self::Dn(s) => s.scored,
+        }
+    }
+
+    pub(crate) fn into_estimate(self, cfg: &EstimatorConfig) -> Estimate {
+        match self {
+            Self::D1(s) => s.into_estimate(cfg),
+            Self::D2(s) => s.into_estimate(cfg),
+            Self::Dn(s) => s.into_estimate(cfg),
+        }
+    }
+}
+
+/// The adaptive runner's view of a chain, so the single-walker drive
+/// loop below serves both the statically-typed [`WalkSession`] (public
+/// `_with_walk` entry point) and the runtime-dispatched [`AnySession`].
+trait AdaptiveSession {
+    fn run(&mut self, n: usize);
+    fn stats(&self) -> &BatchStats;
+    fn into_estimate(self, cfg: &EstimatorConfig) -> Estimate;
+}
+
+impl<G: GraphAccess, W: StateWalk> AdaptiveSession for WalkSession<'_, G, W> {
+    fn run(&mut self, n: usize) {
+        WalkSession::run(self, n);
+    }
+    fn stats(&self) -> &BatchStats {
+        WalkSession::stats(self)
+    }
+    fn into_estimate(self, cfg: &EstimatorConfig) -> Estimate {
+        WalkSession::into_estimate(self, cfg)
+    }
+}
+
+impl<G: GraphAccess> AdaptiveSession for AnySession<'_, G> {
+    fn run(&mut self, n: usize) {
+        AnySession::run(self, n);
+    }
+    fn stats(&self) -> &BatchStats {
+        AnySession::stats(self)
+    }
+    fn into_estimate(self, cfg: &EstimatorConfig) -> Estimate {
+        AnySession::into_estimate(self, cfg)
+    }
+}
+
+/// The single-walker adaptive driver: rounds of `check_every` scored
+/// windows with a convergence check after each, capped at `max_steps`,
+/// packing the result and its [`crate::AdaptiveReport`].
+fn run_adaptive<S: AdaptiveSession>(
+    mut session: S,
+    cfg: &EstimatorConfig,
+    rule: &StoppingRule,
+) -> Estimate {
+    let mut tracker = AdaptiveTracker::new(session.stats().types());
+    let (mut done, mut rounds, mut met) = (0usize, 0usize, false);
+    while done < rule.max_steps {
+        let round = rule.check_every.min(rule.max_steps - done);
+        session.run(round);
+        done += round;
+        rounds += 1;
+        met = tracker.observe(rule, session.stats(), done);
+        if met {
+            break;
+        }
+    }
+    let crit = rule.critical_value(session.stats().batches());
+    let mut est = session.into_estimate(cfg);
+    debug_assert_eq!(est.steps, done);
+    est.adaptive = Some(tracker.report(1, rounds, done, met, crit));
+    est
+}
+
 /// [`estimate_until`] with a caller-supplied walk.
 ///
-/// Scores windows in the same order as [`estimate_with_walk`] (score,
-/// then advance — the reordering argument of `step_and_accumulate`
-/// applies unchanged), checking the stopping rule every
-/// `rule.check_every` scored windows. Like the fixed-budget runner, the
-/// walk is never advanced past the last scored window.
+/// Scores windows in the same order as [`estimate_with_walk`] (the walk
+/// only ever advances between scored windows), checking the stopping
+/// rule every `rule.check_every` scored windows. Like the fixed-budget
+/// runner, the walk is never advanced past the last scored window.
 pub fn estimate_until_with_walk<G: GraphAccess, W: StateWalk>(
     g: &G,
     cfg: &EstimatorConfig,
-    mut walk: W,
+    walk: W,
     rule: &StoppingRule,
-    mut rng: WalkRng,
+    rng: WalkRng,
 ) -> Estimate {
     cfg.validate();
     rule.validate();
-    assert_eq!(walk.d(), cfg.d, "walk dimension must match configuration");
-    let mut scorer = Scorer::new(cfg, rule.batch_len);
-    let mut window = prime_window(g, cfg, &mut walk, &mut rng);
+    run_adaptive(WalkSession::from_parts(g, cfg, walk, rng, rule.batch_len), cfg, rule)
+}
 
-    let mut steps = 0usize;
-    while steps < rule.max_steps {
-        scorer.score(g, &window);
-        steps += 1;
-        if steps == rule.max_steps
-            || (steps.is_multiple_of(rule.check_every) && rule.converged(scorer.acc.stats()))
-        {
-            break;
-        }
-        walk.step(&mut rng);
-        let deg = walk.state_degree();
-        window.push(g, walk.state(), deg);
+/// Measures initialization bias of the chain `(g, cfg, seed)` and
+/// suggests a burn-in, per the batch-mean comparison documented on
+/// [`BurnInReport`]: run a `pilot_steps` pilot (same start-state and
+/// RNG protocol as [`estimate`]), split it into `batch_len`-step
+/// batches, and flag leading batches whose total-score mean disagrees
+/// with the trailing half's distribution.
+///
+/// Run it with `cfg.burn_in == 0` (measuring the raw chain) and feed
+/// `suggested_burn_in` back into the config an `estimate_until*` run
+/// uses; the pilot is wasted work only if the suggestion is zero — on
+/// the graphs the paper targets it usually is, which is itself the
+/// useful answer ("burn-in is not your problem").
+pub fn measure_burn_in<G: GraphAccess>(
+    g: &G,
+    cfg: &EstimatorConfig,
+    seed: u64,
+    pilot_steps: usize,
+    batch_len: usize,
+) -> BurnInReport {
+    cfg.validate();
+    assert!(batch_len >= 1, "batch length must be at least 1");
+    let batches = pilot_steps / batch_len;
+    assert!(batches >= 4, "burn-in pilot needs at least 4 complete batches, got {batches}");
+    let mut session = AnySession::new(g, cfg, seed, batch_len);
+    let mut means = Vec::with_capacity(batches);
+    let mut prev = 0.0;
+    for _ in 0..batches {
+        session.run(batch_len);
+        let sum: f64 = session.raw().iter().sum();
+        means.push((sum - prev) / batch_len as f64);
+        prev = sum;
     }
-    scorer.finish(cfg, steps)
+    BurnInReport::from_batch_means(means, batch_len)
 }
 
 #[cfg(test)]
@@ -609,6 +812,40 @@ mod tests {
         assert_eq!(est.valid_samples, 0);
         assert!(est.raw_scores.iter().all(|&x| x == 0.0));
         assert_eq!(est.counts(10.0), vec![0.0; est.raw_scores.len()]);
+    }
+
+    #[test]
+    fn measure_burn_in_reports_pilot_batches() {
+        let g = classic::lollipop(6, 5);
+        let cfg = EstimatorConfig::recommended(3);
+        let report = measure_burn_in(&g, &cfg, 7, 4_096, 256);
+        assert_eq!(report.batch_len, 256);
+        assert_eq!(report.batch_means.len(), 16);
+        assert_eq!(report.suggested_burn_in % 256, 0);
+        assert!(report.first_batch_z.is_finite());
+        // The pilot replays estimate()'s chain: batch means must be the
+        // per-batch raw-score deltas of the fixed-budget run.
+        let est = estimate(&g, &cfg, 4_096, 7);
+        let total: f64 = report.batch_means.iter().sum::<f64>() * 256.0;
+        let raw: f64 = est.raw_scores.iter().sum();
+        assert!((total - raw).abs() < 1e-9 * raw.max(1.0), "pilot total {total} vs raw {raw}");
+    }
+
+    #[test]
+    fn measure_burn_in_is_deterministic() {
+        let g = classic::petersen();
+        let cfg = EstimatorConfig { k: 3, d: 1, ..Default::default() };
+        let a = measure_burn_in(&g, &cfg, 3, 2_048, 128);
+        let b = measure_burn_in(&g, &cfg, 3, 2_048, 128);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 complete batches")]
+    fn measure_burn_in_rejects_tiny_pilots() {
+        let g = classic::petersen();
+        let cfg = EstimatorConfig { k: 3, d: 1, ..Default::default() };
+        let _ = measure_burn_in(&g, &cfg, 3, 300, 128);
     }
 
     #[test]

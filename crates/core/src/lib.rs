@@ -37,11 +37,16 @@ pub mod result;
 pub mod theory;
 pub mod window;
 
-pub use accuracy::{BatchStats, StoppingRule};
+pub use accuracy::{
+    normal_quantile, student_t_quantile, studentized_critical, AdaptiveReport, BatchStats,
+    BurnInReport, StoppingRule,
+};
 pub use config::EstimatorConfig;
 pub use counts::relationship_edge_count;
-pub use estimator::{estimate, estimate_until, estimate_until_with_walk, estimate_with_walk};
-pub use parallel::{estimate_parallel, EstimatorPool, ParallelConfig};
+pub use estimator::{
+    estimate, estimate_until, estimate_until_with_walk, estimate_with_walk, measure_burn_in,
+};
+pub use parallel::{estimate_parallel, estimate_until_parallel, EstimatorPool, ParallelConfig};
 pub use result::Estimate;
 pub use window::NodeWindow;
 

@@ -16,9 +16,9 @@
 //! `(seed, walkers)` pair gives bit-identical results on every run and
 //! machine, and `walkers == 1` is *bit-identical* to [`estimate`].
 
-use crate::accuracy::{default_batch_len, BatchStats};
+use crate::accuracy::{default_batch_len, AdaptiveTracker, BatchStats, StoppingRule};
 use crate::config::EstimatorConfig;
-use crate::estimator::{estimate, estimate_batch};
+use crate::estimator::{estimate, estimate_batch, AnySession};
 use crate::result::Estimate;
 use gx_graph::GraphAccess;
 use gx_graphlets::num_graphlets;
@@ -166,6 +166,127 @@ pub fn estimate_parallel<G: GraphAccess + Sync>(
     merge(cfg, steps, batch_len, results.into_iter().map(|r| r.expect("walker thread completed")))
 }
 
+/// Adaptive stopping fanned across independent walkers: the round-based
+/// coordinator marrying [`estimate_parallel`]'s engine with
+/// [`crate::estimate_until`]'s stopping rule, so "give me these counts
+/// to ±x% at 95% confidence" is answered by every core cooperating on
+/// one budget.
+///
+/// Each walker is a *persistent* chain (own random start, own RNG
+/// stream per [`walker_seed`], burn-in paid exactly once — the chain
+/// resumes across rounds, never re-primed). A round advances every
+/// still-budgeted walker by `rule.check_every` scored windows; between
+/// rounds the coordinator pools the per-walker batch-means statistics
+/// in walker order (the Chan merge of [`BatchStats::merge`] — every
+/// walker uses `rule.batch_len`, so pooling is exact) and evaluates the
+/// stopping rule on the *pooled* confidence intervals, studentized
+/// while the pooled batch count is small. Further rounds are dispatched
+/// only while something is still wide: all qualifying types under
+/// `rule.per_type`, the widest qualifying type otherwise.
+///
+/// `rule.max_steps` is the total budget, split near-equally
+/// ([`walker_steps`]); the returned [`Estimate`] carries the pooled
+/// statistics plus an [`crate::AdaptiveReport`] with per-type
+/// `steps_used` / converged status.
+///
+/// Determinism: the coordinator consumes no randomness of its own and
+/// folds walkers in index order, so a fixed `(seed, walkers)` is
+/// bit-identical on every run and machine — and `walkers == 1` *is*
+/// the sequential [`crate::estimate_until`] round-for-round: same
+/// chain, same check schedule, bit-identical estimate and report at
+/// the same stop step (tested).
+pub fn estimate_until_parallel<G: GraphAccess + Sync>(
+    g: &G,
+    cfg: &EstimatorConfig,
+    seed: u64,
+    rule: &StoppingRule,
+    par: &ParallelConfig,
+) -> Estimate {
+    cfg.validate();
+    rule.validate();
+    let walkers = par.walkers;
+    assert!(walkers >= 1, "estimate_until_parallel needs at least one walker");
+    let types = num_graphlets(cfg.k);
+    // Shared tables up front, as in `estimate_parallel`: walker threads
+    // must not serialize behind one cold `OnceLock` build.
+    crate::estimator::prewarm(cfg);
+    let caps: Vec<usize> = (0..walkers).map(|i| walker_steps(rule.max_steps, walkers, i)).collect();
+    // Sessions are created lazily inside the worker threads on the first
+    // round (priming + burn-in are per-walker work and parallelize like
+    // any other round); a walker whose budget share is zero never
+    // allocates a chain at all.
+    let mut sessions: Vec<Option<AnySession<'_, G>>> = Vec::new();
+    sessions.resize_with(walkers, || None);
+    let mut done = vec![0usize; walkers];
+    let mut tracker = AdaptiveTracker::new(types);
+    let mut pooled = BatchStats::new(types, rule.batch_len);
+    let (mut rounds, mut met) = (0usize, false);
+    let threads = available_cores().min(walkers);
+    let chunk = walkers.div_ceil(threads);
+    loop {
+        let shares: Vec<usize> =
+            (0..walkers).map(|i| rule.check_every.min(caps[i] - done[i])).collect();
+        if shares.iter().all(|&r| r == 0) {
+            break; // every walker's budget share is exhausted
+        }
+        std::thread::scope(|scope| {
+            for (c, slots) in sessions.chunks_mut(chunk).enumerate() {
+                let shares = &shares;
+                scope.spawn(move || {
+                    for (off, slot) in slots.iter_mut().enumerate() {
+                        let i = c * chunk + off;
+                        if shares[i] == 0 {
+                            continue;
+                        }
+                        slot.get_or_insert_with(|| {
+                            AnySession::new(g, cfg, walker_seed(seed, i), rule.batch_len)
+                        })
+                        .run(shares[i]);
+                    }
+                });
+            }
+        });
+        for (d, r) in done.iter_mut().zip(&shares) {
+            *d += r;
+        }
+        rounds += 1;
+        // Pool from scratch each round: walker-order folds keep the
+        // result deterministic, and O(walkers × types) per round is
+        // noise next to the walking itself.
+        pooled = BatchStats::new(types, rule.batch_len);
+        for session in sessions.iter().flatten() {
+            pooled.merge(session.stats());
+        }
+        met = tracker.observe(rule, &pooled, done.iter().sum());
+        if met {
+            break;
+        }
+    }
+    let total: usize = done.iter().sum();
+    let crit = rule.critical_value(pooled.batches());
+    let mut raw = vec![0.0f64; types];
+    let mut valid = 0usize;
+    for session in sessions.iter().flatten() {
+        for (acc, x) in raw.iter_mut().zip(session.raw()) {
+            *acc += x;
+        }
+        valid += session.valid();
+    }
+    debug_assert_eq!(
+        total,
+        sessions.iter().flatten().map(|s| s.scored()).sum::<usize>(),
+        "round bookkeeping must match the sessions' scored windows"
+    );
+    Estimate {
+        config: cfg.clone(),
+        steps: total,
+        valid_samples: valid,
+        raw_scores: raw,
+        accuracy: Some(pooled),
+        adaptive: Some(tracker.report(walkers, rounds, total, met, crit)),
+    }
+}
+
 /// Folds per-walker estimates (in iteration order) into one: raw scores
 /// and valid-sample counts add, batch-means statistics pool via
 /// [`BatchStats::merge`] (each walker's batches are independent draws of
@@ -198,6 +319,7 @@ fn merge(
         valid_samples: valid,
         raw_scores: raw,
         accuracy: Some(stats),
+        adaptive: None,
     }
 }
 
@@ -364,5 +486,158 @@ mod tests {
         let g = classic::petersen();
         let cfg = EstimatorConfig { k: 3, d: 1, ..Default::default() };
         let _ = estimate_parallel(&g, &cfg, 100, 1, 0);
+    }
+
+    #[test]
+    fn adaptive_one_walker_is_bit_identical_to_sequential() {
+        // The coordinator with one walker replays sequential
+        // estimate_until round-for-round: same chain, same check
+        // schedule, bit-identical everything — report included.
+        let g = classic::lollipop(5, 4);
+        let rule = StoppingRule {
+            target_rel_ci: 0.25,
+            check_every: 2_000,
+            max_steps: 40_000,
+            batch_len: 128,
+            min_batches: 8,
+            ..Default::default()
+        };
+        for cfg in [
+            EstimatorConfig::recommended(3),
+            EstimatorConfig { k: 4, d: 2, css: true, ..Default::default() },
+        ] {
+            let seq = crate::estimate_until(&g, &cfg, 23, &rule);
+            let par =
+                estimate_until_parallel(&g, &cfg, 23, &rule, &ParallelConfig::with_walkers(1));
+            assert_eq!(seq.raw_scores, par.raw_scores, "{}", cfg.name());
+            assert_eq!(seq.steps, par.steps);
+            assert_eq!(seq.valid_samples, par.valid_samples);
+            assert_eq!(seq.accuracy, par.accuracy);
+            assert_eq!(seq.adaptive, par.adaptive, "{}", cfg.name());
+        }
+    }
+
+    #[test]
+    fn adaptive_coordinator_is_deterministic_and_pools_walkers() {
+        let g = classic::lollipop(5, 4);
+        let cfg = EstimatorConfig::recommended(3);
+        let rule = StoppingRule {
+            target_rel_ci: 0.15,
+            check_every: 1_500,
+            max_steps: 60_000,
+            batch_len: 128,
+            min_batches: 6,
+            ..Default::default()
+        };
+        let a = estimate_until_parallel(&g, &cfg, 5, &rule, &ParallelConfig::with_walkers(4));
+        let b = estimate_until_parallel(&g, &cfg, 5, &rule, &ParallelConfig::with_walkers(4));
+        assert_eq!(a.raw_scores, b.raw_scores);
+        assert_eq!(a.accuracy, b.accuracy);
+        assert_eq!(a.adaptive, b.adaptive);
+        let report = a.adaptive().expect("adaptive runs carry a report");
+        assert_eq!(report.walkers, 4);
+        assert!(report.rounds >= 1);
+        // A full-cadence round pools walkers × check_every steps.
+        if report.target_met {
+            assert!(a.steps < rule.max_steps);
+            assert_eq!(a.steps % (4 * rule.check_every), 0, "stopped at a round boundary");
+            let w = a.max_relative_half_width(report.critical_value, rule.min_concentration);
+            assert!(w <= rule.target_rel_ci, "pooled width {w} above target");
+        } else {
+            assert_eq!(a.steps, rule.max_steps);
+        }
+    }
+
+    #[test]
+    fn adaptive_at_the_cap_matches_fixed_budget_scores() {
+        // An unreachable target makes the coordinator spend the whole
+        // budget; the scored windows are then exactly the fixed-budget
+        // parallel run's (same walker shares, same chains) — only the
+        // batch length differs, so compare the raw scores.
+        let g = classic::petersen();
+        let cfg = EstimatorConfig { k: 3, d: 1, ..Default::default() };
+        let rule = StoppingRule {
+            target_rel_ci: 1e-9,
+            check_every: 1_000,
+            max_steps: 12_000,
+            batch_len: 64,
+            ..Default::default()
+        };
+        let until = estimate_until_parallel(&g, &cfg, 9, &rule, &ParallelConfig::with_walkers(3));
+        assert_eq!(until.steps, rule.max_steps);
+        assert!(!until.adaptive().unwrap().target_met);
+        let mut raw = vec![0.0; until.raw_scores.len()];
+        let mut valid = 0;
+        for i in 0..3 {
+            let w = estimate(&g, &cfg, walker_steps(rule.max_steps, 3, i), walker_seed(9, i));
+            valid += w.valid_samples;
+            for (acc, x) in raw.iter_mut().zip(&w.raw_scores) {
+                *acc += x;
+            }
+        }
+        assert_eq!(until.raw_scores, raw, "cap run scores the fixed-budget windows");
+        assert_eq!(until.valid_samples, valid);
+    }
+
+    #[test]
+    fn adaptive_zero_budget_scores_nothing() {
+        let g = classic::petersen();
+        let cfg = EstimatorConfig { k: 3, d: 1, ..Default::default() };
+        let rule = StoppingRule { max_steps: 0, ..Default::default() };
+        let est = estimate_until_parallel(&g, &cfg, 3, &rule, &ParallelConfig::with_walkers(4));
+        assert_eq!(est.steps, 0);
+        assert_eq!(est.valid_samples, 0);
+        assert!(est.raw_scores.iter().all(|&x| x == 0.0));
+        let report = est.adaptive().unwrap();
+        assert_eq!(report.rounds, 0);
+        assert!(!report.target_met);
+        assert!(report.converged.iter().all(|&c| !c));
+    }
+
+    #[test]
+    fn per_type_mode_latches_types_at_their_own_pace() {
+        // On the lollipop, the frequent type's CI tightens well before
+        // the rare one's: per-type mode must record distinct
+        // convergence steps, orderable per type.
+        let g = classic::lollipop(6, 5);
+        let cfg = EstimatorConfig::recommended(3);
+        let rule = StoppingRule {
+            target_rel_ci: 0.10,
+            check_every: 1_000,
+            max_steps: 400_000,
+            batch_len: 128,
+            min_batches: 6,
+            per_type: true,
+            ..Default::default()
+        };
+        let est = estimate_until_parallel(&g, &cfg, 11, &rule, &ParallelConfig::with_walkers(2));
+        let report = est.adaptive().expect("report");
+        assert!(report.target_met, "both k=3 types should converge well inside the cap");
+        assert!(report.converged.iter().all(|&c| c));
+        let (fast, slow) =
+            (*report.steps_used.iter().min().unwrap(), *report.steps_used.iter().max().unwrap());
+        assert!(
+            fast < slow,
+            "types must converge at distinct checks (steps_used {:?})",
+            report.steps_used
+        );
+        assert!(slow <= est.steps);
+    }
+
+    #[test]
+    fn walker_budget_shares_bound_each_chain() {
+        // max_steps not divisible by walkers: shares differ by one and
+        // the pooled total is exact.
+        let g = classic::petersen();
+        let cfg = EstimatorConfig { k: 3, d: 1, ..Default::default() };
+        let rule = StoppingRule {
+            target_rel_ci: 1e-9,
+            check_every: 100,
+            max_steps: 1_003,
+            batch_len: 32,
+            ..Default::default()
+        };
+        let est = estimate_until_parallel(&g, &cfg, 1, &rule, &ParallelConfig::with_walkers(4));
+        assert_eq!(est.steps, 1_003);
     }
 }

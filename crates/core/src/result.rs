@@ -1,6 +1,6 @@
 //! Estimation results.
 
-use crate::accuracy::BatchStats;
+use crate::accuracy::{studentized_critical, AdaptiveReport, BatchStats};
 use crate::config::EstimatorConfig;
 use gx_graphlets::GraphletId;
 
@@ -22,6 +22,10 @@ pub struct Estimate {
     /// estimates assembled without the accumulator (hand-built results);
     /// every estimator entry point populates it.
     pub accuracy: Option<BatchStats>,
+    /// Per-type convergence report from an adaptive run. Populated by
+    /// [`crate::estimate_until`] / [`crate::estimate_until_parallel`]
+    /// (and the `_with_walk` variant); `None` for fixed-budget runs.
+    pub adaptive: Option<AdaptiveReport>,
 }
 
 impl Estimate {
@@ -66,6 +70,23 @@ impl Estimate {
     /// collected.
     pub fn accuracy(&self) -> Option<&BatchStats> {
         self.accuracy.as_ref()
+    }
+
+    /// The adaptive-run convergence report, when this estimate came
+    /// from `estimate_until*`.
+    pub fn adaptive(&self) -> Option<&AdaptiveReport> {
+        self.adaptive.as_ref()
+    }
+
+    /// The studentized critical value for this estimate's intervals:
+    /// `z` while the batch count is comfortable, the matching Student-t
+    /// quantile when it is small (see
+    /// [`crate::accuracy::studentized_critical`]). Pass the result as
+    /// the `z` argument of the interval accessors for honest
+    /// small-sample coverage. `NaN` without accuracy data or under two
+    /// batches.
+    pub fn studentized_critical(&self, z: f64) -> f64 {
+        self.accuracy().map_or(f64::NAN, |a| studentized_critical(z, a.batches()))
     }
 
     /// Standard error of the *per-step mean score* of type `i` — the
@@ -137,6 +158,7 @@ mod tests {
             valid_samples: 80,
             raw_scores: raw,
             accuracy: None,
+            adaptive: None,
         }
     }
 

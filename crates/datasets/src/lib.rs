@@ -35,6 +35,10 @@ use gx_graph::Graph;
 use rand::SeedableRng;
 use std::sync::OnceLock;
 
+pub mod load;
+
+pub use load::LoadedDataset;
+
 /// A named synthetic dataset with lazily built graph and ground truth.
 pub struct Dataset {
     /// Registry name (`*-sim`).

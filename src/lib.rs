@@ -46,8 +46,9 @@ pub use gx_baselines as baselines;
 pub use gx_datasets as datasets;
 
 pub use gx_core::{
-    estimate, estimate_parallel, estimate_until, BatchStats, Estimate, EstimatorConfig,
-    EstimatorPool, ParallelConfig, StoppingRule,
+    estimate, estimate_parallel, estimate_until, estimate_until_parallel, measure_burn_in,
+    AdaptiveReport, BatchStats, BurnInReport, Estimate, EstimatorConfig, EstimatorPool,
+    ParallelConfig, StoppingRule,
 };
 pub use gx_graph::{Graph, GraphAccess, NodeId};
 pub use gx_graphlets::GraphletId;
