@@ -12,13 +12,15 @@
 //! SRW2CSS speedup check), `GX_WALKERS` (default: available cores),
 //! `GX_TRIALS` (default 3 — each section is timed this many times and
 //! the fastest trial is kept, the standard steady-state-throughput
-//! protocol on shared/noisy machines).
+//! protocol on shared/noisy machines), `GX_DATASET` (path to a real
+//! KONECT/SNAP edge list to bench on instead of the synthetic
+//! epinion-sim — loaded through `gx_datasets::LoadedDataset`, so sparse
+//! original ids are compacted and the largest connected component is
+//! used).
 
-use gx_core::{
-    estimate, estimate_parallel, estimate_until_parallel, EstimatorConfig, NodeWindow,
-    ParallelConfig, StoppingRule,
-};
-use gx_datasets::dataset;
+use gx_core::{EstimatorConfig, NodeWindow, Runner, StoppingRule};
+use gx_datasets::{dataset, LoadedDataset};
+use gx_graph::Graph;
 use gx_graphlets::classify_mask;
 use gx_walks::{random_start_edge, rng_from_seed, G2Walk, SrwWalk, StateWalk};
 use std::hint::black_box;
@@ -47,7 +49,23 @@ fn time<F: FnMut()>(mut f: F) -> f64 {
 }
 
 fn main() {
-    let g = dataset("epinion-sim").graph();
+    // A real snapshot via GX_DATASET exercises the NodeIdMap-compacting
+    // loader end to end; default is the in-tree epinion analog.
+    let external: Option<(String, Graph)> = std::env::var("GX_DATASET").ok().map(|path| {
+        let ds = LoadedDataset::load(&path).expect("GX_DATASET must be a readable edge list");
+        let (lcc, _nodes) = gx_graph::connectivity::largest_connected_component(&ds.graph);
+        println!(
+            "external dataset {}: {} nodes, {} edges (LCC of the compacted snapshot)",
+            ds.name,
+            lcc.num_nodes(),
+            lcc.num_edges()
+        );
+        (ds.name, lcc)
+    });
+    let (ds_name, g): (&str, &Graph) = match &external {
+        Some((name, lcc)) => (name, lcc),
+        None => ("epinion-sim", dataset("epinion-sim").graph()),
+    };
     let steps: usize =
         std::env::var("GX_STEPS").ok().and_then(|v| v.parse().ok()).unwrap_or(200_000);
     let walkers: usize = std::env::var("GX_WALKERS")
@@ -62,6 +80,7 @@ fn main() {
     );
 
     let mut json = serde_json::Map::new();
+    json.insert("dataset".into(), serde_json::json!(ds_name));
     json.insert("nodes".into(), serde_json::json!(g.num_nodes()));
     json.insert("edges".into(), serde_json::json!(g.num_edges()));
     json.insert("steps".into(), serde_json::json!(steps));
@@ -159,18 +178,22 @@ fn main() {
     // the "+css" stage of the breakdown above.
     let cfg = EstimatorConfig::recommended(4);
     assert_eq!(cfg.name(), "SRW2CSS");
-    // Warm-up: classification tables, dense CSS tables.
-    let _ = estimate(g, &cfg, 2_000, 7);
+    // Warm-up: classification tables, dense CSS tables. The bench
+    // drives the `Runner` front door — the same entry point the legacy
+    // shorthands delegate to.
+    let _ = Runner::new(cfg.clone()).steps(2_000).seed(7).run(g).expect("valid config");
 
+    let seq_runner = Runner::new(cfg.clone()).steps(steps).seed(42);
     let seq_secs = time(|| {
-        let est = estimate(g, &cfg, steps, 42);
+        let est = seq_runner.run(g).expect("valid config");
         assert!(est.valid_samples > 0);
     });
     let seq_rate = steps_per_sec(steps, seq_secs);
     println!("SRW2CSS sequential      {seq_rate:>14.0} steps/s  ({seq_secs:.3} s)");
 
+    let par_runner = Runner::new(cfg.clone()).steps(steps).seed(42).walkers(walkers);
     let par_secs = time(|| {
-        let est = estimate_parallel(g, &cfg, steps, 42, walkers);
+        let est = par_runner.run(g).expect("valid config");
         assert!(est.valid_samples > 0);
     });
     let par_rate = steps_per_sec(steps, par_secs);
@@ -192,7 +215,7 @@ fn main() {
         let mut curve: Vec<serde_json::Value> = Vec::new();
         for div in [4usize, 2, 1] {
             let budget = steps / div;
-            let est = estimate(g, &cfg, budget, 42);
+            let est = Runner::new(cfg.clone()).steps(budget).seed(42).run(g).expect("valid");
             let width = est.max_relative_half_width(1.96, 0.01);
             println!("SRW2CSS 95% CI width  @ {budget:>9} steps  {:>7.3}%", 100.0 * width);
             let mut row = serde_json::Map::new();
@@ -211,7 +234,6 @@ fn main() {
     // steps it chose to spend, the wallclock, and the width it reached.
     {
         let mut curve: Vec<serde_json::Value> = Vec::new();
-        let par = ParallelConfig::with_walkers(walkers);
         for target in [0.10, 0.05, 0.03] {
             let rule = StoppingRule {
                 target_rel_ci: target,
@@ -222,7 +244,12 @@ fn main() {
                 ..Default::default()
             };
             let t = Instant::now();
-            let est = estimate_until_parallel(g, &cfg, 42, &rule, &par);
+            let est = Runner::new(cfg.clone())
+                .until(rule.clone())
+                .seed(42)
+                .walkers(walkers)
+                .run(g)
+                .expect("valid rule");
             let secs = t.elapsed().as_secs_f64();
             let report = est.adaptive().expect("adaptive runs carry a report");
             let width = est.max_relative_half_width(report.critical_value, rule.min_concentration);

@@ -31,6 +31,8 @@
 //! parallel Welford combination — in walker order, keeping
 //! [`crate::estimate_parallel`] deterministic per `(seed, walkers)`.
 
+use crate::error::RuleError;
+
 /// Streaming batch-means statistics over per-step score vectors.
 ///
 /// For each graphlet type `i` this tracks, across completed batches, the
@@ -59,6 +61,18 @@ pub struct BatchStats {
     mean_total: f64,
     /// M2 of batch total means.
     m2_total: f64,
+    /// Per-type batch means in fold order (`series[i][j]` is batch `j`'s
+    /// mean of type `i`). This is what makes the statistics *resumable
+    /// and cross-checkable*: the adaptive coordinator folds only the new
+    /// suffix of each walker's series into its pooled stream per round
+    /// (no from-scratch re-pool), and the overlapping-batch-means
+    /// estimator ([`BatchStats::obm_var_of_mean`]) re-reads the series
+    /// to cross-check the Welford moments. Memory is `types × batches`
+    /// floats: ~√n per type under the fixed-budget `B ≈ √n` policy, and
+    /// `steps / batch_len` per type for adaptive runs (whose rule fixes
+    /// the batch length) — a ROADMAP item sketches the pair-collapsing
+    /// bounded-memory variant for extreme (≫10⁹-step) budgets.
+    series: Vec<Vec<f64>>,
 }
 
 impl BatchStats {
@@ -74,7 +88,15 @@ impl BatchStats {
             cov_total: vec![0.0; types],
             mean_total: 0.0,
             m2_total: 0.0,
+            series: vec![Vec::new(); types],
         }
+    }
+
+    /// The batch means of type `i`, in fold order. Batch `j`'s mean per-
+    /// step score of type `i` is `batch_means(i)[j]`; after a merge the
+    /// series concatenates the constituents in merge order.
+    pub fn batch_means(&self, i: usize) -> &[f64] {
+        &self.series[i]
     }
 
     /// Number of graphlet types tracked.
@@ -214,6 +236,30 @@ impl BatchStats {
             let dx_new = x - self.mean[i];
             self.m2[i] += dx_old * dx_new;
             self.cov_total[i] += dx_old * dt_new;
+            self.series[i].push(x);
+        }
+    }
+
+    /// Folds the batches `from..` of `other`'s series into this stream,
+    /// one Welford fold per batch in batch order — the
+    /// incremental pooled-merge of the adaptive coordinator. Unlike the
+    /// moment-level Chan merge of [`BatchStats::merge`], this replays the
+    /// exact Welford fold the source accumulator performed, so a pool fed
+    /// one walker's series is *bit-identical* to that walker's own
+    /// statistics, and a pool fed round suffixes is bit-identical to a
+    /// from-scratch replay of the same chronological order.
+    pub fn fold_series_suffix(&mut self, other: &BatchStats, from: u64) {
+        assert_eq!(self.batch_len, other.batch_len, "pooled batch means need equal batch lengths");
+        assert_eq!(self.types(), other.types(), "mismatched type counts");
+        let mut delta = vec![0.0f64; self.types()];
+        for j in from as usize..other.batches as usize {
+            let mut total = 0.0;
+            for (i, d) in delta.iter_mut().enumerate() {
+                let x = other.series[i][j];
+                *d = x;
+                total += x;
+            }
+            self.fold_batch(&delta, total);
         }
     }
 
@@ -243,9 +289,70 @@ impl BatchStats {
             self.m2[i] += other.m2[i] + dx * dx * w;
             self.cov_total[i] += other.cov_total[i] + dx * dt * w;
             self.mean[i] += dx * nb / (na + nb);
+            self.series[i].extend_from_slice(&other.series[i]);
         }
         self.mean_total += dt * nb / (na + nb);
         self.batches += other.batches;
+    }
+
+    // --- Overlapping batch means (OBM) cross-check -------------------------
+    //
+    // Non-overlapping batch means (the streaming estimator above) and
+    // overlapping batch means estimate the same asymptotic variance; OBM
+    // reuses every window of consecutive batches and so has ~2/3 the
+    // asymptotic variance of NOBM at the same batch length (Meketon &
+    // Schmeiser 1984). Agreement between the two is a practical sanity
+    // check that the batch length exceeded the chain's mixing scale: a
+    // large discrepancy means the "independent batches" assumption is
+    // broken and *both* interval estimates are suspect.
+
+    /// The default OBM window: `⌈√b⌉` consecutive batch means pooled per
+    /// overlapping window (so the effective OBM batch length grows with
+    /// the run, like the underlying `B ≈ √n` policy).
+    pub fn default_obm_window(&self) -> usize {
+        (self.batches as f64).sqrt().ceil().max(1.0) as usize
+    }
+
+    /// Overlapping-batch-means estimate of `Var(mean(i))`: windows of
+    /// `window` consecutive batch means (over the stored series, in fold
+    /// order), with the standard OBM scaling
+    /// `m · Σ_j (O_j − x̄)² / ((b − m + 1)(b − m))` for `b` base batch
+    /// means and window `m`. At `window == 1` the formula reduces to the
+    /// non-overlapping [`BatchStats::var_of_mean`] — the same sample
+    /// variance over the same batch means, equal up to floating-point
+    /// association — which pins the two estimators together; larger
+    /// windows give the genuine overlapping cross-check. `NaN` when
+    /// `window` leaves fewer than two windows (`b ≤ m`).
+    pub fn obm_var_of_mean(&self, i: usize, window: usize) -> f64 {
+        let b = self.batches as usize;
+        let m = window;
+        if m == 0 || b <= m {
+            return f64::NAN;
+        }
+        let series = &self.series[i];
+        let xbar = self.mean[i];
+        // Sliding window sum over the series: O(b) total.
+        let mut wsum: f64 = series[..m].iter().sum();
+        let inv_m = 1.0 / m as f64;
+        let mut ss = {
+            let d = wsum * inv_m - xbar;
+            d * d
+        };
+        for j in m..b {
+            wsum += series[j] - series[j - m];
+            let d = wsum * inv_m - xbar;
+            ss += d * d;
+        }
+        let (b, m) = (b as f64, m as f64);
+        m * ss / ((b - m + 1.0) * (b - m))
+    }
+
+    /// Standard error of the mean score of type `i` by overlapping batch
+    /// means at the [`BatchStats::default_obm_window`] — the cross-check
+    /// companion of [`BatchStats::std_error`]. `NaN` until the series
+    /// holds more batches than the window.
+    pub fn obm_std_error(&self, i: usize) -> f64 {
+        self.obm_var_of_mean(i, self.default_obm_window()).sqrt()
     }
 }
 
@@ -638,22 +745,58 @@ impl StoppingRule {
     /// so a rule that could never fire is rejected at construction, not
     /// after a silent full-budget run.
     pub fn new(target_rel_ci: f64, check_every: usize, max_steps: usize) -> Self {
-        let rule = Self { target_rel_ci, check_every, max_steps, ..Self::default() };
-        rule.validate();
-        rule
+        match Self::try_new(target_rel_ci, check_every, max_steps) {
+            Ok(rule) => rule,
+            Err(e) => panic!("{e}"),
+        }
     }
 
-    /// Panics if the rule is out of domain.
+    /// The non-panicking form of [`StoppingRule::new`]: a rule with the
+    /// given target, check cadence, and budget (default `z` / batching /
+    /// floor parameters), or the typed reason it could never fire.
+    pub fn try_new(
+        target_rel_ci: f64,
+        check_every: usize,
+        max_steps: usize,
+    ) -> Result<Self, RuleError> {
+        let rule = Self { target_rel_ci, check_every, max_steps, ..Self::default() };
+        rule.try_validate()?;
+        Ok(rule)
+    }
+
+    /// Checks the rule's domain, returning the offending field as a
+    /// typed [`RuleError`] — the non-panicking form every
+    /// [`crate::runner::Runner`] path uses.
+    pub fn try_validate(&self) -> Result<(), RuleError> {
+        if self.target_rel_ci <= 0.0 || self.target_rel_ci.is_nan() {
+            return Err(RuleError::TargetNotPositive { target_rel_ci: self.target_rel_ci });
+        }
+        if self.check_every < 1 {
+            return Err(RuleError::ZeroCheckEvery);
+        }
+        if self.z <= 0.0 || self.z.is_nan() {
+            return Err(RuleError::ZNotPositive { z: self.z });
+        }
+        if self.batch_len < 1 {
+            return Err(RuleError::ZeroBatchLen);
+        }
+        if self.min_batches < 2 {
+            return Err(RuleError::MinBatchesTooSmall { min_batches: self.min_batches });
+        }
+        if !(0.0..=1.0).contains(&self.min_concentration) {
+            return Err(RuleError::ConcentrationOutOfRange {
+                min_concentration: self.min_concentration,
+            });
+        }
+        Ok(())
+    }
+
+    /// Panics if the rule is out of domain — the legacy form, delegating
+    /// to [`StoppingRule::try_validate`].
     pub fn validate(&self) {
-        assert!(self.target_rel_ci > 0.0, "target_rel_ci must be positive");
-        assert!(self.check_every >= 1, "check_every must be at least 1");
-        assert!(self.z > 0.0, "z must be positive");
-        assert!(self.batch_len >= 1, "batch_len must be at least 1");
-        assert!(self.min_batches >= 2, "min_batches must be at least 2");
-        assert!(
-            (0.0..=1.0).contains(&self.min_concentration),
-            "min_concentration must be a concentration"
-        );
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 
     /// The critical value this rule sizes intervals with once `batches`
@@ -1028,6 +1171,109 @@ mod tests {
         let tight: Vec<Vec<f64>> = (0..4 * 512).map(|_| vec![1.0]).collect();
         let stats = accumulate(&tight, 512);
         assert!(rule.converged(&stats));
+    }
+
+    #[test]
+    fn batch_mean_series_is_recorded_and_concatenates_on_merge() {
+        let stream: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
+        let stats = accumulate(&stream, 2);
+        assert_eq!(stats.batch_means(0), &[0.5, 2.5, 4.5, 6.5]);
+        let mut left = accumulate(&stream[..4], 2);
+        let right = accumulate(&stream[4..], 2);
+        left.merge(&right);
+        assert_eq!(left.batch_means(0), stats.batch_means(0), "merge keeps fold order");
+    }
+
+    #[test]
+    fn fold_series_suffix_replays_the_source_fold_bitwise() {
+        // Feeding one accumulator's full series through fold_series_suffix
+        // replays the identical Welford updates: every field — moments
+        // and series — must match bit for bit. This is the property the
+        // adaptive coordinator's incremental pooled-merge rests on.
+        let stream: Vec<Vec<f64>> =
+            (0..36).map(|i| vec![(i % 7) as f64 * 0.25, (i % 5) as f64]).collect();
+        let stats = accumulate(&stream, 3);
+        let mut pooled = BatchStats::new(2, 3);
+        pooled.fold_series_suffix(&stats, 0);
+        assert_eq!(pooled, stats);
+        // Growing the stream and folding only the new suffix continues
+        // the replay bit-identically.
+        let mut incremental = BatchStats::new(2, 3);
+        incremental.fold_series_suffix(&stats, 0);
+        let more: Vec<Vec<f64>> =
+            (36..60).map(|i| vec![(i % 7) as f64 * 0.25, (i % 5) as f64]).collect();
+        let grown = accumulate(&[stream.clone(), more].concat(), 3);
+        incremental.fold_series_suffix(&grown, stats.batches());
+        assert_eq!(incremental, grown, "suffix folds continue the stream bit-identically");
+    }
+
+    #[test]
+    fn obm_window_one_agrees_with_nobm_and_larger_windows_track_it() {
+        // A noisy-but-stationary stream (SplitMix64-style hash, so
+        // per-step scores are effectively i.i.d. — OBM and NOBM then
+        // estimate the same quantity at every window): window 1 is the
+        // NOBM sample variance (same formula, direct summation); larger
+        // windows must agree to within estimator noise on 32 batches.
+        fn mix(i: u64) -> f64 {
+            let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            x ^= x >> 29;
+            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x ^= x >> 32;
+            (x % 1_000) as f64 / 1_000.0
+        }
+        let stream: Vec<Vec<f64>> = (0..1024).map(|i| vec![3.0 + mix(i)]).collect();
+        let stats = accumulate(&stream, 8);
+        assert_eq!(stats.batches(), 128);
+        let nobm = stats.var_of_mean(0);
+        let obm1 = stats.obm_var_of_mean(0, 1);
+        assert!((obm1 - nobm).abs() <= 1e-12 * nobm, "window 1: {obm1} vs {nobm}");
+        for window in [2usize, 4, 8] {
+            let obm = stats.obm_var_of_mean(0, window);
+            assert!(obm.is_finite() && obm > 0.0);
+            let ratio = obm / nobm;
+            assert!((0.4..=2.5).contains(&ratio), "window {window}: ratio {ratio}");
+        }
+        // The default-window accessor is the same computation.
+        let w = stats.default_obm_window();
+        assert_eq!(w, 12, "⌈√128⌉");
+        assert_eq!(stats.obm_std_error(0), stats.obm_var_of_mean(0, w).sqrt());
+    }
+
+    #[test]
+    fn obm_is_nan_without_enough_batches_for_the_window() {
+        let stream: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
+        let stats = accumulate(&stream, 2); // 4 batches
+        assert!(stats.obm_var_of_mean(0, 4).is_nan(), "b == m leaves one window");
+        assert!(stats.obm_var_of_mean(0, 5).is_nan());
+        assert!(stats.obm_var_of_mean(0, 0).is_nan());
+        assert!(stats.obm_var_of_mean(0, 3).is_finite());
+        let empty = BatchStats::new(1, 2);
+        assert!(empty.obm_std_error(0).is_nan());
+    }
+
+    #[test]
+    fn stopping_rule_try_new_returns_typed_errors() {
+        assert_eq!(
+            StoppingRule::try_new(0.0, 1_000, 10_000),
+            Err(RuleError::TargetNotPositive { target_rel_ci: 0.0 })
+        );
+        assert_eq!(StoppingRule::try_new(0.05, 0, 10_000), Err(RuleError::ZeroCheckEvery));
+        assert!(StoppingRule::try_new(0.05, 1_000, 10_000).is_ok());
+        let bad = StoppingRule { z: -1.0, ..Default::default() };
+        assert_eq!(bad.try_validate(), Err(RuleError::ZNotPositive { z: -1.0 }));
+        let bad = StoppingRule { batch_len: 0, ..Default::default() };
+        assert_eq!(bad.try_validate(), Err(RuleError::ZeroBatchLen));
+        let bad = StoppingRule { min_batches: 1, ..Default::default() };
+        assert_eq!(bad.try_validate(), Err(RuleError::MinBatchesTooSmall { min_batches: 1 }));
+        let bad = StoppingRule { min_concentration: 1.5, ..Default::default() };
+        assert_eq!(
+            bad.try_validate(),
+            Err(RuleError::ConcentrationOutOfRange { min_concentration: 1.5 })
+        );
+        // NaN fields are rejected, not silently accepted by `!(x > 0)`
+        // double negation.
+        let bad = StoppingRule { target_rel_ci: f64::NAN, ..Default::default() };
+        assert!(matches!(bad.try_validate(), Err(RuleError::TargetNotPositive { .. })));
     }
 
     #[test]

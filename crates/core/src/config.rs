@@ -1,5 +1,7 @@
 //! Estimator configuration.
 
+use crate::error::ConfigError;
+
 /// Configuration of one estimator instance, following the paper's method
 /// naming: `SRW{d}[CSS][NB]` for graphlet size k.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,16 +55,29 @@ impl EstimatorConfig {
         (self.k + 1).saturating_sub(self.d)
     }
 
-    /// Panics if the configuration is out of the supported domain.
+    /// Checks the configuration against the supported domain, returning
+    /// the offending dimension as a typed [`ConfigError`]. This is the
+    /// non-panicking form every [`crate::runner::Runner`] path uses.
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        if !(3..=6).contains(&self.k) {
+            return Err(ConfigError::UnsupportedK { k: self.k });
+        }
+        if self.d < 1 || self.d > self.k {
+            return Err(ConfigError::DOutOfRange { k: self.k, d: self.d });
+        }
+        if self.burn_in as u64 > Self::MAX_BURN_IN {
+            return Err(ConfigError::BurnInTooLarge { burn_in: self.burn_in as u64 });
+        }
+        Ok(())
+    }
+
+    /// Panics if the configuration is out of the supported domain — the
+    /// legacy form, delegating to [`EstimatorConfig::try_validate`] (the
+    /// panic message is the error's `Display`).
     pub fn validate(&self) {
-        assert!((3..=6).contains(&self.k), "k={} unsupported (3..=6)", self.k);
-        assert!(self.d >= 1 && self.d <= self.k, "d={} must be in 1..=k (k={})", self.d, self.k);
-        assert!(
-            self.burn_in as u64 <= Self::MAX_BURN_IN,
-            "burn_in={} is pathological (max {}) — the walk would never reach sampling",
-            self.burn_in,
-            Self::MAX_BURN_IN
-        );
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 
     /// The paper's method name, e.g. `SRW2CSS`, `SRW1CSSNB`.
@@ -166,6 +181,36 @@ mod tests {
     fn validate_rejects_pathological_burn_in() {
         let burn_in = (EstimatorConfig::MAX_BURN_IN + 1) as usize;
         EstimatorConfig { burn_in, ..Default::default() }.validate();
+    }
+
+    #[test]
+    fn try_validate_returns_typed_errors() {
+        use crate::error::ConfigError;
+        assert_eq!(
+            EstimatorConfig { k: 7, d: 1, ..Default::default() }.try_validate(),
+            Err(ConfigError::UnsupportedK { k: 7 })
+        );
+        assert_eq!(
+            EstimatorConfig { k: 2, d: 1, ..Default::default() }.try_validate(),
+            Err(ConfigError::UnsupportedK { k: 2 })
+        );
+        assert_eq!(
+            EstimatorConfig { k: 3, d: 4, ..Default::default() }.try_validate(),
+            Err(ConfigError::DOutOfRange { k: 3, d: 4 })
+        );
+        assert_eq!(
+            EstimatorConfig { k: 3, d: 0, ..Default::default() }.try_validate(),
+            Err(ConfigError::DOutOfRange { k: 3, d: 0 })
+        );
+        #[cfg(target_pointer_width = "64")]
+        {
+            let burn_in = (EstimatorConfig::MAX_BURN_IN + 1) as usize;
+            assert_eq!(
+                EstimatorConfig { burn_in, ..Default::default() }.try_validate(),
+                Err(ConfigError::BurnInTooLarge { burn_in: burn_in as u64 })
+            );
+        }
+        assert_eq!(EstimatorConfig::recommended(4).try_validate(), Ok(()));
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! Typed errors for the estimation front-end.
+//!
+//! Historically every entry point policed its domain with `assert!`, so a
+//! bad configuration took the whole process down — acceptable in a
+//! research harness, not in a serving layer. The [`crate::runner::Runner`]
+//! paths return these enums instead; the old panicking `validate()`
+//! methods delegate to the fallible `try_validate()` forms and panic with
+//! the same messages, so existing callers (and their tests) see no
+//! behavioral change.
+
+use std::fmt;
+
+/// Why an [`crate::EstimatorConfig`] is outside the supported domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `k` outside `3..=6`.
+    UnsupportedK {
+        /// The rejected graphlet size.
+        k: usize,
+    },
+    /// `d` outside `1..=k`.
+    DOutOfRange {
+        /// The configuration's graphlet size.
+        k: usize,
+        /// The rejected walk dimension.
+        d: usize,
+    },
+    /// `burn_in` beyond [`crate::EstimatorConfig::MAX_BURN_IN`].
+    BurnInTooLarge {
+        /// The rejected burn-in step count.
+        burn_in: u64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Self::UnsupportedK { k } => write!(f, "k={k} unsupported (3..=6)"),
+            Self::DOutOfRange { k, d } => write!(f, "d={d} must be in 1..=k (k={k})"),
+            Self::BurnInTooLarge { burn_in } => write!(
+                f,
+                "burn_in={burn_in} is pathological (max {}) — the walk would never reach sampling",
+                crate::EstimatorConfig::MAX_BURN_IN
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Why a [`crate::StoppingRule`] could never fire (or never checks).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RuleError {
+    /// `target_rel_ci ≤ 0` (or NaN): no width ever satisfies it.
+    TargetNotPositive {
+        /// The rejected target.
+        target_rel_ci: f64,
+    },
+    /// `check_every == 0`: the run would never reach a convergence check.
+    ZeroCheckEvery,
+    /// `z ≤ 0` (or NaN): not a critical value.
+    ZNotPositive {
+        /// The rejected critical value.
+        z: f64,
+    },
+    /// `batch_len == 0`: batch means need at least one step per batch.
+    ZeroBatchLen,
+    /// `min_batches < 2`: no variance estimate exists below two batches.
+    MinBatchesTooSmall {
+        /// The rejected minimum.
+        min_batches: u64,
+    },
+    /// `min_concentration` outside `0..=1`.
+    ConcentrationOutOfRange {
+        /// The rejected floor.
+        min_concentration: f64,
+    },
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Self::TargetNotPositive { target_rel_ci } => {
+                write!(f, "target_rel_ci must be positive (got {target_rel_ci})")
+            }
+            Self::ZeroCheckEvery => write!(f, "check_every must be at least 1"),
+            Self::ZNotPositive { z } => write!(f, "z must be positive (got {z})"),
+            Self::ZeroBatchLen => write!(f, "batch_len must be at least 1"),
+            Self::MinBatchesTooSmall { min_batches } => {
+                write!(f, "min_batches must be at least 2 (got {min_batches})")
+            }
+            Self::ConcentrationOutOfRange { min_concentration } => {
+                write!(
+                    f,
+                    "min_concentration must be a concentration in 0..=1 (got {min_concentration})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+/// Everything a [`crate::runner::Runner`] run can reject up front.
+///
+/// Runner paths are panic-free on bad input: every invalid configuration,
+/// stopping rule, fan-out, or walk pairing comes back as one of these.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GxError {
+    /// The estimator configuration is out of domain.
+    Config(ConfigError),
+    /// The stopping rule is out of domain.
+    Rule(RuleError),
+    /// A fan-out of zero walkers was requested.
+    NoWalkers,
+    /// [`crate::runner::Runner::run`] was called before a budget was
+    /// chosen with `.steps(n)` or `.until(rule)`.
+    NoBudget,
+    /// A caller-supplied walk's dimension does not match the
+    /// configuration's `d`.
+    WalkDimensionMismatch {
+        /// The supplied walk's `d`.
+        walk_d: usize,
+        /// The configuration's `d`.
+        cfg_d: usize,
+    },
+    /// A caller-supplied walk is a single chain: it cannot be fanned out
+    /// over more than one walker.
+    ParallelCustomWalk {
+        /// The requested fan-out.
+        walkers: usize,
+    },
+}
+
+impl fmt::Display for GxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Self::Config(e) => write!(f, "invalid estimator configuration: {e}"),
+            Self::Rule(e) => write!(f, "invalid stopping rule: {e}"),
+            Self::NoWalkers => write!(f, "estimation needs at least one walker"),
+            Self::NoBudget => {
+                write!(f, "runner has no budget: call .steps(n) or .until(rule) before running")
+            }
+            Self::WalkDimensionMismatch { walk_d, cfg_d } => write!(
+                f,
+                "walk dimension must match configuration (walk d={walk_d}, config d={cfg_d})"
+            ),
+            Self::ParallelCustomWalk { walkers } => write!(
+                f,
+                "a caller-supplied walk is one chain; it cannot fan out over {walkers} walkers"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Config(e) => Some(e),
+            Self::Rule(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for GxError {
+    fn from(e: ConfigError) -> Self {
+        Self::Config(e)
+    }
+}
+
+impl From<RuleError> for GxError {
+    fn from(e: RuleError) -> Self {
+        Self::Rule(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_keep_the_legacy_panic_substrings() {
+        // The panicking validate() paths now delegate to try_validate()
+        // and panic with `Display` — these substrings are load-bearing
+        // for every pre-existing #[should_panic(expected = …)] test.
+        assert!(ConfigError::UnsupportedK { k: 7 }.to_string().contains("unsupported"));
+        assert!(ConfigError::DOutOfRange { k: 3, d: 4 }.to_string().contains("must be in 1..=k"));
+        assert!(ConfigError::BurnInTooLarge { burn_in: 1 << 33 }
+            .to_string()
+            .contains("pathological"));
+        assert!(RuleError::TargetNotPositive { target_rel_ci: 0.0 }
+            .to_string()
+            .contains("target_rel_ci"));
+        assert!(RuleError::ZeroCheckEvery.to_string().contains("check_every"));
+        assert!(RuleError::ConcentrationOutOfRange { min_concentration: 2.0 }
+            .to_string()
+            .contains("min_concentration must be a concentration"));
+        assert!(GxError::NoWalkers.to_string().contains("at least one walker"));
+        assert!(GxError::WalkDimensionMismatch { walk_d: 1, cfg_d: 2 }
+            .to_string()
+            .contains("walk dimension"));
+    }
+
+    #[test]
+    fn error_trait_chains_sources() {
+        use std::error::Error;
+        let e = GxError::from(ConfigError::UnsupportedK { k: 9 });
+        assert!(e.source().is_some());
+        assert_eq!(e.source().unwrap().to_string(), "k=9 unsupported (3..=6)");
+        let e = GxError::from(RuleError::ZeroBatchLen);
+        assert!(e.source().unwrap().to_string().contains("batch_len"));
+        assert!(GxError::NoBudget.source().is_none());
+    }
+}

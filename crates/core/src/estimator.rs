@@ -1,12 +1,11 @@
 //! Algorithm 1: unbiased estimation of graphlet statistics.
 
-use crate::accuracy::{
-    default_batch_len, AdaptiveTracker, BatchStats, BurnInReport, ScoreAccumulator, StoppingRule,
-};
+use crate::accuracy::{BatchStats, BurnInReport, ScoreAccumulator, StoppingRule};
 use crate::config::EstimatorConfig;
 use crate::css::CssWeights;
 use crate::pie::pie_tilde;
 use crate::result::Estimate;
+use crate::runner::Runner;
 use crate::window::NodeWindow;
 use gx_graph::GraphAccess;
 use gx_graphlets::{
@@ -23,25 +22,17 @@ use gx_walks::{
 ///
 /// `steps` is the sample budget n of Algorithm 1: the number of windows
 /// scored, matching the paper's "random walk steps" (e.g. 20K in §6).
+///
+/// This is the stable shorthand for
+/// [`Runner::new(cfg).steps(n).seed(s)`](crate::runner::Runner) — it
+/// delegates to the runner (golden-bit tests pin zero estimate drift)
+/// and panics on invalid input where the runner returns
+/// [`crate::GxError`].
 pub fn estimate<G: GraphAccess>(g: &G, cfg: &EstimatorConfig, steps: usize, seed: u64) -> Estimate {
-    estimate_batch(g, cfg, steps, seed, default_batch_len(steps))
-}
-
-/// [`estimate`] with an explicit batch length for the error-bar
-/// accumulator. The parallel engine routes through this so every walker
-/// uses the batch length derived from the *total* budget — pooled batch
-/// means are only valid over equal-length batches.
-pub(crate) fn estimate_batch<G: GraphAccess>(
-    g: &G,
-    cfg: &EstimatorConfig,
-    steps: usize,
-    seed: u64,
-    batch_len: usize,
-) -> Estimate {
-    cfg.validate();
-    let mut session = AnySession::new(g, cfg, seed, batch_len);
-    session.run(steps);
-    session.into_estimate(cfg)
+    match Runner::new(cfg.clone()).steps(steps).seed(seed).run_local(g) {
+        Ok(est) => est,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Runs the estimator until [`StoppingRule::converged`] holds at a
@@ -53,15 +44,20 @@ pub(crate) fn estimate_batch<G: GraphAccess>(
 /// `(g, cfg, seed)` — scoring consumes no randomness — so a run that
 /// exhausts `max_steps` returns bit-identical `raw_scores` to
 /// `estimate(g, cfg, max_steps, seed)`.
+///
+/// Stable shorthand for
+/// [`Runner::new(cfg).until(rule).seed(s)`](crate::runner::Runner);
+/// panics on invalid input where the runner returns [`crate::GxError`].
 pub fn estimate_until<G: GraphAccess>(
     g: &G,
     cfg: &EstimatorConfig,
     seed: u64,
     rule: &StoppingRule,
 ) -> Estimate {
-    cfg.validate();
-    rule.validate();
-    run_adaptive(AnySession::new(g, cfg, seed, rule.batch_len), cfg, rule)
+    match Runner::new(cfg.clone()).until(rule.clone()).seed(seed).run_local(g) {
+        Ok(est) => est,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Builds every process-wide table the configuration will touch (α,
@@ -206,6 +202,11 @@ fn step_and_accumulate<G: GraphAccess, W: StateWalk>(
 
 /// Runs Algorithm 1 with a caller-supplied walk (any [`StateWalk`] whose
 /// `d` matches `cfg.d`).
+///
+/// Stable shorthand for
+/// [`Runner::new(cfg).steps(n).run_with_walk`](crate::runner::Runner::run_with_walk);
+/// panics on invalid input (including a walk/config dimension mismatch)
+/// where the runner returns [`crate::GxError`].
 pub fn estimate_with_walk<G: GraphAccess, W: StateWalk>(
     g: &G,
     cfg: &EstimatorConfig,
@@ -213,22 +214,10 @@ pub fn estimate_with_walk<G: GraphAccess, W: StateWalk>(
     steps: usize,
     rng: WalkRng,
 ) -> Estimate {
-    estimate_with_walk_batch(g, cfg, walk, steps, rng, default_batch_len(steps))
-}
-
-/// [`estimate_with_walk`] with an explicit error-bar batch length.
-fn estimate_with_walk_batch<G: GraphAccess, W: StateWalk>(
-    g: &G,
-    cfg: &EstimatorConfig,
-    walk: W,
-    steps: usize,
-    rng: WalkRng,
-    batch_len: usize,
-) -> Estimate {
-    cfg.validate();
-    let mut session = WalkSession::from_parts(g, cfg, walk, rng, batch_len);
-    session.run(steps);
-    session.into_estimate(cfg)
+    match Runner::new(cfg.clone()).steps(steps).run_with_walk(g, walk, rng) {
+        Ok(est) => est,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Burn-in plus the first `l` states (Algorithm 1 line 3): the shared
@@ -403,6 +392,7 @@ impl<'g, G: GraphAccess> AnySession<'g, G> {
         }
     }
 
+    /// Windows scored so far (the chain's own step bookkeeping).
     pub(crate) fn scored(&self) -> usize {
         match self {
             Self::D1(s) => s.scored,
@@ -410,74 +400,6 @@ impl<'g, G: GraphAccess> AnySession<'g, G> {
             Self::Dn(s) => s.scored,
         }
     }
-
-    pub(crate) fn into_estimate(self, cfg: &EstimatorConfig) -> Estimate {
-        match self {
-            Self::D1(s) => s.into_estimate(cfg),
-            Self::D2(s) => s.into_estimate(cfg),
-            Self::Dn(s) => s.into_estimate(cfg),
-        }
-    }
-}
-
-/// The adaptive runner's view of a chain, so the single-walker drive
-/// loop below serves both the statically-typed [`WalkSession`] (public
-/// `_with_walk` entry point) and the runtime-dispatched [`AnySession`].
-trait AdaptiveSession {
-    fn run(&mut self, n: usize);
-    fn stats(&self) -> &BatchStats;
-    fn into_estimate(self, cfg: &EstimatorConfig) -> Estimate;
-}
-
-impl<G: GraphAccess, W: StateWalk> AdaptiveSession for WalkSession<'_, G, W> {
-    fn run(&mut self, n: usize) {
-        WalkSession::run(self, n);
-    }
-    fn stats(&self) -> &BatchStats {
-        WalkSession::stats(self)
-    }
-    fn into_estimate(self, cfg: &EstimatorConfig) -> Estimate {
-        WalkSession::into_estimate(self, cfg)
-    }
-}
-
-impl<G: GraphAccess> AdaptiveSession for AnySession<'_, G> {
-    fn run(&mut self, n: usize) {
-        AnySession::run(self, n);
-    }
-    fn stats(&self) -> &BatchStats {
-        AnySession::stats(self)
-    }
-    fn into_estimate(self, cfg: &EstimatorConfig) -> Estimate {
-        AnySession::into_estimate(self, cfg)
-    }
-}
-
-/// The single-walker adaptive driver: rounds of `check_every` scored
-/// windows with a convergence check after each, capped at `max_steps`,
-/// packing the result and its [`crate::AdaptiveReport`].
-fn run_adaptive<S: AdaptiveSession>(
-    mut session: S,
-    cfg: &EstimatorConfig,
-    rule: &StoppingRule,
-) -> Estimate {
-    let mut tracker = AdaptiveTracker::new(session.stats().types());
-    let (mut done, mut rounds, mut met) = (0usize, 0usize, false);
-    while done < rule.max_steps {
-        let round = rule.check_every.min(rule.max_steps - done);
-        session.run(round);
-        done += round;
-        rounds += 1;
-        met = tracker.observe(rule, session.stats(), done);
-        if met {
-            break;
-        }
-    }
-    let crit = rule.critical_value(session.stats().batches());
-    let mut est = session.into_estimate(cfg);
-    debug_assert_eq!(est.steps, done);
-    est.adaptive = Some(tracker.report(1, rounds, done, met, crit));
-    est
 }
 
 /// [`estimate_until`] with a caller-supplied walk.
@@ -486,6 +408,10 @@ fn run_adaptive<S: AdaptiveSession>(
 /// only ever advances between scored windows), checking the stopping
 /// rule every `rule.check_every` scored windows. Like the fixed-budget
 /// runner, the walk is never advanced past the last scored window.
+///
+/// Stable shorthand for
+/// [`Runner::new(cfg).until(rule).run_with_walk`](crate::runner::Runner::run_with_walk);
+/// panics on invalid input where the runner returns [`crate::GxError`].
 pub fn estimate_until_with_walk<G: GraphAccess, W: StateWalk>(
     g: &G,
     cfg: &EstimatorConfig,
@@ -493,9 +419,10 @@ pub fn estimate_until_with_walk<G: GraphAccess, W: StateWalk>(
     rule: &StoppingRule,
     rng: WalkRng,
 ) -> Estimate {
-    cfg.validate();
-    rule.validate();
-    run_adaptive(WalkSession::from_parts(g, cfg, walk, rng, rule.batch_len), cfg, rule)
+    match Runner::new(cfg.clone()).until(rule.clone()).run_with_walk(g, walk, rng) {
+        Ok(est) => est,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Measures initialization bias of the chain `(g, cfg, seed)` and

@@ -29,11 +29,13 @@ pub mod accuracy;
 pub mod config;
 pub mod counts;
 pub mod css;
+pub mod error;
 pub mod estimator;
 pub mod eval;
 pub mod parallel;
 pub mod pie;
 pub mod result;
+pub mod runner;
 pub mod theory;
 pub mod window;
 
@@ -43,11 +45,13 @@ pub use accuracy::{
 };
 pub use config::EstimatorConfig;
 pub use counts::relationship_edge_count;
+pub use error::{ConfigError, GxError, RuleError};
 pub use estimator::{
     estimate, estimate_until, estimate_until_with_walk, estimate_with_walk, measure_burn_in,
 };
 pub use parallel::{estimate_parallel, estimate_until_parallel, EstimatorPool, ParallelConfig};
 pub use result::Estimate;
+pub use runner::{Progress, RunHandle, Runner};
 pub use window::NodeWindow;
 
 // The α coefficients (Algorithm 2) live next to the atlas so the

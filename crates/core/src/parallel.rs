@@ -14,14 +14,14 @@
 //! `seed` for `i = 0` and [`derive_seed`]`(seed, i)` otherwise, and the
 //! merge folds walker results in index order — so a fixed
 //! `(seed, walkers)` pair gives bit-identical results on every run and
-//! machine, and `walkers == 1` is *bit-identical* to [`estimate`].
+//! machine, and `walkers == 1` is *bit-identical* to [`crate::estimate`].
 
-use crate::accuracy::{default_batch_len, AdaptiveTracker, BatchStats, StoppingRule};
+use crate::accuracy::StoppingRule;
 use crate::config::EstimatorConfig;
-use crate::estimator::{estimate, estimate_batch, AnySession};
+use crate::error::GxError;
 use crate::result::Estimate;
+use crate::runner::Runner;
 use gx_graph::GraphAccess;
-use gx_graphlets::num_graphlets;
 use gx_walks::derive_seed;
 
 /// How to fan an estimation run across walkers.
@@ -44,10 +44,21 @@ impl ParallelConfig {
         Self { walkers: available_cores() }
     }
 
-    /// Exactly `walkers` walkers.
+    /// Exactly `walkers` walkers. Panics on zero; see
+    /// [`ParallelConfig::try_with_walkers`] for the fallible form.
     pub fn with_walkers(walkers: usize) -> Self {
         assert!(walkers >= 1, "ParallelConfig needs at least one walker");
         Self { walkers }
+    }
+
+    /// Exactly `walkers` walkers, rejecting a zero fan-out as
+    /// [`GxError::NoWalkers`] instead of panicking — the form for
+    /// service layers assembling configurations from untrusted input.
+    pub fn try_with_walkers(walkers: usize) -> Result<Self, GxError> {
+        if walkers == 0 {
+            return Err(GxError::NoWalkers);
+        }
+        Ok(Self { walkers })
     }
 }
 
@@ -116,11 +127,19 @@ pub fn walker_steps(steps: usize, walkers: usize, walker: usize) -> usize {
 /// (own random start, own RNG stream — see [`walker_seed`]), and the
 /// per-walker `raw_scores` / `valid_samples` are summed in walker
 /// order. The result is deterministic for a fixed `(seed, walkers)`;
-/// with `walkers == 1` it is bit-identical to [`estimate`].
+/// with `walkers == 1` it is bit-identical to [`crate::estimate`].
 ///
 /// Requires `G: Sync` — the metered `ApiGraph` is deliberately not
 /// `Sync` (its counters are unsynchronized), so crawling simulations
 /// stay sequential while in-memory graphs parallelize.
+///
+/// Stable shorthand for
+/// [`Runner::new(cfg).steps(n).walkers(w)`](crate::runner::Runner):
+/// every walker uses the batch length derived from the *total* budget
+/// (pooled batch means need equal-length batches), runs chunked over
+/// the machine's cores, and merges in walker order. Panics on invalid
+/// input where the runner returns [`GxError`]; golden-bit tests pin
+/// zero estimate drift through the delegation.
 pub fn estimate_parallel<G: GraphAccess + Sync>(
     g: &G,
     cfg: &EstimatorConfig,
@@ -128,42 +147,10 @@ pub fn estimate_parallel<G: GraphAccess + Sync>(
     seed: u64,
     walkers: usize,
 ) -> Estimate {
-    assert!(walkers >= 1, "estimate_parallel needs at least one walker");
-    cfg.validate();
-    if walkers == 1 {
-        return estimate(g, cfg, steps, seed);
+    match Runner::new(cfg.clone()).steps(steps).seed(seed).walkers(walkers).run(g) {
+        Ok(est) => est,
+        Err(e) => panic!("{e}"),
     }
-    // Build the process-wide tables (α, dense classification, dense CSS)
-    // once, up front: otherwise every walker thread races to the same
-    // cold `OnceLock` and the whole fan-out serializes behind one build.
-    crate::estimator::prewarm(cfg);
-    // Every walker uses the batch length derived from the *total*
-    // budget, not its own share: pooled batch means (the merge below)
-    // are only comparable across walkers when all batches have equal
-    // length, and the total-budget policy makes walkers == 1 land on
-    // exactly the sequential estimator's batching.
-    let batch_len = default_batch_len(steps);
-    // One OS thread per *core*, not per walker: each thread runs a
-    // contiguous chunk of walkers sequentially, so pathological fan-outs
-    // (walkers ≫ cores) cannot exhaust thread limits. Results are
-    // slotted by walker index and merged in walker order, so the output
-    // is identical for every thread count.
-    let threads = available_cores().min(walkers);
-    let chunk = walkers.div_ceil(threads);
-    let mut results: Vec<Option<Estimate>> = Vec::new();
-    results.resize_with(walkers, || None);
-    std::thread::scope(|scope| {
-        for (c, slots) in results.chunks_mut(chunk).enumerate() {
-            scope.spawn(move || {
-                for (off, slot) in slots.iter_mut().enumerate() {
-                    let i = c * chunk + off;
-                    let share = walker_steps(steps, walkers, i);
-                    *slot = Some(estimate_batch(g, cfg, share, walker_seed(seed, i), batch_len));
-                }
-            });
-        }
-    });
-    merge(cfg, steps, batch_len, results.into_iter().map(|r| r.expect("walker thread completed")))
 }
 
 /// Adaptive stopping fanned across independent walkers: the round-based
@@ -176,12 +163,13 @@ pub fn estimate_parallel<G: GraphAccess + Sync>(
 /// stream per [`walker_seed`], burn-in paid exactly once — the chain
 /// resumes across rounds, never re-primed). A round advances every
 /// still-budgeted walker by `rule.check_every` scored windows; between
-/// rounds the coordinator pools the per-walker batch-means statistics
-/// in walker order (the Chan merge of [`BatchStats::merge`] — every
-/// walker uses `rule.batch_len`, so pooling is exact) and evaluates the
-/// stopping rule on the *pooled* confidence intervals, studentized
-/// while the pooled batch count is small. Further rounds are dispatched
-/// only while something is still wide: all qualifying types under
+/// rounds the coordinator folds each walker's *new* batch means into
+/// the pooled statistics in walker order (the incremental replay of
+/// [`crate::BatchStats::fold_series_suffix`] — every walker uses
+/// `rule.batch_len`, so pooling is exact) and evaluates the stopping
+/// rule on the *pooled* confidence intervals, studentized while the
+/// pooled batch count is small. Further rounds are dispatched only
+/// while something is still wide: all qualifying types under
 /// `rule.per_type`, the widest qualifying type otherwise.
 ///
 /// `rule.max_steps` is the total budget, split near-equally
@@ -195,6 +183,15 @@ pub fn estimate_parallel<G: GraphAccess + Sync>(
 /// the sequential [`crate::estimate_until`] round-for-round: same
 /// chain, same check schedule, bit-identical estimate and report at
 /// the same stop step (tested).
+///
+/// Stable shorthand for
+/// [`Runner::new(cfg).until(rule).parallel(par)`](crate::runner::Runner):
+/// each walker is a persistent chain (burn-in paid once, resumed across
+/// rounds), a round advances every still-budgeted walker by
+/// `rule.check_every` scored windows, and the pooled statistics grow by
+/// an *incremental* walker-order fold of each round's new batch means
+/// (see [`crate::runner::RunHandle`]). Panics on invalid input where
+/// the runner returns [`GxError`].
 pub fn estimate_until_parallel<G: GraphAccess + Sync>(
     g: &G,
     cfg: &EstimatorConfig,
@@ -202,124 +199,9 @@ pub fn estimate_until_parallel<G: GraphAccess + Sync>(
     rule: &StoppingRule,
     par: &ParallelConfig,
 ) -> Estimate {
-    cfg.validate();
-    rule.validate();
-    let walkers = par.walkers;
-    assert!(walkers >= 1, "estimate_until_parallel needs at least one walker");
-    let types = num_graphlets(cfg.k);
-    // Shared tables up front, as in `estimate_parallel`: walker threads
-    // must not serialize behind one cold `OnceLock` build.
-    crate::estimator::prewarm(cfg);
-    let caps: Vec<usize> = (0..walkers).map(|i| walker_steps(rule.max_steps, walkers, i)).collect();
-    // Sessions are created lazily inside the worker threads on the first
-    // round (priming + burn-in are per-walker work and parallelize like
-    // any other round); a walker whose budget share is zero never
-    // allocates a chain at all.
-    let mut sessions: Vec<Option<AnySession<'_, G>>> = Vec::new();
-    sessions.resize_with(walkers, || None);
-    let mut done = vec![0usize; walkers];
-    let mut tracker = AdaptiveTracker::new(types);
-    let mut pooled = BatchStats::new(types, rule.batch_len);
-    let (mut rounds, mut met) = (0usize, false);
-    let threads = available_cores().min(walkers);
-    let chunk = walkers.div_ceil(threads);
-    loop {
-        let shares: Vec<usize> =
-            (0..walkers).map(|i| rule.check_every.min(caps[i] - done[i])).collect();
-        if shares.iter().all(|&r| r == 0) {
-            break; // every walker's budget share is exhausted
-        }
-        std::thread::scope(|scope| {
-            for (c, slots) in sessions.chunks_mut(chunk).enumerate() {
-                let shares = &shares;
-                scope.spawn(move || {
-                    for (off, slot) in slots.iter_mut().enumerate() {
-                        let i = c * chunk + off;
-                        if shares[i] == 0 {
-                            continue;
-                        }
-                        slot.get_or_insert_with(|| {
-                            AnySession::new(g, cfg, walker_seed(seed, i), rule.batch_len)
-                        })
-                        .run(shares[i]);
-                    }
-                });
-            }
-        });
-        for (d, r) in done.iter_mut().zip(&shares) {
-            *d += r;
-        }
-        rounds += 1;
-        // Pool from scratch each round: walker-order folds keep the
-        // result deterministic, and O(walkers × types) per round is
-        // noise next to the walking itself.
-        pooled = BatchStats::new(types, rule.batch_len);
-        for session in sessions.iter().flatten() {
-            pooled.merge(session.stats());
-        }
-        met = tracker.observe(rule, &pooled, done.iter().sum());
-        if met {
-            break;
-        }
-    }
-    let total: usize = done.iter().sum();
-    let crit = rule.critical_value(pooled.batches());
-    let mut raw = vec![0.0f64; types];
-    let mut valid = 0usize;
-    for session in sessions.iter().flatten() {
-        for (acc, x) in raw.iter_mut().zip(session.raw()) {
-            *acc += x;
-        }
-        valid += session.valid();
-    }
-    debug_assert_eq!(
-        total,
-        sessions.iter().flatten().map(|s| s.scored()).sum::<usize>(),
-        "round bookkeeping must match the sessions' scored windows"
-    );
-    Estimate {
-        config: cfg.clone(),
-        steps: total,
-        valid_samples: valid,
-        raw_scores: raw,
-        accuracy: Some(pooled),
-        adaptive: Some(tracker.report(walkers, rounds, total, met, crit)),
-    }
-}
-
-/// Folds per-walker estimates (in iteration order) into one: raw scores
-/// and valid-sample counts add, batch-means statistics pool via
-/// [`BatchStats::merge`] (each walker's batches are independent draws of
-/// the same batch-mean distribution — equal batch length is enforced by
-/// construction above). Walker order fixes the floating-point fold
-/// order, keeping the result deterministic per `(seed, walkers)`.
-fn merge(
-    cfg: &EstimatorConfig,
-    steps: usize,
-    batch_len: usize,
-    parts: impl Iterator<Item = Estimate>,
-) -> Estimate {
-    let mut raw = vec![0.0f64; num_graphlets(cfg.k)];
-    let mut valid = 0usize;
-    let mut seen_steps = 0usize;
-    let mut stats = BatchStats::new(num_graphlets(cfg.k), batch_len);
-    for part in parts {
-        debug_assert_eq!(part.config, *cfg);
-        for (acc, x) in raw.iter_mut().zip(&part.raw_scores) {
-            *acc += x;
-        }
-        valid += part.valid_samples;
-        seen_steps += part.steps;
-        stats.merge(part.accuracy.as_ref().expect("walker estimates carry accuracy stats"));
-    }
-    debug_assert_eq!(seen_steps, steps, "walker shares must cover the budget");
-    Estimate {
-        config: cfg.clone(),
-        steps,
-        valid_samples: valid,
-        raw_scores: raw,
-        accuracy: Some(stats),
-        adaptive: None,
+    match Runner::new(cfg.clone()).until(rule.clone()).seed(seed).parallel(*par).run(g) {
+        Ok(est) => est,
+        Err(e) => panic!("{e}"),
     }
 }
 

@@ -102,6 +102,17 @@ impl Estimate {
         two_r * self.std_error(i)
     }
 
+    /// Standard error of the per-step mean score of type `i` by the
+    /// *overlapping*-batch-means estimator (default window) — the
+    /// independent cross-check on [`Estimate::std_error`]. The two agree
+    /// within estimator noise when the batch length exceeded the chain's
+    /// mixing scale; a large discrepancy means both intervals are
+    /// suspect. See [`BatchStats::obm_var_of_mean`]. `NaN` without
+    /// accuracy data or with too few batches for the window.
+    pub fn obm_std_error(&self, i: usize) -> f64 {
+        self.accuracy().map_or(f64::NAN, |a| a.obm_std_error(i))
+    }
+
     /// `z`-confidence interval for the count of type `i` (e.g. `z = 1.96`
     /// for 95%), centered on the point estimate of [`Estimate::counts`]
     /// (computed directly for type `i` — no per-type vector is built).

@@ -1,0 +1,664 @@
+//! The unified estimation front-end: one composable entry point for
+//! fixed/adaptive × sequential/parallel runs.
+//!
+//! Four PRs of growth left the framework fronted by six free functions
+//! (`estimate`, `estimate_with_walk`, `estimate_until`,
+//! `estimate_until_with_walk`, `estimate_parallel`,
+//! `estimate_until_parallel`), each with its own argument order. They
+//! all parameterize the *same* estimator — the paper's single framework
+//! is one algorithm over `(k, d, css, nb)` — so the [`Runner`] builder
+//! composes the four orthogonal axes explicitly:
+//!
+//! * **config** — the [`EstimatorConfig`] passed to [`Runner::new`];
+//! * **budget** — [`Runner::steps`] (fixed) or [`Runner::until`]
+//!   (adaptive, with a [`StoppingRule`]);
+//! * **execution** — [`Runner::walkers`] / [`Runner::parallel`]
+//!   (independent chains cooperating on the budget) and
+//!   [`Runner::seed`];
+//! * **observability** — [`Runner::on_progress`] callbacks and the
+//!   resumable [`RunHandle`] from [`Runner::start`].
+//!
+//! Every runner path is **panic-free on bad input**: [`Runner::run`]
+//! returns [`GxError`] where the legacy free functions panic (they are
+//! kept as stable shorthands delegating here, so their behavior — and
+//! their golden-bit outputs — are unchanged).
+//!
+//! ```
+//! use gx_core::{EstimatorConfig, runner::Runner};
+//! let g = gx_graph::generators::classic::paper_figure1();
+//! let est = Runner::new(EstimatorConfig::recommended(3))
+//!     .steps(20_000)
+//!     .seed(7)
+//!     .run(&g)
+//!     .expect("valid configuration");
+//! assert_eq!(est.steps, 20_000);
+//! ```
+//!
+//! # Determinism contract
+//!
+//! A runner's output is a pure function of
+//! `(graph, config, budget, seed, walkers)`: the same chains, scored
+//! windows, and walker-order merges as the legacy entry points, bit for
+//! bit — regardless of thread count ([`Runner::run`] vs
+//! [`Runner::run_local`]) and regardless of how a [`RunHandle`] is
+//! advanced (the persistent [`crate::estimator`] chains only ever step
+//! *between* scored windows, so splitting a budget over
+//! [`RunHandle::advance`] calls cannot move a sample).
+
+use crate::accuracy::{
+    default_batch_len, studentized_critical, AdaptiveTracker, BatchStats, StoppingRule,
+};
+use crate::config::EstimatorConfig;
+use crate::error::GxError;
+use crate::estimator::{prewarm, AnySession, WalkSession};
+use crate::parallel::{available_cores, walker_seed, walker_steps, ParallelConfig};
+use crate::result::Estimate;
+use gx_graph::GraphAccess;
+use gx_graphlets::num_graphlets;
+use gx_walks::{StateWalk, WalkRng};
+use std::rc::Rc;
+
+/// The run's step budget: a fixed window count, or adaptive stopping.
+#[derive(Debug, Clone)]
+enum Budget {
+    /// No budget chosen yet — running is a [`GxError::NoBudget`].
+    Unset,
+    /// Score exactly `n` windows (split near-equally over walkers).
+    Fixed(usize),
+    /// Walk until the rule's confidence target is met (or its cap).
+    Until(StoppingRule),
+}
+
+/// A progress snapshot, delivered to [`Runner::on_progress`] callbacks
+/// after every increment and returned by [`RunHandle::advance`] /
+/// [`RunHandle::progress`].
+#[derive(Debug, Clone, Copy)]
+pub struct Progress {
+    /// Scored windows so far, pooled over walkers.
+    pub steps: usize,
+    /// Walkers cooperating on the budget.
+    pub walkers: usize,
+    /// Increments (adaptive: convergence checks) completed so far.
+    pub rounds: usize,
+    /// Pooled completed error-bar batches.
+    pub batches: u64,
+    /// Current widest relative CI half-width over qualifying types,
+    /// studentized (the adaptive rule's `z`/floor, or 95%/1% for fixed
+    /// budgets). `NaN` until two batches complete.
+    pub width: f64,
+    /// Whether an adaptive run has met its stopping rule (always `false`
+    /// for fixed budgets).
+    pub converged: bool,
+    /// Whether the run is over: converged, or every walker's budget
+    /// share is exhausted.
+    pub finished: bool,
+}
+
+type ProgressFn = Rc<dyn Fn(&Progress)>;
+
+/// Builder-style front door to the whole estimation framework: config ×
+/// budget × execution × observability, composed with method chaining and
+/// executed with [`Runner::run`] (or driven incrementally via
+/// [`Runner::start`]). See the [module docs](crate::runner) for the axes
+/// and the determinism contract.
+#[derive(Clone)]
+pub struct Runner {
+    cfg: EstimatorConfig,
+    budget: Budget,
+    walkers: usize,
+    seed: u64,
+    progress: Option<ProgressFn>,
+}
+
+impl std::fmt::Debug for Runner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runner")
+            .field("cfg", &self.cfg)
+            .field("budget", &self.budget)
+            .field("walkers", &self.walkers)
+            .field("seed", &self.seed)
+            .field("progress", &self.progress.as_ref().map(|_| "Fn(&Progress)"))
+            .finish()
+    }
+}
+
+impl Runner {
+    /// A runner for `cfg` with no budget yet, one walker, and seed 0.
+    /// Nothing is validated until a run entry point is called — builders
+    /// never panic.
+    pub fn new(cfg: EstimatorConfig) -> Self {
+        Self { cfg, budget: Budget::Unset, walkers: 1, seed: 0, progress: None }
+    }
+
+    /// Fixed budget: score exactly `steps` windows (Algorithm 1's sample
+    /// budget n, split near-equally over walkers). Replaces any budget
+    /// chosen earlier.
+    pub fn steps(mut self, steps: usize) -> Self {
+        self.budget = Budget::Fixed(steps);
+        self
+    }
+
+    /// Adaptive budget: walk until `rule` declares convergence or its
+    /// `max_steps` cap is exhausted. Replaces any budget chosen earlier.
+    pub fn until(mut self, rule: StoppingRule) -> Self {
+        self.budget = Budget::Until(rule);
+        self
+    }
+
+    /// Fan the budget over `walkers` independent chains (walker `i` uses
+    /// the RNG stream of [`crate::parallel::walker_seed`]). `0` is
+    /// reported as [`GxError::NoWalkers`] at run time.
+    pub fn walkers(mut self, walkers: usize) -> Self {
+        self.walkers = walkers;
+        self
+    }
+
+    /// [`Runner::walkers`] from a [`ParallelConfig`] (e.g.
+    /// `ParallelConfig::auto()` for one walker per core).
+    pub fn parallel(self, par: ParallelConfig) -> Self {
+        self.walkers(par.walkers)
+    }
+
+    /// Seed of the run (walker 0 replays the sequential estimator's
+    /// chain for this seed). Defaults to 0.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Registers a progress callback, invoked after every increment of
+    /// the run (each adaptive convergence check; ~16 ticks over a fixed
+    /// budget; every [`RunHandle::advance`] call). Observability only:
+    /// the callback cannot alter the run, and output is bit-identical
+    /// with or without it.
+    pub fn on_progress(mut self, f: impl Fn(&Progress) + 'static) -> Self {
+        self.progress = Some(Rc::new(f));
+        self
+    }
+
+    /// Validates everything the run needs up front.
+    fn check(&self) -> Result<(), GxError> {
+        self.cfg.try_validate()?;
+        if self.walkers == 0 {
+            return Err(GxError::NoWalkers);
+        }
+        match &self.budget {
+            Budget::Unset => Err(GxError::NoBudget),
+            Budget::Fixed(_) => Ok(()),
+            Budget::Until(rule) => {
+                rule.try_validate()?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Runs to completion, fanning walkers over the machine's cores when
+    /// `walkers > 1` (requires `G: Sync`; the metered
+    /// `ApiGraph` is deliberately not `Sync` — use [`Runner::run_local`]
+    /// for crawling simulations). Output is bit-identical to
+    /// [`Runner::run_local`] for every fan-out: walker order, not thread
+    /// schedule, fixes every merge.
+    pub fn run<G: GraphAccess + Sync>(&self, g: &G) -> Result<Estimate, GxError> {
+        self.check()?;
+        if self.walkers > 1 {
+            // Build the shared tables once, up front: walker threads
+            // must not serialize behind one cold `OnceLock` build.
+            prewarm(&self.cfg);
+            self.drive(g, |handle, windows| handle.advance_par(windows))
+        } else {
+            self.drive(g, |handle, windows| handle.advance(windows))
+        }
+    }
+
+    /// [`Runner::run`] confined to the calling thread: walkers advance
+    /// one after another in walker order instead of across cores.
+    /// Bit-identical output; this is the path for graphs that are not
+    /// `Sync` (restricted-access crawling) and what the sequential
+    /// legacy shorthands delegate to.
+    pub fn run_local<G: GraphAccess>(&self, g: &G) -> Result<Estimate, GxError> {
+        self.drive(g, |handle, windows| handle.advance(windows))
+    }
+
+    /// The one drive loop behind [`Runner::run`] and
+    /// [`Runner::run_local`] — only the advance flavor differs, so the
+    /// two entry points cannot drift apart. (`start` re-validates, so
+    /// callers need no separate `check`.)
+    fn drive<'g, G: GraphAccess>(
+        &self,
+        g: &'g G,
+        mut advance: impl FnMut(&mut RunHandle<'g, G>, usize) -> Progress,
+    ) -> Result<Estimate, GxError> {
+        let mut handle = self.start(g)?;
+        let windows = self.increment(&handle);
+        while !handle.is_finished() {
+            advance(&mut handle, windows);
+        }
+        Ok(handle.finish())
+    }
+
+    /// The per-walker advance size [`Runner::run`] drives the handle
+    /// with: the rule's check cadence for adaptive budgets; the whole
+    /// share for fixed budgets (split into ~16 increments when a
+    /// progress callback wants ticks — the chains' resumability makes
+    /// the split invisible in the output).
+    fn increment<G: GraphAccess>(&self, handle: &RunHandle<'_, G>) -> usize {
+        match &self.budget {
+            Budget::Until(rule) => rule.check_every,
+            Budget::Fixed(_) if self.progress.is_some() => {
+                (handle.caps.iter().copied().max().unwrap_or(0) / 16).max(1)
+            }
+            _ => usize::MAX,
+        }
+    }
+
+    /// Starts a resumable run: primes nothing yet (each walker's chain
+    /// is created lazily on its first advance), returns the
+    /// [`RunHandle`] that owns the persistent chains. Requires only
+    /// `GraphAccess`; the handle advances walkers on the calling thread
+    /// unless [`RunHandle::advance_par`] is used.
+    pub fn start<'g, G: GraphAccess>(&self, g: &'g G) -> Result<RunHandle<'g, G>, GxError> {
+        self.check()?;
+        let (rule, batch_len, max_steps) = match &self.budget {
+            Budget::Fixed(steps) => (None, default_batch_len(*steps), *steps),
+            Budget::Until(rule) => (Some(rule.clone()), rule.batch_len, rule.max_steps),
+            Budget::Unset => unreachable!("check() rejects unset budgets"),
+        };
+        let types = num_graphlets(self.cfg.k);
+        let mut sessions = Vec::new();
+        sessions.resize_with(self.walkers, || None);
+        Ok(RunHandle {
+            g,
+            cfg: self.cfg.clone(),
+            rule,
+            batch_len,
+            seed: self.seed,
+            caps: (0..self.walkers).map(|i| walker_steps(max_steps, self.walkers, i)).collect(),
+            sessions,
+            done: vec![0; self.walkers],
+            pooled: BatchStats::new(types, batch_len),
+            pooled_batches: vec![0; self.walkers],
+            tracker: AdaptiveTracker::new(types),
+            rounds: 0,
+            met: false,
+            progress: self.progress.clone(),
+        })
+    }
+
+    /// Runs the configured budget over a caller-supplied walk — the
+    /// runner form of the `_with_walk` shorthands. A supplied walk is
+    /// one concrete chain, so the fan-out must be 1
+    /// ([`GxError::ParallelCustomWalk`] otherwise) and the walk's
+    /// dimension must match the configuration's `d`
+    /// ([`GxError::WalkDimensionMismatch`]).
+    ///
+    /// [`Runner::seed`] has no effect here — the caller supplies both
+    /// the walk's start state and the RNG, which together *are* the
+    /// seed. [`Runner::on_progress`] works as on session runs: ticks at
+    /// every convergence check (adaptive) or ~16 increments (fixed).
+    pub fn run_with_walk<G: GraphAccess, W: StateWalk>(
+        &self,
+        g: &G,
+        walk: W,
+        rng: WalkRng,
+    ) -> Result<Estimate, GxError> {
+        self.cfg.try_validate()?;
+        if self.walkers == 0 {
+            return Err(GxError::NoWalkers);
+        }
+        if self.walkers > 1 {
+            return Err(GxError::ParallelCustomWalk { walkers: self.walkers });
+        }
+        if walk.d() != self.cfg.d {
+            return Err(GxError::WalkDimensionMismatch { walk_d: walk.d(), cfg_d: self.cfg.d });
+        }
+        match &self.budget {
+            Budget::Unset => Err(GxError::NoBudget),
+            Budget::Fixed(steps) => {
+                let batch_len = default_batch_len(*steps);
+                let mut session = WalkSession::from_parts(g, &self.cfg, walk, rng, batch_len);
+                match &self.progress {
+                    // Splitting the budget over `run` calls cannot move
+                    // a sample, so ticking is observability-only.
+                    None => session.run(*steps),
+                    Some(cb) => {
+                        let chunk = (*steps / 16).max(1);
+                        let (mut done, mut rounds) = (0usize, 0usize);
+                        while done < *steps {
+                            let n = chunk.min(*steps - done);
+                            session.run(n);
+                            done += n;
+                            rounds += 1;
+                            let stats = session.stats();
+                            let crit = studentized_critical(1.96, stats.batches());
+                            cb(&Progress {
+                                steps: done,
+                                walkers: 1,
+                                rounds,
+                                batches: stats.batches(),
+                                width: stats.max_relative_half_width(crit, 0.01),
+                                converged: false,
+                                finished: done >= *steps,
+                            });
+                        }
+                    }
+                }
+                Ok(session.into_estimate(&self.cfg))
+            }
+            Budget::Until(rule) => {
+                rule.try_validate()?;
+                let session = WalkSession::from_parts(g, &self.cfg, walk, rng, rule.batch_len);
+                Ok(run_adaptive_walk(session, &self.cfg, rule, self.progress.as_ref()))
+            }
+        }
+    }
+}
+
+/// The single-chain adaptive driver for a caller-supplied walk: rounds
+/// of `check_every` scored windows with a convergence check (and a
+/// progress tick) after each, capped at `max_steps`, packing the result
+/// and its [`crate::AdaptiveReport`]. The session-based runner paths
+/// follow the identical schedule through [`RunHandle`]; this driver
+/// serves the generic [`WalkSession`], which cannot live inside the
+/// runtime-dispatched handle.
+fn run_adaptive_walk<G: GraphAccess, W: StateWalk>(
+    mut session: WalkSession<'_, G, W>,
+    cfg: &EstimatorConfig,
+    rule: &StoppingRule,
+    progress: Option<&ProgressFn>,
+) -> Estimate {
+    let mut tracker = AdaptiveTracker::new(session.stats().types());
+    let (mut done, mut rounds, mut met) = (0usize, 0usize, false);
+    while done < rule.max_steps {
+        let round = rule.check_every.min(rule.max_steps - done);
+        session.run(round);
+        done += round;
+        rounds += 1;
+        met = tracker.observe(rule, session.stats(), done);
+        if let Some(cb) = progress {
+            let stats = session.stats();
+            let crit = rule.critical_value(stats.batches());
+            cb(&Progress {
+                steps: done,
+                walkers: 1,
+                rounds,
+                batches: stats.batches(),
+                width: stats.max_relative_half_width(crit, rule.min_concentration),
+                converged: met,
+                finished: met || done >= rule.max_steps,
+            });
+        }
+        if met {
+            break;
+        }
+    }
+    let crit = rule.critical_value(session.stats().batches());
+    let mut est = session.into_estimate(cfg);
+    debug_assert_eq!(est.steps, done);
+    est.adaptive = Some(tracker.report(1, rounds, done, met, crit));
+    est
+}
+
+/// A live, resumable estimation run: the persistent per-walker chains
+/// ([`crate::estimator`]'s `WalkSession`/`AnySession`), advanced in
+/// increments with [`RunHandle::advance`], observable between increments
+/// ([`RunHandle::estimate`] / [`RunHandle::progress`]), and finished
+/// with [`RunHandle::finish`].
+///
+/// **Determinism:** chains only ever step between scored windows, so
+/// *any* sequence of `advance` calls covering the budget yields the same
+/// scored-window stream; a finished handle is bit-identical to the
+/// corresponding one-shot [`Runner::run`] — including walker fan-out —
+/// when advanced on the run's natural schedule (any increments for fixed
+/// budgets; the rule's `check_every` for adaptive ones, since the check
+/// schedule decides where an adaptive run stops).
+///
+/// Adaptive pooling is **incremental**: each advance folds only the new
+/// batch means of each walker's series into the pooled statistics
+/// (chronological, walker-order — [`BatchStats::fold_series_suffix`]),
+/// instead of re-pooling every walker from scratch each round. With one
+/// walker the pool replays the walker's own accumulator bit for bit.
+pub struct RunHandle<'g, G: GraphAccess> {
+    g: &'g G,
+    cfg: EstimatorConfig,
+    /// `None` for fixed budgets.
+    rule: Option<StoppingRule>,
+    batch_len: usize,
+    seed: u64,
+    /// Per-walker step budget (near-equal split of the total).
+    caps: Vec<usize>,
+    /// Lazily-created persistent chains, index = walker.
+    sessions: Vec<Option<AnySession<'g, G>>>,
+    /// Per-walker scored windows so far.
+    done: Vec<usize>,
+    /// Pooled batch-means statistics (chronological incremental fold).
+    pooled: BatchStats,
+    /// Per-walker batches already folded into `pooled`.
+    pooled_batches: Vec<u64>,
+    tracker: AdaptiveTracker,
+    rounds: usize,
+    met: bool,
+    progress: Option<ProgressFn>,
+}
+
+impl<G: GraphAccess> std::fmt::Debug for RunHandle<'_, G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunHandle")
+            .field("cfg", &self.cfg)
+            .field("rule", &self.rule)
+            .field("walkers", &self.caps.len())
+            .field("seed", &self.seed)
+            .field("steps", &self.steps())
+            .field("rounds", &self.rounds)
+            .field("finished", &self.is_finished())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'g, G: GraphAccess> RunHandle<'g, G> {
+    /// Per-walker share of an advance by `windows` scored windows:
+    /// remaining budget capped, zero once the run has converged.
+    fn shares(&self, windows: usize) -> Vec<usize> {
+        if self.met {
+            return vec![0; self.caps.len()];
+        }
+        self.caps.iter().zip(&self.done).map(|(&c, &d)| windows.min(c - d)).collect()
+    }
+
+    /// Advances every still-budgeted walker by up to `windows` more
+    /// scored windows on the calling thread (walker order), then pools
+    /// the new batches, evaluates the stopping rule (adaptive budgets),
+    /// and fires the progress callback. A no-op returning the current
+    /// snapshot once the run is finished.
+    pub fn advance(&mut self, windows: usize) -> Progress {
+        let shares = self.shares(windows);
+        if shares.iter().all(|&s| s == 0) {
+            return self.snapshot();
+        }
+        for (i, &share) in shares.iter().enumerate() {
+            if share == 0 {
+                continue;
+            }
+            let (g, cfg, seed, batch_len) = (self.g, &self.cfg, self.seed, self.batch_len);
+            self.sessions[i]
+                .get_or_insert_with(|| AnySession::new(g, cfg, walker_seed(seed, i), batch_len))
+                .run(share);
+        }
+        self.after_round(&shares)
+    }
+
+    /// Bookkeeping shared by the sequential and threaded advances.
+    fn after_round(&mut self, shares: &[usize]) -> Progress {
+        for (d, &s) in self.done.iter_mut().zip(shares) {
+            *d += s;
+        }
+        self.rounds += 1;
+        // Incremental pooled-merge, adaptive budgets only: fold each
+        // walker's new batches (walker order) into the chronological
+        // pooled stream. Fixed budgets never consult the pool — their
+        // final (and progress) statistics are the legacy walker-order
+        // Chan merge of the sessions' own streams, so maintaining a
+        // second copy here would be pure waste.
+        if let Some(rule) = &self.rule {
+            for (session, folded) in self.sessions.iter().zip(&mut self.pooled_batches) {
+                if let Some(session) = session.as_ref() {
+                    let stats = session.stats();
+                    if stats.batches() > *folded {
+                        self.pooled.fold_series_suffix(stats, *folded);
+                        *folded = stats.batches();
+                    }
+                }
+            }
+            self.met = self.tracker.observe(rule, &self.pooled, self.steps());
+        }
+        let p = self.snapshot();
+        if let Some(cb) = &self.progress {
+            cb(&p);
+        }
+        p
+    }
+
+    /// Scored windows so far, pooled over walkers.
+    pub fn steps(&self) -> usize {
+        self.done.iter().sum()
+    }
+
+    /// Whether the run is over: adaptive target met, or every walker's
+    /// budget share exhausted.
+    pub fn is_finished(&self) -> bool {
+        self.met || self.done.iter().zip(&self.caps).all(|(d, c)| d >= c)
+    }
+
+    /// The current progress snapshot (also what [`RunHandle::advance`]
+    /// returns).
+    pub fn progress(&self) -> Progress {
+        self.snapshot()
+    }
+
+    /// The fixed-budget statistics: the legacy walker-order Chan merge
+    /// of the sessions' own streams (one walker: that chain's stream,
+    /// untouched) — the same fold [`RunHandle::finish`] packs, so
+    /// progress widths and the final estimate's widths agree bitwise.
+    fn fixed_stats(&self) -> BatchStats {
+        let mut stats = BatchStats::new(num_graphlets(self.cfg.k), self.batch_len);
+        for session in self.sessions.iter().flatten() {
+            stats.merge(session.stats());
+        }
+        stats
+    }
+
+    fn snapshot(&self) -> Progress {
+        let (batches, width) = match &self.rule {
+            Some(rule) => {
+                let crit = rule.critical_value(self.pooled.batches());
+                (
+                    self.pooled.batches(),
+                    self.pooled.max_relative_half_width(crit, rule.min_concentration),
+                )
+            }
+            None => {
+                let stats = self.fixed_stats();
+                let crit = studentized_critical(1.96, stats.batches());
+                (stats.batches(), stats.max_relative_half_width(crit, 0.01))
+            }
+        };
+        Progress {
+            steps: self.steps(),
+            walkers: self.caps.len(),
+            rounds: self.rounds,
+            batches,
+            width,
+            converged: self.met,
+            finished: self.is_finished(),
+        }
+    }
+
+    /// An interim [`Estimate`] of the run so far — raw scores, error
+    /// bars, and (for adaptive budgets) the convergence report, exactly
+    /// as [`RunHandle::finish`] would pack them at this point.
+    pub fn estimate(&self) -> Estimate {
+        let accuracy = match &self.rule {
+            Some(_) => self.pooled.clone(),
+            None => self.fixed_stats(),
+        };
+        self.assemble(accuracy)
+    }
+
+    /// Consumes the handle, returning the final [`Estimate`]. See the
+    /// type docs for the bit-identity contract with one-shot runs.
+    pub fn finish(mut self) -> Estimate {
+        // Same packing as `estimate`, but the pooled statistics (which
+        // carry the full batch-mean series) are moved, not cloned.
+        let accuracy = match &self.rule {
+            Some(_) => std::mem::replace(&mut self.pooled, BatchStats::new(0, 1)),
+            None => self.fixed_stats(),
+        };
+        self.assemble(accuracy)
+    }
+
+    /// Packs the handle's current state around the chosen accuracy
+    /// statistics (the pool for adaptive budgets, the walker-order Chan
+    /// merge for fixed ones).
+    fn assemble(&self, accuracy: BatchStats) -> Estimate {
+        debug_assert_eq!(
+            self.steps(),
+            self.sessions.iter().flatten().map(|s| s.scored()).sum::<usize>(),
+            "round bookkeeping must match the sessions' scored windows"
+        );
+        let types = num_graphlets(self.cfg.k);
+        let mut raw = vec![0.0f64; types];
+        let mut valid = 0usize;
+        for session in self.sessions.iter().flatten() {
+            for (acc, x) in raw.iter_mut().zip(session.raw()) {
+                *acc += x;
+            }
+            valid += session.valid();
+        }
+        let adaptive = self.rule.as_ref().map(|rule| {
+            let crit = rule.critical_value(accuracy.batches());
+            self.tracker.report(self.caps.len(), self.rounds, self.steps(), self.met, crit)
+        });
+        Estimate {
+            config: self.cfg.clone(),
+            steps: self.steps(),
+            valid_samples: valid,
+            raw_scores: raw,
+            accuracy: Some(accuracy),
+            adaptive,
+        }
+    }
+}
+
+impl<'g, G: GraphAccess + Sync> RunHandle<'g, G> {
+    /// [`RunHandle::advance`] with the walkers fanned across the
+    /// machine's cores (one OS thread per core, each running a
+    /// contiguous chunk of walkers). State evolution — and therefore
+    /// every subsequent output — is bit-identical to [`RunHandle::advance`]:
+    /// pooling and merging happen on the calling thread in walker order.
+    pub fn advance_par(&mut self, windows: usize) -> Progress {
+        let shares = self.shares(windows);
+        if shares.iter().all(|&s| s == 0) {
+            return self.snapshot();
+        }
+        let threads = available_cores().min(self.sessions.len());
+        let chunk = self.sessions.len().div_ceil(threads);
+        let (g, cfg, seed, batch_len) = (self.g, &self.cfg, self.seed, self.batch_len);
+        std::thread::scope(|scope| {
+            for (c, slots) in self.sessions.chunks_mut(chunk).enumerate() {
+                let shares = &shares;
+                scope.spawn(move || {
+                    for (off, slot) in slots.iter_mut().enumerate() {
+                        let i = c * chunk + off;
+                        if shares[i] == 0 {
+                            continue;
+                        }
+                        slot.get_or_insert_with(|| {
+                            AnySession::new(g, cfg, walker_seed(seed, i), batch_len)
+                        })
+                        .run(shares[i]);
+                    }
+                });
+            }
+        });
+        self.after_round(&shares)
+    }
+}

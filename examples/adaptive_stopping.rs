@@ -1,16 +1,15 @@
-//! Adaptive parallel stopping: every core cooperates on one accuracy
-//! budget — "give me 4-node graphlet counts to ±5% at 95% confidence"
-//! — with per-type convergence reporting, studentized small-sample
-//! intervals, a measured burn-in suggestion, and the width curve that
-//! answers "how many steps would ±1% take?".
+//! Adaptive parallel stopping through the `Runner` front door: every
+//! core cooperates on one accuracy budget — "give me 4-node graphlet
+//! counts to ±5% at 95% confidence" — with live progress callbacks,
+//! per-type convergence reporting, studentized small-sample intervals,
+//! a measured burn-in suggestion, and the width curve that answers "how
+//! many steps would ±1% take?".
 //!
 //! Run with: `cargo run --release --example adaptive_stopping`
 
 use graphlet_rw::graph::generators::holme_kim;
 use graphlet_rw::graphlets::atlas;
-use graphlet_rw::{
-    estimate_until_parallel, measure_burn_in, EstimatorConfig, ParallelConfig, StoppingRule,
-};
+use graphlet_rw::{measure_burn_in, EstimatorConfig, ParallelConfig, Runner, StoppingRule};
 use rand::SeedableRng;
 
 fn main() {
@@ -33,10 +32,11 @@ fn main() {
 
     // --- Adaptive parallel run with per-type stopping ------------------
     // Four persistent walkers (no re-burn-in between rounds) advance in
-    // `check_every`-step rounds; the coordinator pools their batch
-    // statistics between rounds and stops once every common type's own
-    // CI meets the target. While the pooled batch count is small the
-    // critical value is the Student-t quantile, not z.
+    // `check_every`-step rounds; between rounds the coordinator folds
+    // each walker's new batches into the pooled statistics and stops
+    // once every common type's own CI meets the target. While the
+    // pooled batch count is small the critical value is the Student-t
+    // quantile, not z. The `on_progress` callback watches every check.
     let rule = StoppingRule {
         target_rel_ci: 0.05,
         check_every: 10_000,
@@ -44,8 +44,25 @@ fn main() {
         per_type: true,
         ..Default::default()
     };
-    let par = ParallelConfig::with_walkers(4);
-    let est = estimate_until_parallel(&g, &cfg, 1, &rule, &par);
+    let est = Runner::new(cfg)
+        .until(rule.clone())
+        .seed(1)
+        .parallel(ParallelConfig::with_walkers(4))
+        .on_progress(|p| {
+            println!(
+                "  check {:>2}: {:>8} steps, {:>3} batches, width {:>6}",
+                p.rounds,
+                p.steps,
+                p.batches,
+                if p.width.is_nan() {
+                    "--".to_string()
+                } else {
+                    format!("{:.1}%", 100.0 * p.width)
+                },
+            );
+        })
+        .run(&g)
+        .expect("valid configuration and rule");
     let report = est.adaptive().expect("adaptive runs carry a report");
     println!(
         "\n{} ±{:.0}% per-type: {} steps over {} walkers, {} rounds, target met: {}",

@@ -12,7 +12,7 @@
 use graphlet_rw::baselines::wedge_mhrw;
 use graphlet_rw::exact::global_clustering_coefficient;
 use graphlet_rw::graph::ApiGraph;
-use graphlet_rw::{estimate, EstimatorConfig};
+use graphlet_rw::{EstimatorConfig, Runner};
 
 fn clustering_from_concentration(c32: f64) -> f64 {
     3.0 * c32 / (2.0 * c32 + 1.0)
@@ -34,9 +34,11 @@ fn main() {
     println!("exact clustering coefficient: {exact:.5}");
 
     // The framework's recommended 3-node method, on a metered API.
+    // `ApiGraph` is deliberately not `Sync` (a crawler is one client),
+    // so the runner's single-thread entry point `run_local` drives it.
     let api = ApiGraph::new(g);
     let cfg = EstimatorConfig::recommended(3);
-    let est = estimate(&api, &cfg, steps, 3);
+    let est = Runner::new(cfg.clone()).steps(steps).seed(3).run_local(&api).expect("valid config");
     let c32 = est.concentrations()[1];
     let stats = api.stats();
     println!(

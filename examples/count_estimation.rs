@@ -10,7 +10,7 @@
 use graphlet_rw::core::relationship_edge_count;
 use graphlet_rw::datasets::dataset;
 use graphlet_rw::exact::exact_counts;
-use graphlet_rw::{estimate, EstimatorConfig};
+use graphlet_rw::{EstimatorConfig, Runner};
 
 fn main() {
     let ds = dataset("brightkite-sim");
@@ -27,7 +27,7 @@ fn main() {
 
     // triangles via SRW1CSSNB and 2|R(1)| = 2|E|
     let cfg = EstimatorConfig::recommended(3);
-    let est = estimate(g, &cfg, steps, 5);
+    let est = Runner::new(cfg.clone()).steps(steps).seed(5).run(g).expect("valid config");
     let two_r1 = 2.0 * relationship_edge_count(g, 1) as f64;
     let counts = est.counts(two_r1);
     let exact3 = exact_counts(g, 3);
@@ -40,7 +40,7 @@ fn main() {
 
     // 4-node counts via SRW2CSS and |R(2)| = ½ Σ (d_u + d_v − 2)
     let cfg = EstimatorConfig::recommended(4);
-    let est = estimate(g, &cfg, steps, 7);
+    let est = Runner::new(cfg.clone()).steps(steps).seed(7).run(g).expect("valid config");
     let two_r2 = 2.0 * relationship_edge_count(g, 2) as f64;
     let counts = est.counts(two_r2);
     let exact4 = exact_counts(g, 4);

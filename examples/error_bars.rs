@@ -1,5 +1,6 @@
 //! Error bars and adaptive stopping: ship a confidence interval with the
-//! point estimate, and stop walking once it is tight enough.
+//! point estimate, stop walking once it is tight enough, and cross-check
+//! the variance estimator against overlapping batch means.
 //!
 //! Run with: `cargo run --release --example error_bars`
 
@@ -7,7 +8,7 @@ use graphlet_rw::core::relationship_edge_count;
 use graphlet_rw::exact::exact_counts;
 use graphlet_rw::graph::generators::holme_kim;
 use graphlet_rw::graphlets::atlas;
-use graphlet_rw::{estimate, estimate_parallel, EstimatorConfig, StoppingRule};
+use graphlet_rw::{EstimatorConfig, Runner, StoppingRule};
 use rand::SeedableRng;
 
 fn main() {
@@ -20,7 +21,7 @@ fn main() {
     // configuration, no measurable slowdown.
     let cfg = EstimatorConfig::recommended(4);
     let steps = 50_000;
-    let est = estimate(&g, &cfg, steps, 1);
+    let est = Runner::new(cfg.clone()).steps(steps).seed(1).run(&g).expect("valid config");
     let two_r = 2.0 * relationship_edge_count(&g, cfg.d) as f64;
     let exact = exact_counts(&g, cfg.k);
 
@@ -43,13 +44,33 @@ fn main() {
         100.0 * est.max_relative_half_width(1.96, 0.01)
     );
 
+    // --- OBM cross-check -----------------------------------------------
+    // Overlapping batch means estimate the same variance from the same
+    // chain; agreement says the batch length cleared the mixing scale.
+    println!("\nvariance cross-check (frequent types):");
+    let stats = est.accuracy().expect("stats collected");
+    for (i, info) in atlas(cfg.k).iter().enumerate() {
+        if stats.concentration(i) < 0.05 {
+            continue;
+        }
+        let (nobm, obm) = (est.std_error(i), est.obm_std_error(i));
+        println!(
+            "{:>18}  NOBM SE {:.3e} | OBM SE {:.3e} | ratio {:.2}",
+            info.name,
+            nobm,
+            obm,
+            obm / nobm
+        );
+    }
+
     // --- Adaptive stopping ---------------------------------------------
     // Walk until every common type's 95% CI is within ±5%, checking
     // every 20k steps, with a 2M-step safety cap.
     let rule = StoppingRule::new(0.05, 20_000, 2_000_000);
-    let adaptive = graphlet_rw::estimate_until(&g, &cfg, 1, &rule);
+    let adaptive =
+        Runner::new(cfg.clone()).until(rule.clone()).seed(1).run(&g).expect("valid rule");
     println!(
-        "\nestimate_until(target ±{:.0}%): stopped after {} steps ({} valid samples), width {:.1}%",
+        "\nadaptive (target ±{:.0}%): stopped after {} steps ({} valid samples), width {:.1}%",
         100.0 * rule.target_rel_ci,
         adaptive.steps,
         adaptive.valid_samples,
@@ -60,7 +81,7 @@ fn main() {
     // Same interface under the parallel engine: per-walker batch
     // statistics are pooled in walker order, so the CI is deterministic
     // for a fixed (seed, walkers).
-    let par = estimate_parallel(&g, &cfg, steps, 1, 4);
+    let par = Runner::new(cfg).steps(steps).seed(1).walkers(4).run(&g).expect("valid config");
     println!(
         "\nparallel x4, same budget: widest half-width {:.1}% ({} pooled batches)",
         100.0 * par.max_relative_half_width(1.96, 0.01),

@@ -10,20 +10,24 @@
 
 use graphlet_rw::core::eval::cosine_similarity;
 use graphlet_rw::datasets::dataset;
-use graphlet_rw::{estimate, EstimatorConfig};
+use graphlet_rw::{EstimatorConfig, Runner};
 
 fn main() {
     let steps = 20_000;
     let cfg = EstimatorConfig::recommended(4); // SRW2CSS
 
+    // One runner serves every graph: config × budget fixed once, reused.
+    let runner = Runner::new(cfg.clone()).steps(steps);
+
     let weibo = dataset("sinaweibo-sim");
     let candidates = [dataset("facebook-sim"), dataset("twitter-sim")];
 
     println!("estimating 4-node concentrations with {} ({steps} steps)…", cfg.name());
-    let weibo_conc = estimate(weibo.graph(), &cfg, steps, 11).concentrations();
+    let weibo_conc =
+        runner.clone().seed(11).run(weibo.graph()).expect("valid config").concentrations();
 
     for cand in candidates {
-        let est = estimate(cand.graph(), &cfg, steps, 13).concentrations();
+        let est = runner.clone().seed(13).run(cand.graph()).expect("valid config").concentrations();
         let sim_est = cosine_similarity(&weibo_conc, &est);
         let sim_exact =
             cosine_similarity(&weibo.exact_concentrations(4), &cand.exact_concentrations(4));

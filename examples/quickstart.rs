@@ -1,13 +1,13 @@
 //! Quickstart: estimate 3- and 4-node graphlet concentrations of a graph
-//! and compare them against exact values, then fan the same budget
-//! across parallel walkers.
+//! through the one front door — `Runner` — and compare them against
+//! exact values, then fan the same budget across parallel walkers.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use graphlet_rw::exact::exact_counts;
 use graphlet_rw::graph::generators::holme_kim;
 use graphlet_rw::graphlets::atlas;
-use graphlet_rw::{estimate, estimate_parallel, EstimatorConfig, EstimatorPool, ParallelConfig};
+use graphlet_rw::{estimate, EstimatorConfig, EstimatorPool, ParallelConfig, Runner};
 use rand::SeedableRng;
 
 fn main() {
@@ -22,7 +22,11 @@ fn main() {
         // SRW1CSSNB for 3-node graphlets, SRW2CSS for 4-node graphlets.
         let cfg = EstimatorConfig::recommended(k);
         let steps = 20_000; // the paper's sample budget
-        let est = estimate(&g, &cfg, steps, 1);
+        let est = Runner::new(cfg.clone())
+            .steps(steps)
+            .seed(1)
+            .run(&g)
+            .expect("recommended configs are always valid");
         let exact = exact_counts(&g, k).concentrations();
 
         println!(
@@ -40,19 +44,32 @@ fn main() {
 
     // The same estimator, fanned across independent walkers: one RNG
     // stream per walker, deterministic for a fixed (seed, walkers), and
-    // bit-identical to `estimate` when walkers == 1.
+    // bit-identical to the sequential run when walkers == 1.
     let cfg = EstimatorConfig::recommended(4);
-    let pool = EstimatorPool::new(ParallelConfig::auto());
-    let par = pool.estimate(&g, &cfg, 80_000, 1);
+    let par = Runner::new(cfg.clone())
+        .steps(80_000)
+        .seed(1)
+        .parallel(ParallelConfig::auto()) // one walker per core
+        .run(&g)
+        .expect("valid configuration");
     println!(
-        "\nparallel {} with {} walkers: {} valid samples, triangle-rich types: {:?}",
+        "\nparallel {} (auto fan-out): {} valid samples, triangle-rich types: {:?}",
         cfg.name(),
-        pool.walkers(),
         par.valid_samples,
         &par.concentrations()[3..]
     );
-    // Free-function form, explicit fan-out:
-    let one = estimate_parallel(&g, &cfg, 20_000, 1, 1);
+
+    // Invalid input comes back as a typed error, not a panic — the
+    // contract a serving layer builds on.
+    let err = Runner::new(EstimatorConfig { k: 9, ..Default::default() }).steps(100).run(&g);
+    println!("k = 9 rejected up front: {}", err.unwrap_err());
+
+    // The legacy shorthands remain and delegate to the runner bit for
+    // bit; a reusable pool still serves fixed fan-outs.
+    let one = Runner::new(cfg.clone()).steps(20_000).seed(1).run(&g).unwrap();
     let seq = estimate(&g, &cfg, 20_000, 1);
-    assert_eq!(one.raw_scores, seq.raw_scores, "walkers == 1 replays the sequential estimator");
+    assert_eq!(one.raw_scores, seq.raw_scores, "shorthand ≡ runner, bitwise");
+    let pool = EstimatorPool::new(ParallelConfig::auto());
+    let pooled = pool.estimate(&g, &cfg, 20_000, 1);
+    println!("pool with {} walkers: {} valid samples", pool.walkers(), pooled.valid_samples);
 }

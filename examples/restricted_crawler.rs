@@ -13,7 +13,7 @@ use graphlet_rw::core::eval::nrmse;
 use graphlet_rw::datasets::dataset;
 use graphlet_rw::graph::ApiGraph;
 use graphlet_rw::graphlets::GraphletId;
-use graphlet_rw::{estimate, EstimatorConfig};
+use graphlet_rw::{EstimatorConfig, Runner};
 
 fn main() {
     let ds = dataset("epinion-sim");
@@ -38,8 +38,14 @@ fn main() {
         let mut fetched = 0u64;
         let mut coverage = 0.0;
         for run in 0..10u64 {
+            // The crawler's metered view is not `Sync`: `run_local`
+            // keeps the whole walk on this thread.
             let api = ApiGraph::new(g);
-            let est = estimate(&api, &cfg, steps, 1000 + run);
+            let est = Runner::new(cfg.clone())
+                .steps(steps)
+                .seed(1000 + run)
+                .run_local(&api)
+                .expect("valid config");
             estimates.push(est.concentration(clique));
             let stats = api.stats();
             fetched = stats.distinct_nodes_fetched;

@@ -8,19 +8,29 @@
 //! the paper compares against.
 //!
 //! This crate is a facade: it re-exports the workspace's public API under
-//! stable module names. Start with [`estimate`] and [`EstimatorConfig`]:
+//! stable module names. Start with the [`Runner`] front door — one
+//! composable entry point for fixed/adaptive × sequential/parallel
+//! estimation with typed errors:
 //!
 //! ```
-//! use graphlet_rw::{estimate, EstimatorConfig};
+//! use graphlet_rw::{EstimatorConfig, Runner};
 //! use graphlet_rw::graph::generators::classic;
 //!
 //! let g = classic::paper_figure1();
 //! // SRW2CSS — the paper's recommended method for 4-node graphlets.
-//! let cfg = EstimatorConfig::recommended(4);
-//! let est = estimate(&g, &cfg, 20_000, 42);
+//! let est = Runner::new(EstimatorConfig::recommended(4))
+//!     .steps(20_000)
+//!     .seed(42)
+//!     .run(&g)
+//!     .expect("valid configuration");
 //! let conc = est.concentrations();
 //! assert!((conc.iter().sum::<f64>() - 1.0).abs() < 1e-9);
 //! ```
+//!
+//! The free functions ([`estimate`], [`estimate_parallel`],
+//! [`estimate_until`], …) remain as stable shorthands for the common
+//! runner chains; they delegate to [`Runner`] bit-for-bit and panic on
+//! invalid input where the runner returns [`GxError`].
 
 /// Graph substrate: CSR storage, builders, generators, connectivity, the
 /// restricted-access model, explicit `G(d)` construction.
@@ -46,9 +56,10 @@ pub use gx_baselines as baselines;
 pub use gx_datasets as datasets;
 
 pub use gx_core::{
-    estimate, estimate_parallel, estimate_until, estimate_until_parallel, measure_burn_in,
-    AdaptiveReport, BatchStats, BurnInReport, Estimate, EstimatorConfig, EstimatorPool,
-    ParallelConfig, StoppingRule,
+    estimate, estimate_parallel, estimate_until, estimate_until_parallel, estimate_until_with_walk,
+    estimate_with_walk, measure_burn_in, AdaptiveReport, BatchStats, BurnInReport, ConfigError,
+    Estimate, EstimatorConfig, EstimatorPool, GxError, ParallelConfig, Progress, RuleError,
+    RunHandle, Runner, StoppingRule,
 };
 pub use gx_graph::{Graph, GraphAccess, NodeId};
 pub use gx_graphlets::GraphletId;

@@ -116,6 +116,47 @@ fn parallel_ci_output_is_deterministic_per_seed_and_walkers() {
 }
 
 #[test]
+fn obm_variance_agrees_with_nonoverlapping_batch_means() {
+    // The overlapping-batch-means estimator is a cross-check on the
+    // streaming non-overlapping one: both estimate the variance of the
+    // same mean, so on a well-mixed chain with plenty of batches their
+    // standard errors must agree within estimator noise. Checked on
+    // every type carrying real mass, over two graphs and two configs.
+    let lollipop = classic::lollipop(6, 5);
+    let mut rng = rand_pcg::Pcg64::seed_from_u64(99);
+    let er = largest_connected_component(&erdos_renyi_gnm(60, 180, &mut rng)).0;
+    for (name, g) in [("lollipop", &lollipop), ("er", &er)] {
+        for cfg in [EstimatorConfig::recommended(3), EstimatorConfig::recommended(4)] {
+            let est = estimate(g, &cfg, 40_000, 17);
+            let stats = est.accuracy().expect("stats collected");
+            assert!(stats.batches() >= 100, "√n batching: {} batches", stats.batches());
+            let mut checked = 0;
+            for i in 0..stats.types() {
+                let conc = stats.concentration(i);
+                if conc.is_nan() || conc < 0.05 {
+                    continue; // rare types: both estimators are noise
+                }
+                let nobm = est.std_error(i);
+                let obm = est.obm_std_error(i);
+                assert!(obm.is_finite() && obm > 0.0, "{name} {} type {i}", cfg.name());
+                let ratio = obm / nobm;
+                assert!(
+                    (0.4..=2.5).contains(&ratio),
+                    "{name} {} type {i}: OBM {obm:.3e} vs NOBM {nobm:.3e} (ratio {ratio:.2})",
+                    cfg.name()
+                );
+                checked += 1;
+                // Window 1 pins the two estimators to the same formula.
+                let w1 = stats.obm_var_of_mean(i, 1);
+                let direct = stats.var_of_mean(i);
+                assert!((w1 - direct).abs() <= 1e-9 * direct, "{name} type {i}");
+            }
+            assert!(checked >= 1, "{name} {}: no common type exercised", cfg.name());
+        }
+    }
+}
+
+#[test]
 fn concentration_ci_brackets_exact_concentration_on_most_chains() {
     // Concentration CIs combine batch means with a delta-method
     // linearization, so hold them to the same ±7pp band pooled over

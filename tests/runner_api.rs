@@ -1,0 +1,443 @@
+//! Conformance suite for the unified `Runner` front-end.
+//!
+//! The acceptance contract of the redesign:
+//! * all six legacy `estimate*` free functions produce **bit-identical**
+//!   `raw_scores` (and identical `AdaptiveReport`s where applicable)
+//!   through the `Runner` rewiring;
+//! * every invalid `EstimatorConfig` / `StoppingRule` / fan-out
+//!   combination yields the right `GxError` variant from the runner
+//!   paths (no panics);
+//! * a `RunHandle` advanced in increments finishes bit-identical to the
+//!   one-shot call, for walkers ∈ {1, 2, 8};
+//! * threaded (`run`) and single-thread (`run_local`) execution are
+//!   bit-identical at every fan-out.
+
+use graphlet_rw::graph::generators::classic;
+use graphlet_rw::walks::{random_start_edge, rng_from_seed, G2Walk, SrwWalk};
+use graphlet_rw::{
+    estimate, estimate_parallel, estimate_until, estimate_until_parallel, estimate_until_with_walk,
+    estimate_with_walk, ConfigError, EstimatorConfig, GxError, ParallelConfig, RuleError, Runner,
+    StoppingRule,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn rule() -> StoppingRule {
+    StoppingRule {
+        target_rel_ci: 0.15,
+        check_every: 1_500,
+        max_steps: 60_000,
+        batch_len: 128,
+        min_batches: 6,
+        ..Default::default()
+    }
+}
+
+/// Bit-level fingerprint of an estimate's raw scores.
+fn bits(est: &graphlet_rw::Estimate) -> Vec<u64> {
+    est.raw_scores.iter().map(|x| x.to_bits()).collect()
+}
+
+// --- The six legacy shorthands ≡ their Runner chains -----------------------
+
+#[test]
+fn estimate_is_the_fixed_sequential_runner_chain() {
+    let g = classic::lollipop(6, 5);
+    for cfg in [EstimatorConfig::recommended(3), EstimatorConfig::recommended(4)] {
+        let legacy = estimate(&g, &cfg, 12_000, 42);
+        let runner = Runner::new(cfg.clone()).steps(12_000).seed(42).run(&g).unwrap();
+        assert_eq!(bits(&legacy), bits(&runner), "{}", cfg.name());
+        assert_eq!(legacy.valid_samples, runner.valid_samples);
+        assert_eq!(legacy.steps, runner.steps);
+        assert_eq!(legacy.accuracy, runner.accuracy);
+        assert!(runner.adaptive.is_none());
+    }
+}
+
+#[test]
+fn estimate_parallel_is_the_fixed_parallel_runner_chain() {
+    let g = classic::lollipop(6, 5);
+    let cfg = EstimatorConfig::recommended(4);
+    for walkers in [1usize, 3, 8] {
+        let legacy = estimate_parallel(&g, &cfg, 12_000, 42, walkers);
+        let runner =
+            Runner::new(cfg.clone()).steps(12_000).seed(42).walkers(walkers).run(&g).unwrap();
+        assert_eq!(bits(&legacy), bits(&runner), "walkers={walkers}");
+        assert_eq!(legacy.valid_samples, runner.valid_samples);
+        assert_eq!(legacy.accuracy, runner.accuracy, "walkers={walkers}");
+    }
+}
+
+#[test]
+fn estimate_until_is_the_adaptive_sequential_runner_chain() {
+    let g = classic::lollipop(6, 5);
+    let cfg = EstimatorConfig::recommended(3);
+    let legacy = estimate_until(&g, &cfg, 7, &rule());
+    let runner = Runner::new(cfg).until(rule()).seed(7).run(&g).unwrap();
+    assert_eq!(bits(&legacy), bits(&runner));
+    assert_eq!(legacy.steps, runner.steps);
+    assert_eq!(legacy.accuracy, runner.accuracy);
+    assert_eq!(legacy.adaptive, runner.adaptive, "identical AdaptiveReport");
+}
+
+#[test]
+fn estimate_until_parallel_is_the_adaptive_parallel_runner_chain() {
+    let g = classic::lollipop(6, 5);
+    let cfg = EstimatorConfig::recommended(3);
+    for walkers in [1usize, 2, 5] {
+        let par = ParallelConfig::with_walkers(walkers);
+        let legacy = estimate_until_parallel(&g, &cfg, 7, &rule(), &par);
+        let runner = Runner::new(cfg.clone()).until(rule()).seed(7).parallel(par).run(&g).unwrap();
+        assert_eq!(bits(&legacy), bits(&runner), "walkers={walkers}");
+        assert_eq!(legacy.steps, runner.steps);
+        assert_eq!(legacy.accuracy, runner.accuracy, "walkers={walkers}");
+        assert_eq!(legacy.adaptive, runner.adaptive, "walkers={walkers}");
+    }
+}
+
+#[test]
+fn with_walk_shorthands_are_the_runner_walk_chains() {
+    let g = classic::petersen();
+    // d = 1: a caller-supplied SRW.
+    let cfg = EstimatorConfig { k: 3, d: 1, css: true, ..Default::default() };
+    let legacy = estimate_with_walk(&g, &cfg, SrwWalk::new(&g, 0, false), 8_000, rng_from_seed(5));
+    let runner = Runner::new(cfg.clone())
+        .steps(8_000)
+        .run_with_walk(&g, SrwWalk::new(&g, 0, false), rng_from_seed(5))
+        .unwrap();
+    assert_eq!(bits(&legacy), bits(&runner));
+    assert_eq!(legacy.accuracy, runner.accuracy);
+    // d = 2, adaptive: a caller-supplied edge walk under a stopping rule.
+    let cfg = EstimatorConfig { k: 4, d: 2, css: true, ..Default::default() };
+    let mut rng = rng_from_seed(9);
+    let (u, v) = random_start_edge(&g, &mut rng);
+    let legacy =
+        estimate_until_with_walk(&g, &cfg, G2Walk::new(&g, u, v, false), &rule(), rng.clone());
+    let mut rng2 = rng_from_seed(9);
+    let (u2, v2) = random_start_edge(&g, &mut rng2);
+    let runner = Runner::new(cfg)
+        .until(rule())
+        .run_with_walk(&g, G2Walk::new(&g, u2, v2, false), rng2)
+        .unwrap();
+    assert_eq!(bits(&legacy), bits(&runner));
+    assert_eq!(legacy.adaptive, runner.adaptive, "identical AdaptiveReport");
+}
+
+// --- run vs run_local: thread count never moves a bit ----------------------
+
+#[test]
+fn threaded_and_local_execution_are_bit_identical() {
+    let g = classic::lollipop(6, 5);
+    let cfg = EstimatorConfig::recommended(4);
+    for walkers in [1usize, 2, 8] {
+        let fixed = Runner::new(cfg.clone()).steps(9_000).seed(3).walkers(walkers);
+        let a = fixed.run(&g).unwrap();
+        let b = fixed.run_local(&g).unwrap();
+        assert_eq!(bits(&a), bits(&b), "fixed, walkers={walkers}");
+        assert_eq!(a.accuracy, b.accuracy);
+        let adaptive = Runner::new(cfg.clone()).until(rule()).seed(3).walkers(walkers);
+        let a = adaptive.run(&g).unwrap();
+        let b = adaptive.run_local(&g).unwrap();
+        assert_eq!(bits(&a), bits(&b), "adaptive, walkers={walkers}");
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.accuracy, b.accuracy);
+        assert_eq!(a.adaptive, b.adaptive);
+    }
+}
+
+// --- Typed errors: every invalid input, no panics --------------------------
+
+#[test]
+fn invalid_configs_yield_config_errors() {
+    let g = classic::petersen();
+    for (cfg, want) in [
+        (EstimatorConfig { k: 7, d: 1, ..Default::default() }, ConfigError::UnsupportedK { k: 7 }),
+        (EstimatorConfig { k: 2, d: 1, ..Default::default() }, ConfigError::UnsupportedK { k: 2 }),
+        (
+            EstimatorConfig { k: 3, d: 4, ..Default::default() },
+            ConfigError::DOutOfRange { k: 3, d: 4 },
+        ),
+        (
+            EstimatorConfig { k: 5, d: 0, ..Default::default() },
+            ConfigError::DOutOfRange { k: 5, d: 0 },
+        ),
+    ] {
+        let err = Runner::new(cfg.clone()).steps(100).run(&g).unwrap_err();
+        assert_eq!(err, GxError::Config(want), "{cfg:?}");
+        // The same rejection from every entry point.
+        assert_eq!(
+            Runner::new(cfg.clone()).steps(100).start(&g).unwrap_err(),
+            GxError::Config(want)
+        );
+        assert_eq!(
+            Runner::new(cfg.clone()).until(rule()).run_local(&g).unwrap_err(),
+            GxError::Config(want)
+        );
+        let err = Runner::new(cfg)
+            .steps(100)
+            .run_with_walk(&g, SrwWalk::new(&g, 0, false), rng_from_seed(1))
+            .unwrap_err();
+        assert_eq!(err, GxError::Config(want));
+    }
+}
+
+#[test]
+fn invalid_rules_yield_rule_errors() {
+    let g = classic::petersen();
+    let cfg = EstimatorConfig::recommended(3);
+    for (bad, want) in [
+        (
+            StoppingRule { target_rel_ci: 0.0, ..Default::default() },
+            RuleError::TargetNotPositive { target_rel_ci: 0.0 },
+        ),
+        (StoppingRule { check_every: 0, ..Default::default() }, RuleError::ZeroCheckEvery),
+        (StoppingRule { z: 0.0, ..Default::default() }, RuleError::ZNotPositive { z: 0.0 }),
+        (StoppingRule { batch_len: 0, ..Default::default() }, RuleError::ZeroBatchLen),
+        (
+            StoppingRule { min_batches: 1, ..Default::default() },
+            RuleError::MinBatchesTooSmall { min_batches: 1 },
+        ),
+        (
+            StoppingRule { min_concentration: -0.1, ..Default::default() },
+            RuleError::ConcentrationOutOfRange { min_concentration: -0.1 },
+        ),
+    ] {
+        let err = Runner::new(cfg.clone()).until(bad.clone()).run(&g).unwrap_err();
+        assert_eq!(err, GxError::Rule(want), "{bad:?}");
+        assert_eq!(
+            Runner::new(cfg.clone()).until(bad).walkers(4).start(&g).unwrap_err(),
+            GxError::Rule(want)
+        );
+    }
+}
+
+#[test]
+fn fanout_budget_and_walk_errors_are_typed() {
+    let g = classic::petersen();
+    let cfg = EstimatorConfig::recommended(3);
+    // Zero walkers.
+    assert_eq!(
+        Runner::new(cfg.clone()).steps(100).walkers(0).run(&g).unwrap_err(),
+        GxError::NoWalkers
+    );
+    assert_eq!(ParallelConfig::try_with_walkers(0).unwrap_err(), GxError::NoWalkers);
+    assert_eq!(ParallelConfig::try_with_walkers(3).unwrap().walkers, 3);
+    // Missing budget.
+    assert_eq!(Runner::new(cfg.clone()).run(&g).unwrap_err(), GxError::NoBudget);
+    assert_eq!(Runner::new(cfg.clone()).start(&g).unwrap_err(), GxError::NoBudget);
+    assert_eq!(
+        Runner::new(cfg.clone())
+            .run_with_walk(&g, SrwWalk::new(&g, 0, false), rng_from_seed(1))
+            .unwrap_err(),
+        GxError::NoBudget
+    );
+    // Walk dimension mismatch.
+    let cfg2 = EstimatorConfig { k: 3, d: 2, ..Default::default() };
+    let err = Runner::new(cfg2)
+        .steps(100)
+        .run_with_walk(&g, SrwWalk::new(&g, 0, false), rng_from_seed(1))
+        .unwrap_err();
+    assert_eq!(err, GxError::WalkDimensionMismatch { walk_d: 1, cfg_d: 2 });
+    // A custom walk is one chain: it cannot fan out.
+    let err = Runner::new(cfg)
+        .steps(100)
+        .walkers(4)
+        .run_with_walk(&g, SrwWalk::new(&g, 0, false), rng_from_seed(1))
+        .unwrap_err();
+    assert_eq!(err, GxError::ParallelCustomWalk { walkers: 4 });
+    // Errors implement the std error trait with Display + sources.
+    let err: Box<dyn std::error::Error> = Box::new(err);
+    assert!(err.to_string().contains("cannot fan out"));
+}
+
+// --- Resumable handles: increments never move a bit ------------------------
+
+#[test]
+fn handle_resume_is_bit_identical_to_one_shot_for_every_fanout() {
+    let g = classic::lollipop(6, 5);
+    let cfg = EstimatorConfig::recommended(4);
+    for walkers in [1usize, 2, 8] {
+        // Fixed budget, advanced in ragged increments.
+        let runner = Runner::new(cfg.clone()).steps(10_000).seed(11).walkers(walkers);
+        let one_shot = runner.run(&g).unwrap();
+        let mut handle = runner.start(&g).unwrap();
+        for windows in [1usize, 137, 1_000, 64, usize::MAX] {
+            handle.advance(windows);
+        }
+        assert!(handle.is_finished());
+        let resumed = handle.finish();
+        assert_eq!(bits(&one_shot), bits(&resumed), "fixed, walkers={walkers}");
+        assert_eq!(one_shot.valid_samples, resumed.valid_samples);
+        assert_eq!(one_shot.accuracy, resumed.accuracy, "fixed, walkers={walkers}");
+        // Adaptive budget on the rule's natural schedule (the check
+        // cadence decides where the run stops).
+        let runner = Runner::new(cfg.clone()).until(rule()).seed(11).walkers(walkers);
+        let one_shot = runner.run(&g).unwrap();
+        let mut handle = runner.start(&g).unwrap();
+        let mut increments = 0;
+        while !handle.is_finished() {
+            let p = handle.advance(rule().check_every);
+            increments += 1;
+            assert_eq!(p.steps, handle.steps());
+            assert!(increments <= 1 + rule().max_steps / rule().check_every, "must terminate");
+        }
+        let resumed = handle.finish();
+        assert_eq!(bits(&one_shot), bits(&resumed), "adaptive, walkers={walkers}");
+        assert_eq!(one_shot.steps, resumed.steps);
+        assert_eq!(one_shot.accuracy, resumed.accuracy);
+        assert_eq!(one_shot.adaptive, resumed.adaptive, "adaptive, walkers={walkers}");
+        // Threaded increments land on the same bits as sequential ones.
+        let mut handle = runner.start(&g).unwrap();
+        while !handle.is_finished() {
+            handle.advance_par(rule().check_every);
+        }
+        assert_eq!(bits(&handle.finish()), bits(&resumed), "advance_par, walkers={walkers}");
+    }
+}
+
+#[test]
+fn handle_interim_estimates_and_progress_are_coherent() {
+    let g = classic::lollipop(6, 5);
+    let cfg = EstimatorConfig::recommended(3);
+    let runner = Runner::new(cfg).until(rule()).seed(5).walkers(2);
+    let mut handle = runner.start(&g).unwrap();
+    assert_eq!(handle.steps(), 0);
+    assert!(!handle.is_finished());
+    let p = handle.advance(rule().check_every);
+    assert_eq!(p.steps, 2 * rule().check_every, "both walkers advanced one round");
+    assert_eq!(p.rounds, 1);
+    assert_eq!(p.walkers, 2);
+    let interim = handle.estimate();
+    assert_eq!(interim.steps, p.steps);
+    assert!(interim.valid_samples > 0);
+    assert!(interim.adaptive.is_some(), "interim estimates carry the report so far");
+    // Interim width matches the snapshot's.
+    let report = interim.adaptive().unwrap();
+    let w = interim.max_relative_half_width(report.critical_value, rule().min_concentration);
+    assert_eq!(w.to_bits(), p.width.to_bits(), "progress width is the pooled width");
+    // Driving to completion from here matches the one-shot run.
+    while !handle.is_finished() {
+        handle.advance(rule().check_every);
+    }
+    let done = handle.finish();
+    let one_shot = runner.run(&g).unwrap();
+    assert_eq!(bits(&one_shot), bits(&done));
+    assert_eq!(one_shot.adaptive, done.adaptive);
+}
+
+#[test]
+fn progress_callback_fires_and_never_changes_output() {
+    let g = classic::lollipop(6, 5);
+    let cfg = EstimatorConfig::recommended(3);
+    let plain = Runner::new(cfg.clone()).until(rule()).seed(13).walkers(2).run(&g).unwrap();
+    let ticks: Rc<RefCell<Vec<(usize, bool)>>> = Rc::new(RefCell::new(Vec::new()));
+    let sink = ticks.clone();
+    let observed = Runner::new(cfg.clone())
+        .until(rule())
+        .seed(13)
+        .walkers(2)
+        .on_progress(move |p| sink.borrow_mut().push((p.steps, p.finished)))
+        .run(&g)
+        .unwrap();
+    assert_eq!(bits(&plain), bits(&observed), "observability cannot move a bit");
+    assert_eq!(plain.adaptive, observed.adaptive);
+    let ticks = ticks.borrow();
+    assert!(!ticks.is_empty(), "adaptive runs tick every convergence check");
+    assert!(ticks.windows(2).all(|w| w[0].0 < w[1].0), "steps strictly increase");
+    assert_eq!(ticks.last().unwrap().0, observed.steps);
+    assert!(ticks.last().unwrap().1, "the last tick reports the run finished");
+    // Fixed budgets tick too (~16 increments when a callback is set).
+    let ticks: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+    let sink = ticks.clone();
+    let fixed = Runner::new(cfg)
+        .steps(8_000)
+        .seed(13)
+        .on_progress(move |p| sink.borrow_mut().push(p.steps))
+        .run(&g)
+        .unwrap();
+    let unobserved = estimate(&g, &EstimatorConfig::recommended(3), 8_000, 13);
+    assert_eq!(bits(&fixed), bits(&unobserved));
+    assert_eq!(fixed.accuracy, unobserved.accuracy, "chunked advance keeps the same stats");
+    assert!(ticks.borrow().len() >= 8, "fixed runs with a callback tick in increments");
+}
+
+#[test]
+fn with_walk_runs_drive_progress_callbacks_too() {
+    // A caller-supplied chain ticks like a session run — and the
+    // callback cannot move a bit of the output.
+    let g = classic::lollipop(6, 5);
+    let cfg = EstimatorConfig { k: 3, d: 1, css: true, ..Default::default() };
+    let plain = Runner::new(cfg.clone())
+        .until(rule())
+        .run_with_walk(&g, SrwWalk::new(&g, 0, false), rng_from_seed(3))
+        .unwrap();
+    let ticks: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+    let sink = ticks.clone();
+    let observed = Runner::new(cfg.clone())
+        .until(rule())
+        .on_progress(move |p| sink.borrow_mut().push(p.steps))
+        .run_with_walk(&g, SrwWalk::new(&g, 0, false), rng_from_seed(3))
+        .unwrap();
+    assert_eq!(bits(&plain), bits(&observed));
+    assert_eq!(plain.adaptive, observed.adaptive);
+    assert_eq!(
+        ticks.borrow().len(),
+        plain.adaptive().unwrap().rounds,
+        "one tick per convergence check"
+    );
+    assert_eq!(*ticks.borrow().last().unwrap(), plain.steps);
+    // Fixed budgets tick in increments and stay stream-identical.
+    let plain = Runner::new(cfg.clone())
+        .steps(8_000)
+        .run_with_walk(&g, SrwWalk::new(&g, 0, false), rng_from_seed(3))
+        .unwrap();
+    let ticks: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+    let sink = ticks.clone();
+    let observed = Runner::new(cfg)
+        .steps(8_000)
+        .on_progress(move |p| sink.borrow_mut().push(p.steps))
+        .run_with_walk(&g, SrwWalk::new(&g, 0, false), rng_from_seed(3))
+        .unwrap();
+    assert_eq!(bits(&plain), bits(&observed));
+    assert_eq!(plain.accuracy, observed.accuracy, "chunked run keeps the same stats");
+    assert_eq!(ticks.borrow().len(), 16);
+}
+
+#[test]
+fn zero_budgets_finish_immediately_without_walking() {
+    let g = classic::petersen();
+    let cfg = EstimatorConfig::recommended(3);
+    let est = Runner::new(cfg.clone()).steps(0).run(&g).unwrap();
+    assert_eq!(est.steps, 0);
+    assert_eq!(est.valid_samples, 0);
+    assert!(est.raw_scores.iter().all(|&x| x == 0.0));
+    let mut handle = Runner::new(cfg).steps(0).walkers(4).start(&g).unwrap();
+    assert!(handle.is_finished());
+    let p = handle.advance(1_000);
+    assert_eq!(p.steps, 0, "advance on a finished handle is a no-op");
+    assert_eq!(handle.finish().steps, 0);
+}
+
+// --- The incremental pooled-merge ------------------------------------------
+
+#[test]
+fn incremental_pool_is_bit_identical_to_a_from_scratch_replay() {
+    // The coordinator folds only each round's new batch means into the
+    // pooled statistics. Replaying *all* pooled batch means from scratch
+    // in the same chronological order (off the recorded series) must
+    // land on the same bits — any dropped/duplicated suffix would show.
+    let g = classic::lollipop(6, 5);
+    let cfg = EstimatorConfig::recommended(3);
+    for walkers in [1usize, 2, 5] {
+        let est = Runner::new(cfg.clone()).until(rule()).seed(31).walkers(walkers).run(&g).unwrap();
+        let pooled = est.accuracy().expect("adaptive runs pool statistics");
+        let mut replay = graphlet_rw::BatchStats::new(pooled.types(), pooled.batch_len());
+        replay.fold_series_suffix(pooled, 0);
+        assert_eq!(&replay, pooled, "walkers={walkers}");
+        // With one walker the pool IS the walker's own accumulator.
+        if walkers == 1 {
+            let seq = estimate_until(&g, &cfg, 31, &rule());
+            assert_eq!(seq.accuracy.as_ref(), Some(pooled));
+        }
+    }
+}
