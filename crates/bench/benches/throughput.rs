@@ -271,6 +271,50 @@ fn main() {
         json.insert("srw2css_adaptive_curve".into(), serde_json::Value::Array(curve));
     }
 
+    // Checkpoint cost telemetry: what a crash-resilient run pays per
+    // snapshot — encode (serialize the full run state to memory), the
+    // atomic file round trip (write-fsync-rename + read back), and
+    // resume (decode + revalidate against the graph) — plus the
+    // snapshot size, which scales with the stored batch-means series.
+    {
+        let runner = Runner::new(cfg.clone()).steps(steps).seed(42);
+        let mut handle = runner.start(g).expect("valid config");
+        handle.advance(steps / 2);
+
+        let mut snapshot = Vec::new();
+        handle.checkpoint(&mut snapshot).expect("in-memory checkpoint");
+        let bytes = snapshot.len();
+
+        let encode_secs = time(|| {
+            let mut buf = Vec::with_capacity(bytes);
+            handle.checkpoint(&mut buf).expect("in-memory checkpoint");
+            black_box(&buf);
+        });
+        let path = std::env::temp_dir().join("gx_bench_checkpoint.gxcp");
+        let file_secs = time(|| {
+            handle.checkpoint_to_file(&path).expect("atomic checkpoint write");
+            black_box(std::fs::read(&path).expect("read snapshot back"));
+        });
+        let resume_secs = time(|| {
+            let resumed = Runner::resume(g, &mut snapshot.as_slice()).expect("valid snapshot");
+            black_box(resumed.steps());
+        });
+        let _ = std::fs::remove_file(&path);
+
+        println!(
+            "SRW2CSS checkpoint      {bytes:>8} bytes  encode {:.1} µs  file {:.1} µs  resume {:.1} µs",
+            encode_secs * 1e6,
+            file_secs * 1e6,
+            resume_secs * 1e6
+        );
+        let mut row = serde_json::Map::new();
+        row.insert("snapshot_bytes".into(), serde_json::json!(bytes));
+        row.insert("encode_secs".into(), serde_json::json!(encode_secs));
+        row.insert("file_roundtrip_secs".into(), serde_json::json!(file_secs));
+        row.insert("resume_secs".into(), serde_json::json!(resume_secs));
+        json.insert("srw2css_checkpoint".into(), serde_json::Value::Object(row));
+    }
+
     // Persist at the repo root so the perf trajectory is tracked in-tree.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_walks.json");
     let body = serde_json::to_string_pretty(&serde_json::Value::Object(json)).expect("serialize");

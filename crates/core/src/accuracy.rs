@@ -31,7 +31,8 @@
 //! parallel Welford combination — in walker order, keeping
 //! [`crate::estimate_parallel`] deterministic per `(seed, walkers)`.
 
-use crate::error::RuleError;
+use crate::checkpoint::{put_f64, put_u64, put_u8, put_usize, Reader};
+use crate::error::{CheckpointError, RuleError};
 
 /// Streaming batch-means statistics over per-step score vectors.
 ///
@@ -354,6 +355,93 @@ impl BatchStats {
     pub fn obm_std_error(&self, i: usize) -> f64 {
         self.obm_var_of_mean(i, self.default_obm_window()).sqrt()
     }
+
+    // --- Bounded-memory series (R-batching) --------------------------------
+
+    /// Collapses adjacent pairs of batch means into single means over
+    /// doubled batches — the R-batching step of the bounded-memory
+    /// series. Each collapsed mean is the average of its pair (batches
+    /// have equal length, so the average over `2B` steps *is* the mean
+    /// of the two `B`-step means), the batch length doubles, the batch
+    /// count halves, and all Welford moments are refolded from the
+    /// collapsed series so they remain exactly the statistics a fresh
+    /// fold of those means would produce. Requires an even batch count.
+    pub(crate) fn collapse_pairs(&mut self) {
+        assert!(
+            self.batches >= 2 && self.batches.is_multiple_of(2),
+            "pair collapse needs an even batch count, got {}",
+            self.batches
+        );
+        let types = self.types();
+        let mut collapsed = BatchStats::new(types, self.batch_len * 2);
+        let half = (self.batches / 2) as usize;
+        let mut delta = vec![0.0f64; types];
+        for j in 0..half {
+            let mut total = 0.0;
+            for (i, d) in delta.iter_mut().enumerate() {
+                let x = 0.5 * (self.series[i][2 * j] + self.series[i][2 * j + 1]);
+                *d = x;
+                total += x;
+            }
+            collapsed.fold_batch(&delta, total);
+        }
+        *self = collapsed;
+    }
+
+    // --- Checkpoint field encoding -----------------------------------------
+
+    /// Serializes every field into a checkpoint payload. The series is
+    /// written in full: resumed statistics must be *bit-identical* to
+    /// never having stopped, and both the OBM cross-check and the
+    /// adaptive coordinator's suffix folds re-read the series.
+    pub(crate) fn encode_into(&self, buf: &mut Vec<u8>) {
+        put_usize(buf, self.batch_len);
+        put_u64(buf, self.batches);
+        put_usize(buf, self.types());
+        put_f64(buf, self.mean_total);
+        put_f64(buf, self.m2_total);
+        for i in 0..self.types() {
+            put_f64(buf, self.mean[i]);
+            put_f64(buf, self.m2[i]);
+            put_f64(buf, self.cov_total[i]);
+        }
+        for s in &self.series {
+            debug_assert_eq!(s.len() as u64, self.batches);
+            for &x in s {
+                put_f64(buf, x);
+            }
+        }
+    }
+
+    /// Inverse of [`BatchStats::encode_into`], with typed rejection of
+    /// out-of-domain counts. Vectors are grown by pushing while reading
+    /// (never pre-allocated from a decoded count), so a malformed count
+    /// fails on the first missing element instead of a giant reserve.
+    pub(crate) fn decode_from(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let batch_len = r.usize("stats.batch_len")?;
+        if batch_len == 0 {
+            return Err(CheckpointError::Malformed { what: "stats.batch_len" });
+        }
+        let batches = r.u64("stats.batches")?;
+        let types = r.count(1 << 20, "stats.types")?;
+        let mean_total = r.f64("stats.mean_total")?;
+        let m2_total = r.f64("stats.m2_total")?;
+        let mut out = BatchStats::new(types, batch_len);
+        out.batches = batches;
+        out.mean_total = mean_total;
+        out.m2_total = m2_total;
+        for i in 0..types {
+            out.mean[i] = r.f64("stats.mean")?;
+            out.m2[i] = r.f64("stats.m2")?;
+            out.cov_total[i] = r.f64("stats.cov_total")?;
+        }
+        for s in &mut out.series {
+            for _ in 0..batches {
+                s.push(r.f64("stats.series")?);
+            }
+        }
+        Ok(out)
+    }
 }
 
 /// The hot-loop side of the batch-means machinery: ticks once per scored
@@ -370,17 +458,41 @@ pub struct ScoreAccumulator {
     /// Scratch for the per-batch mean vector (avoids a per-fold alloc).
     delta: Vec<f64>,
     in_batch: usize,
+    /// Bounded-memory cap on the stored series (0 = unbounded): when a
+    /// fold brings the batch count to the cap, adjacent pairs collapse
+    /// ([`BatchStats::collapse_pairs`]) — batch length doubles, count
+    /// halves. The series then never exceeds `cap` entries per type
+    /// (O(cap·types) memory for any run length; the batch length grows
+    /// as O(n/cap), i.e. the cap is hit only O(log n) times).
+    max_series_batches: usize,
 }
 
 impl ScoreAccumulator {
     /// Accumulator for `types` graphlet types with `batch_len`-step
     /// batches.
     pub fn new(types: usize, batch_len: usize) -> Self {
+        Self::bounded(types, batch_len, 0)
+    }
+
+    /// Accumulator with a bounded-memory series cap
+    /// ([`StoppingRule::bounded_memory`]): at most `max_series_batches`
+    /// batch means are retained per type; reaching the cap collapses
+    /// adjacent pairs into double-length batches. `0` means unbounded.
+    /// Until the cap is first hit the statistics are *bit-identical* to
+    /// the unbounded accumulator — the cap only changes behavior at the
+    /// collapse boundary.
+    pub fn bounded(types: usize, batch_len: usize, max_series_batches: usize) -> Self {
+        assert!(
+            max_series_batches == 0
+                || (max_series_batches >= 4 && max_series_batches.is_multiple_of(2)),
+            "max_series_batches must be 0 (unbounded) or an even count >= 4"
+        );
         Self {
             stats: BatchStats::new(types, batch_len),
             snapshot: vec![0.0; types],
             delta: vec![0.0; types],
             in_batch: 0,
+            max_series_batches,
         }
     }
 
@@ -410,6 +522,9 @@ impl ScoreAccumulator {
         self.stats.fold_batch(&delta, total);
         self.delta = delta;
         self.in_batch = 0;
+        if self.max_series_batches != 0 && self.stats.batches as usize >= self.max_series_batches {
+            self.stats.collapse_pairs();
+        }
     }
 
     /// The statistics folded so far (a trailing partial batch is not
@@ -421,6 +536,40 @@ impl ScoreAccumulator {
     /// Consumes the accumulator, returning the folded statistics.
     pub fn into_stats(self) -> BatchStats {
         self.stats
+    }
+
+    /// Serializes the accumulator (statistics, snapshot, in-batch
+    /// counter, cap) into a checkpoint payload. `delta` is pure
+    /// per-fold scratch — fully overwritten before every read — so it
+    /// is not carried.
+    pub(crate) fn encode_into(&self, buf: &mut Vec<u8>) {
+        self.stats.encode_into(buf);
+        put_usize(buf, self.max_series_batches);
+        put_usize(buf, self.in_batch);
+        for &s in &self.snapshot {
+            put_f64(buf, s);
+        }
+    }
+
+    /// Inverse of [`ScoreAccumulator::encode_into`].
+    pub(crate) fn decode_from(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let stats = BatchStats::decode_from(r)?;
+        let cap = r.usize("acc.max_series_batches")?;
+        if cap != 0 && (cap < 4 || cap % 2 != 0) {
+            return Err(CheckpointError::Malformed { what: "acc.max_series_batches" });
+        }
+        let in_batch = r.usize("acc.in_batch")?;
+        if in_batch >= stats.batch_len() {
+            // `fold` fires exactly at the batch boundary, so a live
+            // accumulator always satisfies `in_batch < batch_len`.
+            return Err(CheckpointError::Malformed { what: "acc.in_batch" });
+        }
+        let types = stats.types();
+        let mut snapshot = Vec::new();
+        for _ in 0..types {
+            snapshot.push(r.f64("acc.snapshot")?);
+        }
+        Ok(Self { stats, snapshot, delta: vec![0.0; types], in_batch, max_series_batches: cap })
     }
 }
 
@@ -734,6 +883,14 @@ pub struct StoppingRule {
     /// converged) and fills [`AdaptiveReport::steps_used`] with each
     /// type's own convergence step.
     pub per_type: bool,
+    /// Bounded-memory cap on the stored batch-mean series (0 =
+    /// unbounded, the default). When nonzero, reaching the cap collapses
+    /// adjacent batch-mean pairs into double-length batches
+    /// (R-batching), keeping memory at O(cap · types) for any run
+    /// length with only O(log n) collapses. Must be an even count ≥ 4.
+    /// Restricted to single-walker runs: independent per-walker
+    /// collapses would desynchronize the pooled batch lengths.
+    pub max_series_batches: usize,
 }
 
 impl StoppingRule {
@@ -788,7 +945,26 @@ impl StoppingRule {
                 min_concentration: self.min_concentration,
             });
         }
+        if self.max_series_batches != 0
+            && (self.max_series_batches < 4 || !self.max_series_batches.is_multiple_of(2))
+        {
+            return Err(RuleError::BoundedMemoryCap {
+                max_series_batches: self.max_series_batches,
+            });
+        }
         Ok(())
+    }
+
+    /// Returns this rule with a bounded-memory series cap: at most
+    /// `max_series_batches` batch means retained per type (an even
+    /// count ≥ 4), with adjacent pairs collapsing into double-length
+    /// batches whenever the cap is reached. Until the first collapse the
+    /// statistics are bit-identical to the unbounded rule. Single-walker
+    /// runs only — the runner rejects the combination with
+    /// [`crate::GxError::BoundedMemoryParallel`].
+    pub fn bounded_memory(mut self, max_series_batches: usize) -> Self {
+        self.max_series_batches = max_series_batches;
+        self
     }
 
     /// Panics if the rule is out of domain — the legacy form, delegating
@@ -832,6 +1008,7 @@ impl Default for StoppingRule {
             min_batches: 20,
             min_concentration: 0.01,
             per_type: false,
+            max_series_batches: 0,
         }
     }
 }
@@ -864,6 +1041,51 @@ pub struct AdaptiveReport {
     pub steps_used: Vec<usize>,
     /// Per-type converged/pending status.
     pub converged: Vec<bool>,
+    /// Whether any walker was quarantined mid-run (graceful
+    /// degradation): the estimate then pools fewer chains than
+    /// requested, but every retained batch is sound.
+    pub degraded: bool,
+    /// Per-walker health, parallel to the requested fan-out. Empty only
+    /// for reports predating the run's first round.
+    pub walker_status: Vec<WalkerStatus>,
+}
+
+/// Health of one walker at the end of a run — the graceful-degradation
+/// side of [`AdaptiveReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkerStatus {
+    /// The walker contributed every round it was asked to.
+    Healthy,
+    /// The walker's chain was poisoned and it was removed from the
+    /// rotation. Batches it completed *before* quarantine stay pooled —
+    /// they are sound samples of the same stationary distribution — and
+    /// the run continues on the remaining walkers.
+    Quarantined {
+        /// Coordinator round (1-based) at which the walker was removed.
+        round: usize,
+    },
+}
+
+impl WalkerStatus {
+    /// Serializes one status into a checkpoint payload.
+    pub(crate) fn encode_into(&self, buf: &mut Vec<u8>) {
+        match *self {
+            Self::Healthy => put_u8(buf, 0),
+            Self::Quarantined { round } => {
+                put_u8(buf, 1);
+                put_usize(buf, round);
+            }
+        }
+    }
+
+    /// Inverse of [`WalkerStatus::encode_into`].
+    pub(crate) fn decode_from(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        match r.u8("walker_status.tag")? {
+            0 => Ok(Self::Healthy),
+            1 => Ok(Self::Quarantined { round: r.usize("walker_status.round")? }),
+            _ => Err(CheckpointError::Malformed { what: "walker_status.tag" }),
+        }
+    }
 }
 
 /// The latching convergence bookkeeping shared by the sequential and
@@ -878,6 +1100,12 @@ pub(crate) struct AdaptiveTracker {
 impl AdaptiveTracker {
     pub(crate) fn new(types: usize) -> Self {
         Self { latched: vec![None; types] }
+    }
+
+    /// Graphlet types tracked (the latch-table length) — lets the
+    /// checkpoint decoder cross-validate a snapshot against its config.
+    pub(crate) fn types(&self) -> usize {
+        self.latched.len()
     }
 
     /// Evaluates one convergence check against `stats` (the pooled
@@ -933,6 +1161,9 @@ impl AdaptiveTracker {
     }
 
     /// Packs the latched state into the user-facing report.
+    /// `walker_status` carries per-walker health (all
+    /// [`WalkerStatus::Healthy`] for fault-free runs); any quarantined
+    /// entry marks the report degraded.
     pub(crate) fn report(
         &self,
         walkers: usize,
@@ -940,6 +1171,7 @@ impl AdaptiveTracker {
         total_steps: usize,
         target_met: bool,
         critical_value: f64,
+        walker_status: Vec<WalkerStatus>,
     ) -> AdaptiveReport {
         AdaptiveReport {
             walkers,
@@ -948,7 +1180,37 @@ impl AdaptiveTracker {
             critical_value,
             steps_used: self.latched.iter().map(|l| l.unwrap_or(total_steps)).collect(),
             converged: self.latched.iter().map(|l| l.is_some()).collect(),
+            degraded: walker_status.iter().any(|s| !matches!(s, WalkerStatus::Healthy)),
+            walker_status,
         }
+    }
+
+    /// Serializes the latch table into a checkpoint payload.
+    pub(crate) fn encode_into(&self, buf: &mut Vec<u8>) {
+        put_usize(buf, self.latched.len());
+        for l in &self.latched {
+            match l {
+                Some(step) => {
+                    put_u8(buf, 1);
+                    put_usize(buf, *step);
+                }
+                None => put_u8(buf, 0),
+            }
+        }
+    }
+
+    /// Inverse of [`AdaptiveTracker::encode_into`].
+    pub(crate) fn decode_from(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let n = r.count(1 << 20, "tracker.types")?;
+        let mut latched = Vec::new();
+        for _ in 0..n {
+            latched.push(match r.u8("tracker.latch.tag")? {
+                0 => None,
+                1 => Some(r.usize("tracker.latch.step")?),
+                _ => return Err(CheckpointError::Malformed { what: "tracker.latch.tag" }),
+            });
+        }
+        Ok(Self { latched })
     }
 }
 
@@ -1430,12 +1692,14 @@ mod tests {
             .collect();
         let stats = accumulate(&tight, 2);
         assert!(tracker.observe(&rule, &stats, 200), "all types latched");
-        let report = tracker.report(1, 2, 200, true, 2.2);
+        let report = tracker.report(1, 2, 200, true, 2.2, vec![WalkerStatus::Healthy]);
         assert_eq!(report.steps_used, vec![100, 200]);
         assert_eq!(report.converged, vec![true, true]);
         assert!(report.target_met);
         assert_eq!(report.rounds, 2);
         assert_eq!(report.walkers, 1);
+        assert!(!report.degraded);
+        assert_eq!(report.walker_status, vec![WalkerStatus::Healthy]);
     }
 
     #[test]
@@ -1452,10 +1716,20 @@ mod tests {
         let stream: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
         let stats = accumulate(&stream, 2);
         assert!(!tracker.observe(&rule, &stats, 500));
-        let report = tracker.report(2, 1, 500, false, f64::NAN);
+        let report = tracker.report(2, 1, 500, false, f64::NAN, vec![WalkerStatus::Healthy; 2]);
         assert_eq!(report.steps_used, vec![500]);
         assert_eq!(report.converged, vec![false]);
         assert!(!report.target_met);
+        // A quarantined walker flips the degradation flag.
+        let report = tracker.report(
+            2,
+            1,
+            500,
+            false,
+            f64::NAN,
+            vec![WalkerStatus::Healthy, WalkerStatus::Quarantined { round: 1 }],
+        );
+        assert!(report.degraded);
     }
 
     #[test]
@@ -1465,7 +1739,127 @@ mod tests {
         let stream: Vec<Vec<f64>> = (0..8).map(|i| vec![1.0 + (i % 2) as f64]).collect();
         let stats = accumulate(&stream, 2); // 4 batches < 5
         assert!(!tracker.observe(&rule, &stats, 8));
-        assert!(!tracker.report(1, 1, 8, false, f64::NAN).converged[0]);
+        assert!(
+            !tracker.report(1, 1, 8, false, f64::NAN, vec![WalkerStatus::Healthy]).converged[0]
+        );
+    }
+
+    #[test]
+    fn bounded_accumulator_matches_unbounded_below_the_cap() {
+        // 7 complete batches at cap 8: the collapse never fires, so
+        // every statistic — moments and series — is bit-identical to the
+        // unbounded accumulator.
+        let stream: Vec<Vec<f64>> =
+            (0..30).map(|i| vec![(i % 7) as f64 * 0.25, (i % 5) as f64]).collect();
+        let unbounded = accumulate(&stream, 4);
+        let mut acc = ScoreAccumulator::bounded(2, 4, 8);
+        let mut raw = vec![0.0; 2];
+        for step in &stream {
+            for (r, x) in raw.iter_mut().zip(step) {
+                *r += x;
+            }
+            acc.tick(&raw);
+        }
+        assert_eq!(acc.stats(), &unbounded);
+    }
+
+    #[test]
+    fn bounded_accumulator_collapses_at_the_cap() {
+        // 64 base batches at cap 4: batch_len doubles every time the
+        // count hits 4, ending at 64/4 · 4 = len 64 … concretely the
+        // series never exceeds the cap and total mass is conserved.
+        let stream: Vec<Vec<f64>> = (0..256).map(|i| vec![(i % 11) as f64]).collect();
+        let mut acc = ScoreAccumulator::bounded(1, 4, 4);
+        let mut raw = vec![0.0; 1];
+        for step in &stream {
+            raw[0] += step[0];
+            acc.tick(&raw);
+        }
+        let stats = acc.stats();
+        assert!(stats.batches() < 4, "series stays under the cap, got {}", stats.batches());
+        assert_eq!(stats.batch_len() * stats.batches() as usize, 256, "mass conserved");
+        // The overall mean is the mean of all steps regardless of
+        // batching (all batches cover equal step counts).
+        let want = stream.iter().map(|s| s[0]).sum::<f64>() / 256.0;
+        assert!((stats.mean_score(0) - want).abs() < 1e-12);
+        // Moments agree with a fresh fold of the collapsed series.
+        let mut refold = BatchStats::new(1, stats.batch_len());
+        refold.fold_series_suffix(stats, 0);
+        assert_eq!(&refold, stats, "collapsed moments are a clean refold of the series");
+    }
+
+    #[test]
+    fn collapse_pairs_averages_adjacent_means() {
+        let stream: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
+        let mut stats = accumulate(&stream, 2); // series [0.5, 2.5, 4.5, 6.5]
+        stats.collapse_pairs();
+        assert_eq!(stats.batch_len(), 4);
+        assert_eq!(stats.batches(), 2);
+        assert_eq!(stats.batch_means(0), &[1.5, 5.5]);
+    }
+
+    #[test]
+    fn stopping_rule_bounded_memory_validation() {
+        assert!(StoppingRule::default().bounded_memory(64).try_validate().is_ok());
+        assert!(StoppingRule::default().bounded_memory(0).try_validate().is_ok());
+        for bad in [1usize, 2, 3, 5, 7] {
+            assert_eq!(
+                StoppingRule::default().bounded_memory(bad).try_validate(),
+                Err(RuleError::BoundedMemoryCap { max_series_batches: bad }),
+                "cap {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn accumulator_and_tracker_checkpoint_round_trip_bitwise() {
+        let stream: Vec<Vec<f64>> =
+            (0..37).map(|i| vec![(i % 7) as f64 * 0.25, (i % 5) as f64 * 0.5]).collect();
+        let mut acc = ScoreAccumulator::bounded(2, 4, 8);
+        let mut raw = vec![0.0; 2];
+        for step in &stream {
+            for (r, x) in raw.iter_mut().zip(step) {
+                *r += x;
+            }
+            acc.tick(&raw);
+        }
+        let mut buf = Vec::new();
+        acc.encode_into(&mut buf);
+        let mut r = crate::checkpoint::Reader::new(&buf);
+        let mut back = ScoreAccumulator::decode_from(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.stats(), acc.stats());
+        // The decoded accumulator continues the stream identically —
+        // including the trailing partial batch the snapshot carried.
+        let more: Vec<Vec<f64>> =
+            (37..60).map(|i| vec![(i % 7) as f64 * 0.25, (i % 5) as f64 * 0.5]).collect();
+        for step in &more {
+            for (r, x) in raw.iter_mut().zip(step) {
+                *r += x;
+            }
+            acc.tick(&raw);
+            back.tick(&raw);
+        }
+        assert_eq!(back.stats(), acc.stats(), "resumed fold diverged");
+
+        let mut tracker = AdaptiveTracker::new(3);
+        tracker.latched = vec![None, Some(123), Some(0)];
+        let mut buf = Vec::new();
+        tracker.encode_into(&mut buf);
+        let mut r = crate::checkpoint::Reader::new(&buf);
+        let back = AdaptiveTracker::decode_from(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.latched, tracker.latched);
+
+        let mut buf = Vec::new();
+        WalkerStatus::Quarantined { round: 7 }.encode_into(&mut buf);
+        WalkerStatus::Healthy.encode_into(&mut buf);
+        let mut r = crate::checkpoint::Reader::new(&buf);
+        assert_eq!(
+            WalkerStatus::decode_from(&mut r).unwrap(),
+            WalkerStatus::Quarantined { round: 7 }
+        );
+        assert_eq!(WalkerStatus::decode_from(&mut r).unwrap(), WalkerStatus::Healthy);
     }
 
     #[test]

@@ -75,6 +75,14 @@ pub enum RuleError {
         /// The rejected floor.
         min_concentration: f64,
     },
+    /// `max_series_batches` is nonzero but not an even count ≥ 4: the
+    /// bounded-memory series collapses *pairs* of batch means, so the
+    /// cap must be even, and below 4 no variance estimate would survive
+    /// a collapse.
+    BoundedMemoryCap {
+        /// The rejected cap.
+        max_series_batches: usize,
+    },
 }
 
 impl fmt::Display for RuleError {
@@ -95,11 +103,76 @@ impl fmt::Display for RuleError {
                     "min_concentration must be a concentration in 0..=1 (got {min_concentration})"
                 )
             }
+            Self::BoundedMemoryCap { max_series_batches } => {
+                write!(
+                    f,
+                    "max_series_batches must be an even count >= 4 (got {max_series_batches}) — \
+                     the bounded-memory series collapses pairs of batch means"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for RuleError {}
+
+/// Why a checkpoint payload was refused at resume time.
+///
+/// Every variant is a *typed* rejection: a truncated, bit-flipped, or
+/// mismatched snapshot must never panic or silently resume wrong. The
+/// reader verifies the envelope (magic, version, length, checksum) before
+/// trusting a single payload field, so a corrupted payload surfaces as
+/// [`CheckpointError::Truncated`] / [`CheckpointError::ChecksumMismatch`]
+/// rather than as garbage state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The stream does not start with the checkpoint magic bytes.
+    BadMagic,
+    /// The format version is not one this build can decode.
+    UnsupportedVersion {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// The stream ended before the declared payload was read.
+    Truncated,
+    /// The payload checksum does not match the header's.
+    ChecksumMismatch,
+    /// The snapshot was taken against a different graph (or the graph
+    /// changed since): resuming would silently produce wrong estimates.
+    GraphMismatch {
+        /// Fingerprint recorded in the snapshot.
+        expected: u64,
+        /// Fingerprint of the graph offered for resume.
+        found: u64,
+    },
+    /// A checksum-valid payload decoded to an out-of-domain value — a
+    /// format/version confusion, not bit rot.
+    Malformed {
+        /// Which field or invariant failed.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Self::BadMagic => write!(f, "not a checkpoint: bad magic bytes"),
+            Self::UnsupportedVersion { found } => {
+                write!(f, "unsupported checkpoint version {found}")
+            }
+            Self::Truncated => write!(f, "checkpoint truncated before the declared payload end"),
+            Self::ChecksumMismatch => write!(f, "checkpoint payload checksum mismatch"),
+            Self::GraphMismatch { expected, found } => write!(
+                f,
+                "checkpoint was taken against a different graph \
+                 (fingerprint {expected:#018x}, offered graph {found:#018x})"
+            ),
+            Self::Malformed { what } => write!(f, "malformed checkpoint payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
 
 /// Everything a [`crate::runner::Runner`] run can reject up front.
 ///
@@ -130,6 +203,22 @@ pub enum GxError {
         /// The requested fan-out.
         walkers: usize,
     },
+    /// A bounded-memory stopping rule (`max_series_batches > 0`) was
+    /// combined with a multi-walker fan-out. Pooled batch means require
+    /// equal batch lengths across walkers, and independent pair-collapses
+    /// would desynchronize them — run bounded-memory rules with one
+    /// walker.
+    BoundedMemoryParallel {
+        /// The requested fan-out.
+        walkers: usize,
+    },
+    /// A checkpoint payload was refused (truncated, corrupted, wrong
+    /// version, or taken against a different graph).
+    Checkpoint(CheckpointError),
+    /// An I/O error while writing or reading a checkpoint. Only the
+    /// [`std::io::ErrorKind`] is kept so the error stays `Copy` and
+    /// comparable; the OS-level message is reported at the call site.
+    Io(std::io::ErrorKind),
 }
 
 impl fmt::Display for GxError {
@@ -149,6 +238,13 @@ impl fmt::Display for GxError {
                 f,
                 "a caller-supplied walk is one chain; it cannot fan out over {walkers} walkers"
             ),
+            Self::BoundedMemoryParallel { walkers } => write!(
+                f,
+                "bounded-memory stopping rule requires a single walker \
+                 (requested {walkers}): pair-collapses would desynchronize pooled batch lengths"
+            ),
+            Self::Checkpoint(e) => write!(f, "checkpoint refused: {e}"),
+            Self::Io(kind) => write!(f, "checkpoint I/O error: {kind}"),
         }
     }
 }
@@ -158,6 +254,7 @@ impl std::error::Error for GxError {
         match self {
             Self::Config(e) => Some(e),
             Self::Rule(e) => Some(e),
+            Self::Checkpoint(e) => Some(e),
             _ => None,
         }
     }
@@ -172,6 +269,18 @@ impl From<ConfigError> for GxError {
 impl From<RuleError> for GxError {
     fn from(e: RuleError) -> Self {
         Self::Rule(e)
+    }
+}
+
+impl From<CheckpointError> for GxError {
+    fn from(e: CheckpointError) -> Self {
+        Self::Checkpoint(e)
+    }
+}
+
+impl From<std::io::Error> for GxError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e.kind())
     }
 }
 
@@ -211,5 +320,30 @@ mod tests {
         let e = GxError::from(RuleError::ZeroBatchLen);
         assert!(e.source().unwrap().to_string().contains("batch_len"));
         assert!(GxError::NoBudget.source().is_none());
+        let e = GxError::from(CheckpointError::ChecksumMismatch);
+        assert!(e.source().unwrap().to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn checkpoint_errors_are_typed_and_comparable() {
+        assert_eq!(
+            GxError::from(CheckpointError::BadMagic),
+            GxError::Checkpoint(CheckpointError::BadMagic)
+        );
+        assert!(CheckpointError::UnsupportedVersion { found: 9 }.to_string().contains("version 9"));
+        assert!(CheckpointError::GraphMismatch { expected: 1, found: 2 }
+            .to_string()
+            .contains("different graph"));
+        assert!(CheckpointError::Malformed { what: "window.count" }
+            .to_string()
+            .contains("window.count"));
+        let io = GxError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert_eq!(io, GxError::Io(std::io::ErrorKind::NotFound));
+        assert!(GxError::BoundedMemoryParallel { walkers: 4 }
+            .to_string()
+            .contains("single walker"));
+        assert!(RuleError::BoundedMemoryCap { max_series_batches: 3 }
+            .to_string()
+            .contains("max_series_batches"));
     }
 }

@@ -1,19 +1,21 @@
 //! Algorithm 1: unbiased estimation of graphlet statistics.
 
 use crate::accuracy::{BatchStats, BurnInReport, ScoreAccumulator, StoppingRule};
+use crate::checkpoint::{put_f64, put_u128, put_u32, put_u8, put_usize, Reader};
 use crate::config::EstimatorConfig;
 use crate::css::CssWeights;
+use crate::error::CheckpointError;
 use crate::pie::pie_tilde;
 use crate::result::Estimate;
 use crate::runner::Runner;
 use crate::window::NodeWindow;
-use gx_graph::GraphAccess;
+use gx_graph::{GraphAccess, NodeId};
 use gx_graphlets::{
     alpha::alpha_table, classify_mask, classify_table, num_graphlets, NOT_A_GRAPHLET,
 };
 use gx_walks::{
-    effective_degree, random_start_edge, random_start_node, random_start_state, rng_from_seed,
-    G2Walk, GdWalk, SrwWalk, StateWalk, WalkRng,
+    effective_degree, export_rng_state, import_rng_state, random_start_edge, random_start_node,
+    random_start_state, rng_from_seed, G2Walk, GdWalk, SrwWalk, StateWalk, WalkRng,
 };
 
 /// Runs the estimator with a walk chosen by `cfg.d` (SRW on `G`, the O(1)
@@ -100,7 +102,7 @@ struct Scorer {
 const MAX_TYPES: usize = 112;
 
 impl Scorer {
-    fn new(cfg: &EstimatorConfig, batch_len: usize) -> Self {
+    fn new(cfg: &EstimatorConfig, batch_len: usize, max_series_batches: usize) -> Self {
         debug_assert!(num_graphlets(cfg.k) <= MAX_TYPES);
         Self {
             k: cfg.k,
@@ -111,8 +113,45 @@ impl Scorer {
             css: if cfg.css { Some(CssWeights::new(cfg.k, cfg.d)) } else { None },
             raw: [0.0f64; MAX_TYPES],
             valid: 0,
-            acc: ScoreAccumulator::new(num_graphlets(cfg.k), batch_len),
+            acc: ScoreAccumulator::bounded(num_graphlets(cfg.k), batch_len, max_series_batches),
         }
+    }
+
+    /// Serializes the mutable scoring state (raw scores, valid count,
+    /// error-bar accumulator); the tables are rebuilt from the config at
+    /// decode time.
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        let types = num_graphlets(self.k);
+        put_usize(buf, self.valid);
+        for &x in &self.raw[..types] {
+            put_f64(buf, x);
+        }
+        self.acc.encode_into(buf);
+    }
+
+    /// Inverse of [`Scorer::encode_into`].
+    fn decode_from(r: &mut Reader<'_>, cfg: &EstimatorConfig) -> Result<Self, CheckpointError> {
+        let types = num_graphlets(cfg.k);
+        let valid = r.usize("scorer.valid")?;
+        let mut raw = [0.0f64; MAX_TYPES];
+        for slot in raw.iter_mut().take(types) {
+            *slot = r.f64("scorer.raw")?;
+        }
+        let acc = ScoreAccumulator::decode_from(r)?;
+        if acc.stats().types() != types {
+            return Err(CheckpointError::Malformed { what: "scorer.acc.types" });
+        }
+        Ok(Self {
+            k: cfg.k,
+            l: cfg.l(),
+            non_backtracking: cfg.non_backtracking,
+            alphas: alpha_table(cfg.k, cfg.d),
+            dense_classify: classify_table(cfg.k),
+            css: if cfg.css { Some(CssWeights::new(cfg.k, cfg.d)) } else { None },
+            raw,
+            valid,
+            acc,
+        })
     }
 
     /// Packs the accumulated state into an [`Estimate`] for a run that
@@ -273,11 +312,48 @@ impl<'g, G: GraphAccess, W: StateWalk> WalkSession<'g, G, W> {
         mut walk: W,
         mut rng: WalkRng,
         batch_len: usize,
+        max_series_batches: usize,
     ) -> Self {
         assert_eq!(walk.d(), cfg.d, "walk dimension must match configuration");
-        let scorer = Scorer::new(cfg, batch_len);
+        let scorer = Scorer::new(cfg, batch_len, max_series_batches);
         let window = prime_window(g, cfg, &mut walk, &mut rng);
         Self { g, walk, rng, window, scorer, scored: 0 }
+    }
+
+    /// Serializes everything of the session except the walk position
+    /// (the flavor-specific part [`AnySession::encode_into`] owns): RNG
+    /// raw state, scored count, scorer, window.
+    fn encode_common(&self, buf: &mut Vec<u8>) {
+        let (state, increment) = export_rng_state(&self.rng);
+        put_u128(buf, state);
+        put_u128(buf, increment);
+        put_usize(buf, self.scored);
+        self.scorer.encode_into(buf);
+        self.window.encode_into(buf);
+    }
+
+    /// Rebuilds a session around an already-validated resumed walk.
+    fn from_decoded(
+        g: &'g G,
+        cfg: &EstimatorConfig,
+        walk: W,
+        r: &mut Reader<'_>,
+    ) -> Result<Self, CheckpointError> {
+        let state = r.u128("session.rng.state")?;
+        let increment = r.u128("session.rng.increment")?;
+        if increment & 1 == 0 {
+            // A PCG increment is always odd; an even one is a format
+            // confusion (and from_raw_state would debug-panic on it).
+            return Err(CheckpointError::Malformed { what: "session.rng.increment" });
+        }
+        let rng = import_rng_state(state, increment);
+        let scored = r.usize("session.scored")?;
+        let scorer = Scorer::decode_from(r, cfg)?;
+        let window = NodeWindow::decode_from(r)?;
+        if window.dims() != (cfg.l(), cfg.d) {
+            return Err(CheckpointError::Malformed { what: "session.window.dims" });
+        }
+        Ok(Self { g, walk, rng, window, scorer, scored })
     }
 
     /// Scores `n` more windows, advancing the walk between them — the
@@ -337,23 +413,158 @@ pub(crate) enum AnySession<'g, G: GraphAccess> {
 }
 
 impl<'g, G: GraphAccess> AnySession<'g, G> {
-    pub(crate) fn new(g: &'g G, cfg: &EstimatorConfig, seed: u64, batch_len: usize) -> Self {
+    pub(crate) fn new(
+        g: &'g G,
+        cfg: &EstimatorConfig,
+        seed: u64,
+        batch_len: usize,
+        max_series_batches: usize,
+    ) -> Self {
+        let cap = max_series_batches;
         let mut rng = rng_from_seed(seed);
         match cfg.d {
             1 => {
                 let start = random_start_node(g, &mut rng);
                 let walk = SrwWalk::new(g, start, cfg.non_backtracking);
-                Self::D1(WalkSession::from_parts(g, cfg, walk, rng, batch_len))
+                Self::D1(WalkSession::from_parts(g, cfg, walk, rng, batch_len, cap))
             }
             2 => {
                 let (u, v) = random_start_edge(g, &mut rng);
                 let walk = G2Walk::new(g, u, v, cfg.non_backtracking);
-                Self::D2(WalkSession::from_parts(g, cfg, walk, rng, batch_len))
+                Self::D2(WalkSession::from_parts(g, cfg, walk, rng, batch_len, cap))
             }
             _ => {
                 let start = random_start_state(g, cfg.d, &mut rng);
                 let walk = GdWalk::new(g, &start, cfg.non_backtracking);
-                Self::Dn(WalkSession::from_parts(g, cfg, walk, rng, batch_len))
+                Self::Dn(WalkSession::from_parts(g, cfg, walk, rng, batch_len, cap))
+            }
+        }
+    }
+
+    /// Serializes the walker's full chain state: walk position (with the
+    /// non-backtracking memory), RNG raw state, scored count, scorer and
+    /// window — the per-walker payload of a
+    /// [`crate::runner::RunHandle::checkpoint`].
+    pub(crate) fn encode_into(&self, buf: &mut Vec<u8>) {
+        match self {
+            Self::D1(s) => {
+                put_u8(buf, 1);
+                put_u32(buf, s.walk.current());
+                match s.walk.prev_node() {
+                    Some(p) => {
+                        put_u8(buf, 1);
+                        put_u32(buf, p);
+                    }
+                    None => put_u8(buf, 0),
+                }
+                s.encode_common(buf);
+            }
+            Self::D2(s) => {
+                put_u8(buf, 2);
+                let (u, v) = s.walk.current();
+                put_u32(buf, u);
+                put_u32(buf, v);
+                match s.walk.prev_edge() {
+                    Some((pu, pv)) => {
+                        put_u8(buf, 1);
+                        put_u32(buf, pu);
+                        put_u32(buf, pv);
+                    }
+                    None => put_u8(buf, 0),
+                }
+                s.encode_common(buf);
+            }
+            Self::Dn(s) => {
+                put_u8(buf, 3);
+                let st = s.walk.state().to_vec();
+                put_usize(buf, st.len());
+                for &v in &st {
+                    put_u32(buf, v);
+                }
+                match s.walk.prev_state() {
+                    Some(p) => {
+                        put_u8(buf, 1);
+                        for &v in p {
+                            put_u32(buf, v);
+                        }
+                    }
+                    None => put_u8(buf, 0),
+                }
+                s.encode_common(buf);
+            }
+        }
+    }
+
+    /// Inverse of [`AnySession::encode_into`]: validates the walk
+    /// position against the offered graph (node ranges, edge existence,
+    /// connectivity — every invariant the walk constructors would
+    /// otherwise *assert*) so a checksum-valid but inconsistent payload
+    /// is a typed [`CheckpointError`], never a panic.
+    pub(crate) fn decode_from(
+        r: &mut Reader<'_>,
+        g: &'g G,
+        cfg: &EstimatorConfig,
+    ) -> Result<Self, CheckpointError> {
+        let tag = r.u8("session.tag")?;
+        let expected = match cfg.d {
+            1 => 1,
+            2 => 2,
+            _ => 3,
+        };
+        if tag != expected {
+            return Err(CheckpointError::Malformed { what: "session.tag" });
+        }
+        match tag {
+            1 => {
+                let cur = decode_node(r, g, "walk.current")?;
+                if g.degree(cur) == 0 {
+                    return Err(CheckpointError::Malformed { what: "walk.current" });
+                }
+                let prev = match r.u8("walk.prev.tag")? {
+                    0 => None,
+                    1 => Some(decode_node(r, g, "walk.prev")?),
+                    _ => return Err(CheckpointError::Malformed { what: "walk.prev.tag" }),
+                };
+                let walk = SrwWalk::resume(g, cur, prev, cfg.non_backtracking);
+                Ok(Self::D1(WalkSession::from_decoded(g, cfg, walk, r)?))
+            }
+            2 => {
+                let u = decode_node(r, g, "walk.current")?;
+                let v = decode_node(r, g, "walk.current")?;
+                if !g.has_edge(u, v) {
+                    return Err(CheckpointError::Malformed { what: "walk.current" });
+                }
+                let prev = match r.u8("walk.prev.tag")? {
+                    0 => None,
+                    1 => {
+                        let pu = decode_node(r, g, "walk.prev")?;
+                        let pv = decode_node(r, g, "walk.prev")?;
+                        if !g.has_edge(pu, pv) {
+                            return Err(CheckpointError::Malformed { what: "walk.prev" });
+                        }
+                        Some((pu, pv))
+                    }
+                    _ => return Err(CheckpointError::Malformed { what: "walk.prev.tag" }),
+                };
+                let walk = G2Walk::resume(g, (u, v), prev, cfg.non_backtracking);
+                Ok(Self::D2(WalkSession::from_decoded(g, cfg, walk, r)?))
+            }
+            _ => {
+                let d = r.count(8, "walk.state.len")?;
+                if d != cfg.d {
+                    return Err(CheckpointError::Malformed { what: "walk.state.len" });
+                }
+                let cur = decode_state(r, g, d, "walk.current")?;
+                if !subset_connected(g, &cur) {
+                    return Err(CheckpointError::Malformed { what: "walk.current" });
+                }
+                let prev = match r.u8("walk.prev.tag")? {
+                    0 => None,
+                    1 => Some(decode_state(r, g, d, "walk.prev")?),
+                    _ => return Err(CheckpointError::Malformed { what: "walk.prev.tag" }),
+                };
+                let walk = GdWalk::resume(g, &cur, prev.as_deref(), cfg.non_backtracking);
+                Ok(Self::Dn(WalkSession::from_decoded(g, cfg, walk, r)?))
             }
         }
     }
@@ -402,6 +613,62 @@ impl<'g, G: GraphAccess> AnySession<'g, G> {
     }
 }
 
+/// Reads one node id and bounds-checks it against the graph, so no
+/// downstream degree/neighbor lookup can index out of range.
+fn decode_node<G: GraphAccess>(
+    r: &mut Reader<'_>,
+    g: &G,
+    what: &'static str,
+) -> Result<NodeId, CheckpointError> {
+    let v = r.u32(what)?;
+    if (v as usize) < g.num_nodes() {
+        Ok(v)
+    } else {
+        Err(CheckpointError::Malformed { what })
+    }
+}
+
+/// Reads a sorted, duplicate-free `d`-node state with every node in
+/// range — the preconditions [`GdWalk::resume`] would otherwise assert.
+fn decode_state<G: GraphAccess>(
+    r: &mut Reader<'_>,
+    g: &G,
+    d: usize,
+    what: &'static str,
+) -> Result<Vec<NodeId>, CheckpointError> {
+    let mut nodes = Vec::with_capacity(d);
+    for _ in 0..d {
+        nodes.push(decode_node(r, g, what)?);
+    }
+    if nodes.windows(2).all(|w| w[0] < w[1]) {
+        Ok(nodes)
+    } else {
+        Err(CheckpointError::Malformed { what })
+    }
+}
+
+/// Whether `nodes` (≤ 8 of them) induce a connected subgraph — a tiny
+/// bitmask DFS over `has_edge` probes.
+fn subset_connected<G: GraphAccess>(g: &G, nodes: &[NodeId]) -> bool {
+    let d = nodes.len();
+    debug_assert!((1..=8).contains(&d));
+    let mut seen = 1u8;
+    let mut stack = [0usize; 8];
+    let mut top = 1;
+    while top > 0 {
+        top -= 1;
+        let i = stack[top];
+        for j in 0..d {
+            if seen & (1 << j) == 0 && g.has_edge(nodes[i], nodes[j]) {
+                seen |= 1 << j;
+                stack[top] = j;
+                top += 1;
+            }
+        }
+    }
+    seen.count_ones() as usize == d
+}
+
 /// [`estimate_until`] with a caller-supplied walk.
 ///
 /// Scores windows in the same order as [`estimate_with_walk`] (the walk
@@ -448,7 +715,7 @@ pub fn measure_burn_in<G: GraphAccess>(
     assert!(batch_len >= 1, "batch length must be at least 1");
     let batches = pilot_steps / batch_len;
     assert!(batches >= 4, "burn-in pilot needs at least 4 complete batches, got {batches}");
-    let mut session = AnySession::new(g, cfg, seed, batch_len);
+    let mut session = AnySession::new(g, cfg, seed, batch_len, 0);
     let mut means = Vec::with_capacity(batches);
     let mut prev = 0.0;
     for _ in 0..batches {

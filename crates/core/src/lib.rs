@@ -26,6 +26,7 @@
 //! ```
 
 pub mod accuracy;
+pub mod checkpoint;
 pub mod config;
 pub mod counts;
 pub mod css;
@@ -41,17 +42,18 @@ pub mod window;
 
 pub use accuracy::{
     normal_quantile, student_t_quantile, studentized_critical, AdaptiveReport, BatchStats,
-    BurnInReport, StoppingRule,
+    BurnInReport, StoppingRule, WalkerStatus,
 };
+pub use checkpoint::{graph_fingerprint, write_atomic};
 pub use config::EstimatorConfig;
 pub use counts::relationship_edge_count;
-pub use error::{ConfigError, GxError, RuleError};
+pub use error::{CheckpointError, ConfigError, GxError, RuleError};
 pub use estimator::{
     estimate, estimate_until, estimate_until_with_walk, estimate_with_walk, measure_burn_in,
 };
 pub use parallel::{estimate_parallel, estimate_until_parallel, EstimatorPool, ParallelConfig};
 pub use result::Estimate;
-pub use runner::{Progress, RunHandle, Runner};
+pub use runner::{Corruption, FailingWriter, FaultPlan, Progress, RunHandle, Runner};
 pub use window::NodeWindow;
 
 // The α coefficients (Algorithm 2) live next to the atlas so the

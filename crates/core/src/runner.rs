@@ -16,7 +16,14 @@
 //!   (independent chains cooperating on the budget) and
 //!   [`Runner::seed`];
 //! * **observability** — [`Runner::on_progress`] callbacks and the
-//!   resumable [`RunHandle`] from [`Runner::start`].
+//!   resumable [`RunHandle`] from [`Runner::start`];
+//! * **resilience** — [`RunHandle::checkpoint`] snapshots a live run
+//!   into any writer (atomically onto disk via
+//!   [`RunHandle::checkpoint_to_file`]), [`Runner::resume`] rebuilds it
+//!   in a fresh process with golden-bit fidelity, and [`FaultPlan`] /
+//!   [`FailingWriter`] / [`Corruption`] inject deterministic faults for
+//!   robustness testing (see the [`crate::checkpoint`] module docs for
+//!   the corruption model).
 //!
 //! Every runner path is **panic-free on bad input**: [`Runner::run`]
 //! returns [`GxError`] where the legacy free functions panic (they are
@@ -47,15 +54,22 @@
 
 use crate::accuracy::{
     default_batch_len, studentized_critical, AdaptiveTracker, BatchStats, StoppingRule,
+    WalkerStatus,
+};
+use crate::checkpoint::{
+    graph_fingerprint, put_f64, put_u64, put_u8, put_usize, read_envelope, write_atomic,
+    write_envelope, Reader,
 };
 use crate::config::EstimatorConfig;
-use crate::error::GxError;
+use crate::error::{CheckpointError, GxError};
 use crate::estimator::{prewarm, AnySession, WalkSession};
 use crate::parallel::{available_cores, walker_seed, walker_steps, ParallelConfig};
 use crate::result::Estimate;
 use gx_graph::GraphAccess;
 use gx_graphlets::num_graphlets;
 use gx_walks::{StateWalk, WalkRng};
+use std::io::{Read, Write};
+use std::path::Path;
 use std::rc::Rc;
 
 /// The run's step budget: a fixed window count, or adaptive stopping.
@@ -96,6 +110,145 @@ pub struct Progress {
 
 type ProgressFn = Rc<dyn Fn(&Progress)>;
 
+/// A deterministic fault-injection plan for robustness testing —
+/// attached with [`Runner::faults`], carried by the [`RunHandle`], and
+/// *never* serialized into a checkpoint (a resumed run starts fault-free
+/// unless the test re-attaches a plan).
+///
+/// Three fault families cover the crash-resilience surface:
+///
+/// * **checkpoint-write failures** — [`FaultPlan::fail_write_after`]
+///   makes [`RunHandle::checkpoint`] return a typed I/O error after a
+///   budgeted number of successful snapshots (byte-granular write
+///   failures are [`FailingWriter`]'s job);
+/// * **restore corruption** — [`Corruption`] damages a serialized
+///   snapshot before it is offered to [`Runner::resume`];
+/// * **walker-chain poisoning** — [`FaultPlan::poison`] kills a walker's
+///   chain at a chosen round, exercising the quarantine path: the
+///   poisoned walker is frozen, its completed batches stay pooled, and
+///   the run finishes degraded on the remaining walkers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Number of [`RunHandle::checkpoint`] calls allowed to succeed;
+    /// every later call fails with [`GxError::Io`] *before writing a
+    /// byte*, leaving the run unperturbed. `None` never fails.
+    pub fail_write_after: Option<usize>,
+    /// `(walker, round)` pairs: quarantine `walker` at the start of the
+    /// run's `round`-th advance (1-based), before it contributes that
+    /// round's share. Entries for already-quarantined or out-of-range
+    /// walkers are ignored.
+    pub poison: Vec<(usize, usize)>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults (what [`Runner::new`] carries).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A deterministic pseudo-random plan derived from `seed` (SplitMix64):
+    /// poisons one walker in `0..walkers` at a round in `1..=max_round`.
+    /// Same seed, same plan — the property-test form of hand-picking a
+    /// poisoning.
+    pub fn from_seed(seed: u64, walkers: usize, max_round: usize) -> Self {
+        assert!(walkers >= 1, "a poison plan needs at least one walker");
+        assert!(max_round >= 1, "a poison plan needs at least one round");
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let walker = (next() % walkers as u64) as usize;
+        let round = 1 + (next() % max_round as u64) as usize;
+        Self { fail_write_after: None, poison: vec![(walker, round)] }
+    }
+}
+
+/// One deterministic way to damage a serialized snapshot before handing
+/// it to [`Runner::resume`] — the restore half of [`FaultPlan`]'s fault
+/// model. Every corrupted image must surface as a typed
+/// [`CheckpointError`], never a panic or a silently-wrong resume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// Keep only the first `len` bytes of the image.
+    Truncate {
+        /// Bytes retained (clamped to the image length).
+        len: usize,
+    },
+    /// Flip the single bit at global bit index `bit` (byte `bit / 8`,
+    /// mask `1 << (bit % 8)`).
+    FlipBit {
+        /// Global bit index; must be inside the image.
+        bit: usize,
+    },
+}
+
+impl Corruption {
+    /// Applies the corruption to a snapshot image, returning the damaged
+    /// copy (the original is untouched).
+    pub fn apply(self, snapshot: &[u8]) -> Vec<u8> {
+        match self {
+            Self::Truncate { len } => snapshot[..len.min(snapshot.len())].to_vec(),
+            Self::FlipBit { bit } => {
+                assert!(bit / 8 < snapshot.len(), "bit index outside the snapshot");
+                let mut out = snapshot.to_vec();
+                out[bit / 8] ^= 1 << (bit % 8);
+                out
+            }
+        }
+    }
+}
+
+/// An [`std::io::Write`] adapter that forwards up to `byte_budget` bytes
+/// and then fails every further write with
+/// [`std::io::ErrorKind::WriteZero`] — the byte-granular
+/// checkpoint-write fault of the robustness test suite. A failed
+/// [`RunHandle::checkpoint`] through this writer must leave the handle
+/// able to finish bit-identically.
+#[derive(Debug)]
+pub struct FailingWriter<W> {
+    inner: W,
+    remaining: usize,
+}
+
+impl<W> FailingWriter<W> {
+    /// Wraps `inner`, allowing `byte_budget` bytes through before
+    /// injecting failures.
+    pub fn new(inner: W, byte_budget: usize) -> Self {
+        Self { inner, remaining: byte_budget }
+    }
+
+    /// Unwraps the adapter, returning whatever was successfully written.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FailingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        if self.remaining == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                "injected checkpoint write fault",
+            ));
+        }
+        let n = buf.len().min(self.remaining);
+        let written = self.inner.write(&buf[..n])?;
+        self.remaining -= written;
+        Ok(written)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 /// Builder-style front door to the whole estimation framework: config ×
 /// budget × execution × observability, composed with method chaining and
 /// executed with [`Runner::run`] (or driven incrementally via
@@ -108,6 +261,7 @@ pub struct Runner {
     walkers: usize,
     seed: u64,
     progress: Option<ProgressFn>,
+    plan: FaultPlan,
 }
 
 impl std::fmt::Debug for Runner {
@@ -118,16 +272,32 @@ impl std::fmt::Debug for Runner {
             .field("walkers", &self.walkers)
             .field("seed", &self.seed)
             .field("progress", &self.progress.as_ref().map(|_| "Fn(&Progress)"))
+            .field("plan", &self.plan)
             .finish()
     }
 }
 
 impl Runner {
-    /// A runner for `cfg` with no budget yet, one walker, and seed 0.
-    /// Nothing is validated until a run entry point is called — builders
-    /// never panic.
+    /// A runner for `cfg` with no budget yet, one walker, seed 0, and no
+    /// fault plan. Nothing is validated until a run entry point is
+    /// called — builders never panic.
     pub fn new(cfg: EstimatorConfig) -> Self {
-        Self { cfg, budget: Budget::Unset, walkers: 1, seed: 0, progress: None }
+        Self {
+            cfg,
+            budget: Budget::Unset,
+            walkers: 1,
+            seed: 0,
+            progress: None,
+            plan: FaultPlan::none(),
+        }
+    }
+
+    /// Attaches a deterministic [`FaultPlan`] (robustness testing only):
+    /// injected checkpoint-write failures and walker-chain poisonings.
+    /// The default is [`FaultPlan::none`].
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
     }
 
     /// Fixed budget: score exactly `steps` windows (Algorithm 1's sample
@@ -187,6 +357,11 @@ impl Runner {
             Budget::Fixed(_) => Ok(()),
             Budget::Until(rule) => {
                 rule.try_validate()?;
+                if rule.max_series_batches != 0 && self.walkers > 1 {
+                    // Independent per-walker R-batching collapses would
+                    // desynchronize the pooled batch lengths.
+                    return Err(GxError::BoundedMemoryParallel { walkers: self.walkers });
+                }
                 Ok(())
             }
         }
@@ -263,6 +438,7 @@ impl Runner {
             Budget::Until(rule) => (Some(rule.clone()), rule.batch_len, rule.max_steps),
             Budget::Unset => unreachable!("check() rejects unset budgets"),
         };
+        let max_series_batches = rule.as_ref().map_or(0, |r| r.max_series_batches);
         let types = num_graphlets(self.cfg.k);
         let mut sessions = Vec::new();
         sessions.resize_with(self.walkers, || None);
@@ -271,17 +447,61 @@ impl Runner {
             cfg: self.cfg.clone(),
             rule,
             batch_len,
+            max_series_batches,
             seed: self.seed,
             caps: (0..self.walkers).map(|i| walker_steps(max_steps, self.walkers, i)).collect(),
             sessions,
             done: vec![0; self.walkers],
+            status: vec![WalkerStatus::Healthy; self.walkers],
             pooled: BatchStats::new(types, batch_len),
             pooled_batches: vec![0; self.walkers],
             tracker: AdaptiveTracker::new(types),
             rounds: 0,
             met: false,
             progress: self.progress.clone(),
+            plan: self.plan.clone(),
+            fingerprint: None,
+            checkpoints: 0,
         })
+    }
+
+    /// Rebuilds a live [`RunHandle`] from a checkpoint stream written by
+    /// [`RunHandle::checkpoint`], resuming the run against `g`.
+    ///
+    /// The envelope (magic, version, length, checksum) is verified
+    /// before a single payload field is parsed, and the snapshot's graph
+    /// fingerprint must match `g`
+    /// ([`CheckpointError::GraphMismatch`] otherwise) — resuming against
+    /// a different graph would silently estimate statistics of the wrong
+    /// graph. Any truncated, bit-flipped, or internally inconsistent
+    /// snapshot is a typed [`GxError::Checkpoint`]; no corrupt input
+    /// panics.
+    ///
+    /// **Golden-bit contract:** checkpoint → drop the handle (or the
+    /// process) → `resume` → drive to completion produces bit-identical
+    /// output to the uninterrupted run — fixed and adaptive budgets, any
+    /// walker count, any checkpoint cadence. Progress callbacks and
+    /// fault plans do not travel in snapshots; re-attach them with
+    /// [`RunHandle::on_progress`] if wanted.
+    pub fn resume<'g, G: GraphAccess, R: Read>(
+        g: &'g G,
+        r: &mut R,
+    ) -> Result<RunHandle<'g, G>, GxError> {
+        let payload = read_envelope(r)?;
+        let mut rd = Reader::new(&payload);
+        let handle = RunHandle::decode_from(&mut rd, g)?;
+        rd.finish()?;
+        Ok(handle)
+    }
+
+    /// [`Runner::resume`] from a checkpoint file (the counterpart of
+    /// [`RunHandle::checkpoint_to_file`]).
+    pub fn resume_from_file<'g, G: GraphAccess, P: AsRef<Path>>(
+        g: &'g G,
+        path: P,
+    ) -> Result<RunHandle<'g, G>, GxError> {
+        let bytes = std::fs::read(path)?;
+        Self::resume(g, &mut bytes.as_slice())
     }
 
     /// Runs the configured budget over a caller-supplied walk — the
@@ -315,7 +535,7 @@ impl Runner {
             Budget::Unset => Err(GxError::NoBudget),
             Budget::Fixed(steps) => {
                 let batch_len = default_batch_len(*steps);
-                let mut session = WalkSession::from_parts(g, &self.cfg, walk, rng, batch_len);
+                let mut session = WalkSession::from_parts(g, &self.cfg, walk, rng, batch_len, 0);
                 match &self.progress {
                     // Splitting the budget over `run` calls cannot move
                     // a sample, so ticking is observability-only.
@@ -346,7 +566,14 @@ impl Runner {
             }
             Budget::Until(rule) => {
                 rule.try_validate()?;
-                let session = WalkSession::from_parts(g, &self.cfg, walk, rng, rule.batch_len);
+                let session = WalkSession::from_parts(
+                    g,
+                    &self.cfg,
+                    walk,
+                    rng,
+                    rule.batch_len,
+                    rule.max_series_batches,
+                );
                 Ok(run_adaptive_walk(session, &self.cfg, rule, self.progress.as_ref()))
             }
         }
@@ -394,7 +621,7 @@ fn run_adaptive_walk<G: GraphAccess, W: StateWalk>(
     let crit = rule.critical_value(session.stats().batches());
     let mut est = session.into_estimate(cfg);
     debug_assert_eq!(est.steps, done);
-    est.adaptive = Some(tracker.report(1, rounds, done, met, crit));
+    est.adaptive = Some(tracker.report(1, rounds, done, met, crit, vec![WalkerStatus::Healthy]));
     est
 }
 
@@ -417,12 +644,23 @@ fn run_adaptive_walk<G: GraphAccess, W: StateWalk>(
 /// (chronological, walker-order — [`BatchStats::fold_series_suffix`]),
 /// instead of re-pooling every walker from scratch each round. With one
 /// walker the pool replays the walker's own accumulator bit for bit.
+///
+/// **Crash resilience:** [`RunHandle::checkpoint`] serializes the whole
+/// live state between advances, and [`Runner::resume`] rebuilds it with
+/// golden-bit fidelity. **Degradation:** a poisoned walker (see
+/// [`FaultPlan`]) is quarantined — frozen in place, its completed
+/// batches kept pooled — and the run finishes on the remaining walkers,
+/// reported via [`RunHandle::walker_status`] and
+/// [`crate::AdaptiveReport::degraded`].
 pub struct RunHandle<'g, G: GraphAccess> {
     g: &'g G,
     cfg: EstimatorConfig,
     /// `None` for fixed budgets.
     rule: Option<StoppingRule>,
     batch_len: usize,
+    /// The adaptive rule's bounded-memory cap (0 = unbounded), threaded
+    /// into every walker accumulator.
+    max_series_batches: usize,
     seed: u64,
     /// Per-walker step budget (near-equal split of the total).
     caps: Vec<usize>,
@@ -430,6 +668,8 @@ pub struct RunHandle<'g, G: GraphAccess> {
     sessions: Vec<Option<AnySession<'g, G>>>,
     /// Per-walker scored windows so far.
     done: Vec<usize>,
+    /// Per-walker health: quarantined walkers are out of the rotation.
+    status: Vec<WalkerStatus>,
     /// Pooled batch-means statistics (chronological incremental fold).
     pooled: BatchStats,
     /// Per-walker batches already folded into `pooled`.
@@ -438,6 +678,14 @@ pub struct RunHandle<'g, G: GraphAccess> {
     rounds: usize,
     met: bool,
     progress: Option<ProgressFn>,
+    /// Fault-injection plan (empty outside robustness tests).
+    plan: FaultPlan,
+    /// Cached [`graph_fingerprint`] — computed on the first checkpoint,
+    /// so fault-free runs never pay the O(edges) scan.
+    fingerprint: Option<u64>,
+    /// Checkpoints successfully taken (drives
+    /// [`FaultPlan::fail_write_after`]).
+    checkpoints: usize,
 }
 
 impl<G: GraphAccess> std::fmt::Debug for RunHandle<'_, G> {
@@ -456,20 +704,54 @@ impl<G: GraphAccess> std::fmt::Debug for RunHandle<'_, G> {
 
 impl<'g, G: GraphAccess> RunHandle<'g, G> {
     /// Per-walker share of an advance by `windows` scored windows:
-    /// remaining budget capped, zero once the run has converged.
+    /// remaining budget capped, zero for quarantined walkers, zero for
+    /// everyone once the run has converged. Precomputed before any chain
+    /// moves, so [`RunHandle::advance`] and [`RunHandle::advance_par`]
+    /// distribute identically — quarantines included.
     fn shares(&self, windows: usize) -> Vec<usize> {
         if self.met {
             return vec![0; self.caps.len()];
         }
-        self.caps.iter().zip(&self.done).map(|(&c, &d)| windows.min(c - d)).collect()
+        self.caps
+            .iter()
+            .zip(&self.done)
+            .zip(&self.status)
+            .map(|((&c, &d), s)| match s {
+                WalkerStatus::Healthy => windows.min(c - d),
+                WalkerStatus::Quarantined { .. } => 0,
+            })
+            .collect()
+    }
+
+    /// Fires any [`FaultPlan::poison`] entries due at the upcoming round
+    /// (1-based), quarantining their walkers before shares are computed.
+    /// Already-quarantined and out-of-range walkers are ignored.
+    fn apply_poison(&mut self) {
+        let next_round = self.rounds + 1;
+        for &(w, at) in &self.plan.poison {
+            if at <= next_round && w < self.status.len() {
+                if let s @ WalkerStatus::Healthy = &mut self.status[w] {
+                    *s = WalkerStatus::Quarantined { round: next_round };
+                }
+            }
+        }
     }
 
     /// Advances every still-budgeted walker by up to `windows` more
     /// scored windows on the calling thread (walker order), then pools
     /// the new batches, evaluates the stopping rule (adaptive budgets),
-    /// and fires the progress callback. A no-op returning the current
-    /// snapshot once the run is finished.
+    /// and fires the progress callback.
+    ///
+    /// `advance(0)` is a **documented no-op**: no chain moves, no round
+    /// is counted, no callback fires — it just returns the current
+    /// [`Progress`] (the same snapshot [`RunHandle::progress`] reads),
+    /// which makes it a safe poll. A finished run behaves the same for
+    /// any `windows`.
     pub fn advance(&mut self, windows: usize) -> Progress {
+        if windows == 0 {
+            return self.snapshot();
+        }
+        self.apply_poison();
         let shares = self.shares(windows);
         if shares.iter().all(|&s| s == 0) {
             return self.snapshot();
@@ -478,9 +760,12 @@ impl<'g, G: GraphAccess> RunHandle<'g, G> {
             if share == 0 {
                 continue;
             }
-            let (g, cfg, seed, batch_len) = (self.g, &self.cfg, self.seed, self.batch_len);
+            let (g, cfg, seed, batch_len, cap) =
+                (self.g, &self.cfg, self.seed, self.batch_len, self.max_series_batches);
             self.sessions[i]
-                .get_or_insert_with(|| AnySession::new(g, cfg, walker_seed(seed, i), batch_len))
+                .get_or_insert_with(|| {
+                    AnySession::new(g, cfg, walker_seed(seed, i), batch_len, cap)
+                })
                 .run(share);
         }
         self.after_round(&shares)
@@ -499,12 +784,27 @@ impl<'g, G: GraphAccess> RunHandle<'g, G> {
         // Chan merge of the sessions' own streams, so maintaining a
         // second copy here would be pure waste.
         if let Some(rule) = &self.rule {
-            for (session, folded) in self.sessions.iter().zip(&mut self.pooled_batches) {
-                if let Some(session) = session.as_ref() {
-                    let stats = session.stats();
-                    if stats.batches() > *folded {
-                        self.pooled.fold_series_suffix(stats, *folded);
-                        *folded = stats.batches();
+            if rule.max_series_batches != 0 {
+                // Bounded memory (single walker by construction): the
+                // R-batching collapse rewrites the walker's series in
+                // place, so suffix counters cannot describe it — the
+                // pool mirrors the walker's own (possibly collapsed)
+                // statistics wholesale. Below the cap this clone equals
+                // the suffix fold bit for bit (one walker's fold is a
+                // replay), so bit-identity with the unbounded rule holds
+                // until the first collapse.
+                if let Some(session) = self.sessions[0].as_ref() {
+                    self.pooled = session.stats().clone();
+                    self.pooled_batches[0] = self.pooled.batches();
+                }
+            } else {
+                for (session, folded) in self.sessions.iter().zip(&mut self.pooled_batches) {
+                    if let Some(session) = session.as_ref() {
+                        let stats = session.stats();
+                        if stats.batches() > *folded {
+                            self.pooled.fold_series_suffix(stats, *folded);
+                            *folded = stats.batches();
+                        }
                     }
                 }
             }
@@ -522,10 +822,37 @@ impl<'g, G: GraphAccess> RunHandle<'g, G> {
         self.done.iter().sum()
     }
 
-    /// Whether the run is over: adaptive target met, or every walker's
-    /// budget share exhausted.
+    /// Whether the run is over: adaptive target met, or every walker
+    /// either exhausted its budget share or sits in quarantine (a
+    /// quarantined walker's remaining share is forfeit — the run
+    /// *completes*, degraded, instead of spinning on a dead chain).
     pub fn is_finished(&self) -> bool {
-        self.met || self.done.iter().zip(&self.caps).all(|(d, c)| d >= c)
+        self.met
+            || self
+                .done
+                .iter()
+                .zip(&self.caps)
+                .zip(&self.status)
+                .all(|((d, c), s)| d >= c || !matches!(s, WalkerStatus::Healthy))
+    }
+
+    /// Per-walker health, index = walker. All [`WalkerStatus::Healthy`]
+    /// unless a [`FaultPlan`] poisoned a chain.
+    pub fn walker_status(&self) -> &[WalkerStatus] {
+        &self.status
+    }
+
+    /// Whether any walker has been quarantined — the handle-level twin
+    /// of [`crate::AdaptiveReport::degraded`] (which fixed-budget runs
+    /// do not carry).
+    pub fn degraded(&self) -> bool {
+        self.status.iter().any(|s| !matches!(s, WalkerStatus::Healthy))
+    }
+
+    /// (Re-)attaches a progress callback — e.g. after [`Runner::resume`],
+    /// since callbacks cannot travel in a snapshot.
+    pub fn on_progress(&mut self, f: impl Fn(&Progress) + 'static) {
+        self.progress = Some(Rc::new(f));
     }
 
     /// The current progress snapshot (also what [`RunHandle::advance`]
@@ -615,7 +942,14 @@ impl<'g, G: GraphAccess> RunHandle<'g, G> {
         }
         let adaptive = self.rule.as_ref().map(|rule| {
             let crit = rule.critical_value(accuracy.batches());
-            self.tracker.report(self.caps.len(), self.rounds, self.steps(), self.met, crit)
+            self.tracker.report(
+                self.caps.len(),
+                self.rounds,
+                self.steps(),
+                self.met,
+                crit,
+                self.status.clone(),
+            )
         });
         Estimate {
             config: self.cfg.clone(),
@@ -626,6 +960,249 @@ impl<'g, G: GraphAccess> RunHandle<'g, G> {
             adaptive,
         }
     }
+
+    /// Serializes the run's complete live state into `w` as a versioned,
+    /// checksummed snapshot: configuration, budget, per-walker RNG raw
+    /// state, walk positions, scoring windows, raw scores, batch-means
+    /// accumulators, pooled statistics, and the adaptive tracker's
+    /// latches. Call it between advances, at any cadence — resuming via
+    /// [`Runner::resume`] and driving to completion reproduces the
+    /// uninterrupted run bit for bit.
+    ///
+    /// Fails with [`GxError::Io`] on writer errors (and, under a
+    /// [`FaultPlan::fail_write_after`] budget, by injection — before a
+    /// byte is written). A failed checkpoint never perturbs the run: the
+    /// handle advances and finishes exactly as if the call had not
+    /// happened.
+    pub fn checkpoint<W: Write>(&mut self, w: &mut W) -> Result<(), GxError> {
+        if let Some(allowed) = self.plan.fail_write_after {
+            if self.checkpoints >= allowed {
+                return Err(GxError::Io(std::io::ErrorKind::WriteZero));
+            }
+        }
+        let fingerprint = match self.fingerprint {
+            Some(fp) => fp,
+            None => {
+                let fp = graph_fingerprint(self.g);
+                self.fingerprint = Some(fp);
+                fp
+            }
+        };
+        let payload = self.encode_payload(fingerprint);
+        write_envelope(&payload, w)?;
+        self.checkpoints += 1;
+        Ok(())
+    }
+
+    /// [`RunHandle::checkpoint`] onto disk via
+    /// [`crate::checkpoint::write_atomic`] (temporary sibling → fsync →
+    /// rename): a crash mid-write leaves the previous checkpoint file
+    /// intact, never a torn half-write — the property that makes a live
+    /// checkpoint cadence safe.
+    pub fn checkpoint_to_file<P: AsRef<Path>>(&mut self, path: P) -> Result<(), GxError> {
+        let mut bytes = Vec::new();
+        self.checkpoint(&mut bytes)?;
+        write_atomic(path, &bytes)
+    }
+
+    /// The flat field encoding behind [`RunHandle::checkpoint`] (the
+    /// envelope is layered on top by the caller).
+    fn encode_payload(&self, fingerprint: u64) -> Vec<u8> {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, fingerprint);
+        put_usize(&mut buf, self.cfg.k);
+        put_usize(&mut buf, self.cfg.d);
+        put_u8(&mut buf, self.cfg.css as u8);
+        put_u8(&mut buf, self.cfg.non_backtracking as u8);
+        put_usize(&mut buf, self.cfg.burn_in);
+        match &self.rule {
+            None => put_u8(&mut buf, 0),
+            Some(rule) => {
+                put_u8(&mut buf, 1);
+                put_f64(&mut buf, rule.target_rel_ci);
+                put_usize(&mut buf, rule.check_every);
+                put_usize(&mut buf, rule.max_steps);
+                put_f64(&mut buf, rule.z);
+                put_usize(&mut buf, rule.batch_len);
+                put_u64(&mut buf, rule.min_batches);
+                put_f64(&mut buf, rule.min_concentration);
+                put_u8(&mut buf, rule.per_type as u8);
+                put_usize(&mut buf, rule.max_series_batches);
+            }
+        }
+        put_usize(&mut buf, self.batch_len);
+        put_u64(&mut buf, self.seed);
+        put_usize(&mut buf, self.caps.len());
+        for &c in &self.caps {
+            put_usize(&mut buf, c);
+        }
+        for &d in &self.done {
+            put_usize(&mut buf, d);
+        }
+        for s in &self.status {
+            s.encode_into(&mut buf);
+        }
+        put_usize(&mut buf, self.rounds);
+        put_u8(&mut buf, self.met as u8);
+        self.tracker.encode_into(&mut buf);
+        self.pooled.encode_into(&mut buf);
+        for &b in &self.pooled_batches {
+            put_u64(&mut buf, b);
+        }
+        for s in &self.sessions {
+            match s {
+                None => put_u8(&mut buf, 0),
+                Some(s) => {
+                    put_u8(&mut buf, 1);
+                    s.encode_into(&mut buf);
+                }
+            }
+        }
+        buf
+    }
+
+    /// Inverse of [`RunHandle::encode_payload`], validating every field
+    /// against its domain, the graph, and the other fields — a
+    /// checksum-valid but internally inconsistent payload is a typed
+    /// [`CheckpointError`], never a panic.
+    fn decode_from(r: &mut Reader<'_>, g: &'g G) -> Result<Self, GxError> {
+        let expected = r.u64("handle.fingerprint")?;
+        let found = graph_fingerprint(g);
+        if expected != found {
+            return Err(CheckpointError::GraphMismatch { expected, found }.into());
+        }
+        let cfg = EstimatorConfig {
+            k: r.usize("cfg.k")?,
+            d: r.usize("cfg.d")?,
+            css: decode_bool(r, "cfg.css")?,
+            non_backtracking: decode_bool(r, "cfg.non_backtracking")?,
+            burn_in: r.usize("cfg.burn_in")?,
+        };
+        if cfg.try_validate().is_err() {
+            return Err(CheckpointError::Malformed { what: "cfg" }.into());
+        }
+        let rule = match r.u8("rule.tag")? {
+            0 => None,
+            1 => {
+                let rule = StoppingRule {
+                    target_rel_ci: r.f64("rule.target_rel_ci")?,
+                    check_every: r.usize("rule.check_every")?,
+                    max_steps: r.usize("rule.max_steps")?,
+                    z: r.f64("rule.z")?,
+                    batch_len: r.usize("rule.batch_len")?,
+                    min_batches: r.u64("rule.min_batches")?,
+                    min_concentration: r.f64("rule.min_concentration")?,
+                    per_type: decode_bool(r, "rule.per_type")?,
+                    max_series_batches: r.usize("rule.max_series_batches")?,
+                };
+                if rule.try_validate().is_err() {
+                    return Err(CheckpointError::Malformed { what: "rule" }.into());
+                }
+                Some(rule)
+            }
+            _ => return Err(CheckpointError::Malformed { what: "rule.tag" }.into()),
+        };
+        let batch_len = r.usize("handle.batch_len")?;
+        if batch_len == 0 || rule.as_ref().is_some_and(|r| r.batch_len != batch_len) {
+            return Err(CheckpointError::Malformed { what: "handle.batch_len" }.into());
+        }
+        let seed = r.u64("handle.seed")?;
+        let walkers = r.count(1 << 16, "handle.walkers")?;
+        if walkers == 0 {
+            return Err(CheckpointError::Malformed { what: "handle.walkers" }.into());
+        }
+        let max_series_batches = rule.as_ref().map_or(0, |r| r.max_series_batches);
+        if max_series_batches != 0 && walkers > 1 {
+            // check() never lets this combination start a run.
+            return Err(CheckpointError::Malformed { what: "rule.max_series_batches" }.into());
+        }
+        let mut caps = Vec::with_capacity(walkers);
+        for _ in 0..walkers {
+            caps.push(r.usize("handle.caps")?);
+        }
+        let mut done = Vec::with_capacity(walkers);
+        for &cap in &caps {
+            let d = r.usize("handle.done")?;
+            if d > cap {
+                return Err(CheckpointError::Malformed { what: "handle.done" }.into());
+            }
+            done.push(d);
+        }
+        let mut status = Vec::with_capacity(walkers);
+        for _ in 0..walkers {
+            status.push(WalkerStatus::decode_from(r)?);
+        }
+        let rounds = r.usize("handle.rounds")?;
+        let met = decode_bool(r, "handle.met")?;
+        let tracker = AdaptiveTracker::decode_from(r)?;
+        let types = num_graphlets(cfg.k);
+        if tracker.types() != types {
+            return Err(CheckpointError::Malformed { what: "handle.tracker" }.into());
+        }
+        let pooled = BatchStats::decode_from(r)?;
+        let pool_ok = pooled.types() == types
+            && match (&rule, max_series_batches) {
+                // Fixed budgets never fold the pool.
+                (None, _) => pooled.batches() == 0 && pooled.batch_len() == batch_len,
+                (Some(_), 0) => pooled.batch_len() == batch_len,
+                // R-batching collapses double the pooled batch length.
+                (Some(_), _) => pooled.batch_len() % batch_len == 0,
+            };
+        if !pool_ok {
+            return Err(CheckpointError::Malformed { what: "handle.pooled" }.into());
+        }
+        let mut pooled_batches = Vec::with_capacity(walkers);
+        for _ in 0..walkers {
+            pooled_batches.push(r.u64("handle.pooled_batches")?);
+        }
+        let mut sessions = Vec::with_capacity(walkers);
+        for &scored in &done {
+            match r.u8("handle.session.tag")? {
+                0 if scored == 0 => sessions.push(None),
+                0 => return Err(CheckpointError::Malformed { what: "handle.session" }.into()),
+                1 => {
+                    let session = AnySession::decode_from(r, g, &cfg)?;
+                    if session.scored() != scored {
+                        return Err(
+                            CheckpointError::Malformed { what: "handle.session.scored" }.into()
+                        );
+                    }
+                    sessions.push(Some(session));
+                }
+                _ => return Err(CheckpointError::Malformed { what: "handle.session.tag" }.into()),
+            }
+        }
+        Ok(Self {
+            g,
+            cfg,
+            rule,
+            batch_len,
+            max_series_batches,
+            seed,
+            caps,
+            sessions,
+            done,
+            status,
+            pooled,
+            pooled_batches,
+            tracker,
+            rounds,
+            met,
+            progress: None,
+            plan: FaultPlan::none(),
+            fingerprint: Some(expected),
+            checkpoints: 0,
+        })
+    }
+}
+
+/// Reads a `bool` stored as a strict `0`/`1` byte.
+fn decode_bool(r: &mut Reader<'_>, what: &'static str) -> Result<bool, CheckpointError> {
+    match r.u8(what)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(CheckpointError::Malformed { what }),
+    }
 }
 
 impl<'g, G: GraphAccess + Sync> RunHandle<'g, G> {
@@ -633,15 +1210,26 @@ impl<'g, G: GraphAccess + Sync> RunHandle<'g, G> {
     /// machine's cores (one OS thread per core, each running a
     /// contiguous chunk of walkers). State evolution — and therefore
     /// every subsequent output — is bit-identical to [`RunHandle::advance`]:
-    /// pooling and merging happen on the calling thread in walker order.
+    /// shares (quarantines included) are precomputed before any thread
+    /// spawns, and pooling and merging happen on the calling thread in
+    /// walker order.
+    ///
+    /// `advance_par(0)` is the same documented no-op as
+    /// [`RunHandle::advance`]`(0)`: no threads spawn, nothing moves, the
+    /// current [`Progress`] is returned.
     pub fn advance_par(&mut self, windows: usize) -> Progress {
+        if windows == 0 {
+            return self.snapshot();
+        }
+        self.apply_poison();
         let shares = self.shares(windows);
         if shares.iter().all(|&s| s == 0) {
             return self.snapshot();
         }
         let threads = available_cores().min(self.sessions.len());
         let chunk = self.sessions.len().div_ceil(threads);
-        let (g, cfg, seed, batch_len) = (self.g, &self.cfg, self.seed, self.batch_len);
+        let (g, cfg, seed, batch_len, cap) =
+            (self.g, &self.cfg, self.seed, self.batch_len, self.max_series_batches);
         std::thread::scope(|scope| {
             for (c, slots) in self.sessions.chunks_mut(chunk).enumerate() {
                 let shares = &shares;
@@ -652,7 +1240,7 @@ impl<'g, G: GraphAccess + Sync> RunHandle<'g, G> {
                             continue;
                         }
                         slot.get_or_insert_with(|| {
-                            AnySession::new(g, cfg, walker_seed(seed, i), batch_len)
+                            AnySession::new(g, cfg, walker_seed(seed, i), batch_len, cap)
                         })
                         .run(shares[i]);
                     }

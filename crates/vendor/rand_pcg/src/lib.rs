@@ -30,6 +30,24 @@ impl Pcg64 {
         pcg
     }
 
+    /// The raw `(state, increment)` pair of the generator, exactly as it
+    /// stands — the complete serializable identity of the stream. Feed it
+    /// back through [`Pcg64::from_raw_state`] to resume the stream at the
+    /// same position, bit for bit.
+    pub fn raw_state(&self) -> (u128, u128) {
+        (self.state, self.increment)
+    }
+
+    /// Rebuilds a generator from a [`Pcg64::raw_state`] export *without*
+    /// re-running the seeding protocol (which folds the increment and
+    /// advances once — [`Pcg64::new`] would land on a different stream
+    /// position). `increment` must come from a prior export (seeding
+    /// always makes it odd).
+    pub fn from_raw_state(state: u128, increment: u128) -> Self {
+        debug_assert!(increment & 1 == 1, "PCG increments are odd by construction");
+        Self { state, increment }
+    }
+
     #[inline]
     fn step(&mut self) {
         self.state = self.state.wrapping_mul(MULTIPLIER).wrapping_add(self.increment);
@@ -106,6 +124,29 @@ mod tests {
             outs.insert(rng.next_u64());
         }
         assert_eq!(outs.len(), 64);
+    }
+
+    #[test]
+    fn raw_state_round_trip_resumes_the_stream() {
+        let mut rng = Pcg64::seed_from_u64(99);
+        for _ in 0..17 {
+            rng.next_u64();
+        }
+        let (state, increment) = rng.raw_state();
+        let mut resumed = Pcg64::from_raw_state(state, increment);
+        for _ in 0..64 {
+            assert_eq!(rng.next_u64(), resumed.next_u64());
+        }
+    }
+
+    #[test]
+    fn from_raw_state_bypasses_seeding() {
+        // new() folds the increment into the state and advances once;
+        // from_raw_state must do neither.
+        let seeded = Pcg64::new(5, 11);
+        let raw = Pcg64::from_raw_state(5, (11 << 1) | 1);
+        assert_ne!(seeded, raw);
+        assert_eq!(raw.raw_state(), (5, 23));
     }
 
     #[test]

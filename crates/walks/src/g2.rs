@@ -37,9 +37,34 @@ impl<'g, G: GraphAccess> G2Walk<'g, G> {
         Self { g, state, deg, prev: None, nb: non_backtracking }
     }
 
+    /// Rebuilds a walk at a checkpointed position: current edge plus the
+    /// previous edge the non-backtracking rule remembers. Endpoint-degree
+    /// caches are re-fetched from `g`, so resuming against the same graph
+    /// is bit-identical to never having stopped.
+    pub fn resume(
+        g: &'g G,
+        current: (NodeId, NodeId),
+        prev: Option<(NodeId, NodeId)>,
+        non_backtracking: bool,
+    ) -> Self {
+        let mut walk = Self::new(g, current.0, current.1, non_backtracking);
+        walk.prev = prev.map(|(u, v)| {
+            let e = if u < v { [u, v] } else { [v, u] };
+            ([e[0], e[1]], [g.degree(e[0]) as u32, g.degree(e[1]) as u32])
+        });
+        walk
+    }
+
     /// Current edge (sorted).
     pub fn current(&self) -> (NodeId, NodeId) {
         (self.state[0], self.state[1])
+    }
+
+    /// The previous edge remembered for the non-backtracking rule — the
+    /// only walk state besides [`G2Walk::current`] a checkpoint must
+    /// carry (its cached degrees are re-derivable from the graph).
+    pub fn prev_edge(&self) -> Option<(NodeId, NodeId)> {
+        self.prev.map(|(e, _)| (e[0], e[1]))
     }
 
     /// Degree of the current edge-state in `G(2)`: `d_u + d_v − 2`.

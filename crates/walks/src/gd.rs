@@ -65,6 +65,34 @@ impl<'g, G: GraphAccess> GdWalk<'g, G> {
         }
     }
 
+    /// Rebuilds a walk at a checkpointed position: current state plus the
+    /// previous state the non-backtracking rule remembers. The neighbor
+    /// materialization is rebuilt lazily on the next step (it is a pure
+    /// function of the state), so resuming against the same graph is
+    /// bit-identical to never having stopped.
+    pub fn resume(
+        g: &'g G,
+        current: &[NodeId],
+        prev: Option<&[NodeId]>,
+        non_backtracking: bool,
+    ) -> Self {
+        let mut walk = Self::new(g, current, non_backtracking);
+        if let Some(p) = prev {
+            assert_eq!(p.len(), walk.d, "previous state must have the walk's dimension");
+            walk.prev.extend_from_slice(p);
+            walk.prev.sort_unstable();
+            walk.has_prev = true;
+        }
+        walk
+    }
+
+    /// The previous state remembered for the non-backtracking rule
+    /// (sorted; `None` before the first step) — the only walk state
+    /// besides [`StateWalk::state`] a checkpoint must carry.
+    pub fn prev_state(&self) -> Option<&[NodeId]> {
+        self.has_prev.then_some(self.prev.as_slice())
+    }
+
     /// Enumerates the neighbor set of the current state (idempotent per
     /// state).
     fn refresh_neighbors(&mut self) {

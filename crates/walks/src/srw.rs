@@ -27,9 +27,27 @@ impl<'g, G: GraphAccess> SrwWalk<'g, G> {
         Self { g, state: [start], deg, prev: None, nb: non_backtracking }
     }
 
+    /// Rebuilds a walk at a checkpointed position: current node plus the
+    /// previous node the non-backtracking rule remembers (`None` for a
+    /// plain walk, or before the first step). The degree cache is
+    /// re-fetched from `g`, so resuming against the same graph is
+    /// bit-identical to never having stopped.
+    pub fn resume(g: &'g G, current: NodeId, prev: Option<NodeId>, non_backtracking: bool) -> Self {
+        let deg = g.degree(current);
+        assert!(deg > 0, "walk position {current} is isolated");
+        Self { g, state: [current], deg, prev, nb: non_backtracking }
+    }
+
     /// Current node.
     pub fn current(&self) -> NodeId {
         self.state[0]
+    }
+
+    /// The previous node remembered for the non-backtracking rule
+    /// (`None` for a plain walk, or before the first step) — the only
+    /// walk state besides [`SrwWalk::current`] a checkpoint must carry.
+    pub fn prev_node(&self) -> Option<NodeId> {
+        self.prev
     }
 }
 

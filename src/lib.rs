@@ -57,9 +57,10 @@ pub use gx_datasets as datasets;
 
 pub use gx_core::{
     estimate, estimate_parallel, estimate_until, estimate_until_parallel, estimate_until_with_walk,
-    estimate_with_walk, measure_burn_in, AdaptiveReport, BatchStats, BurnInReport, ConfigError,
-    Estimate, EstimatorConfig, EstimatorPool, GxError, ParallelConfig, Progress, RuleError,
-    RunHandle, Runner, StoppingRule,
+    estimate_with_walk, graph_fingerprint, measure_burn_in, write_atomic, AdaptiveReport,
+    BatchStats, BurnInReport, CheckpointError, ConfigError, Corruption, Estimate, EstimatorConfig,
+    EstimatorPool, FailingWriter, FaultPlan, GxError, ParallelConfig, Progress, RuleError,
+    RunHandle, Runner, StoppingRule, WalkerStatus,
 };
 pub use gx_graph::{Graph, GraphAccess, NodeId};
 pub use gx_graphlets::GraphletId;

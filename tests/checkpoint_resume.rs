@@ -1,0 +1,545 @@
+//! Crash-resilience conformance suite: serializable `RunHandle`
+//! checkpoints, fault-injected resume, and graceful walker degradation.
+//!
+//! The acceptance contract:
+//! * **golden-bit resume** — checkpoint → drop → resume → `finish()` is
+//!   bit-identical to the uninterrupted run, for fixed and adaptive
+//!   budgets, walkers ∈ {1, 2, 8}, and several checkpoint cadences;
+//! * **no panic on rot** — every truncation and every single-bit flip of
+//!   a valid snapshot resumes as a typed [`GxError::Checkpoint`], never
+//!   a panic, never a silently-wrong run;
+//! * **fault tolerance** — a failed checkpoint write (injected at the
+//!   byte level or by plan) leaves the run able to finish bit-identical;
+//! * **graceful degradation** — a poisoned walker is quarantined, its
+//!   completed batches stay pooled, the run completes with
+//!   `degraded == true`;
+//! * **bounded memory** — `StoppingRule::bounded_memory` is bit-identical
+//!   to unbounded below the cap, collapses at the cap, and is a typed
+//!   error with more than one walker.
+
+use graphlet_rw::graph::generators::classic;
+use graphlet_rw::walks::{rng_from_seed, SrwWalk};
+use graphlet_rw::{
+    estimate_until_with_walk, CheckpointError, Corruption, EstimatorConfig, FailingWriter,
+    FaultPlan, GxError, Progress, Runner, StoppingRule, WalkerStatus,
+};
+
+fn rule() -> StoppingRule {
+    StoppingRule {
+        target_rel_ci: 0.12,
+        check_every: 1_000,
+        max_steps: 40_000,
+        batch_len: 128,
+        min_batches: 6,
+        ..Default::default()
+    }
+}
+
+/// Bit-level fingerprint of an estimate's raw scores.
+fn bits(est: &graphlet_rw::Estimate) -> Vec<u64> {
+    est.raw_scores.iter().map(|x| x.to_bits()).collect()
+}
+
+fn assert_estimates_bit_identical(a: &graphlet_rw::Estimate, b: &graphlet_rw::Estimate) {
+    assert_eq!(bits(a), bits(b));
+    assert_eq!(a.steps, b.steps);
+    assert_eq!(a.valid_samples, b.valid_samples);
+    assert_eq!(a.accuracy, b.accuracy);
+    assert_eq!(a.adaptive, b.adaptive);
+}
+
+/// Drives `runner` to completion in `advance`-sized increments with no
+/// interruption — the baseline every resumed run must reproduce.
+fn run_uninterrupted<G: graphlet_rw::GraphAccess>(
+    g: &G,
+    runner: &Runner,
+    advance: usize,
+) -> graphlet_rw::Estimate {
+    let mut handle = runner.start(g).unwrap();
+    while !handle.is_finished() {
+        handle.advance(advance);
+    }
+    handle.finish()
+}
+
+/// Same schedule, interrupted: after `resume_after` increments the run is
+/// checkpointed into memory, the handle dropped (the "crash"), and a
+/// fresh handle resumed from the snapshot finishes the remaining budget.
+fn run_with_crash<G: graphlet_rw::GraphAccess>(
+    g: &G,
+    runner: &Runner,
+    advance: usize,
+    resume_after: usize,
+) -> graphlet_rw::Estimate {
+    let mut handle = runner.start(g).unwrap();
+    for _ in 0..resume_after {
+        if handle.is_finished() {
+            break;
+        }
+        handle.advance(advance);
+    }
+    let mut snap = Vec::new();
+    handle.checkpoint(&mut snap).unwrap();
+    drop(handle);
+    let mut resumed = Runner::resume(g, &mut snap.as_slice()).unwrap();
+    while !resumed.is_finished() {
+        resumed.advance(advance);
+    }
+    resumed.finish()
+}
+
+// --- Golden-bit resume matrix ----------------------------------------------
+
+#[test]
+fn fixed_budget_resume_is_bit_identical() {
+    let g = classic::lollipop(6, 5);
+    let cfg = EstimatorConfig::recommended(4);
+    for walkers in [1usize, 2, 8] {
+        let runner = Runner::new(cfg.clone()).steps(12_000).seed(42).walkers(walkers);
+        // Three cadences × three interruption points each.
+        for advance in [700usize, 1_500, 5_000] {
+            let base = run_uninterrupted(&g, &runner, advance);
+            for resume_after in [0usize, 1, 3] {
+                let crashed = run_with_crash(&g, &runner, advance, resume_after);
+                assert_estimates_bit_identical(&base, &crashed);
+            }
+        }
+        // And the handle runs must match the one-shot entry point.
+        let one_shot = runner.run(&g).unwrap();
+        assert_eq!(bits(&one_shot), bits(&run_uninterrupted(&g, &runner, 700)));
+    }
+}
+
+#[test]
+fn adaptive_resume_is_bit_identical() {
+    let g = classic::lollipop(6, 5);
+    let cfg = EstimatorConfig::recommended(3);
+    for walkers in [1usize, 2, 8] {
+        let runner = Runner::new(cfg.clone()).until(rule()).seed(7).walkers(walkers);
+        // The rule's check cadence is the natural advance size; the
+        // checkpoint cadence (interruption point) is what varies.
+        let advance = rule().check_every;
+        let base = run_uninterrupted(&g, &runner, advance);
+        assert!(base.adaptive.is_some());
+        for resume_after in [0usize, 1, 2, 5] {
+            let crashed = run_with_crash(&g, &runner, advance, resume_after);
+            assert_estimates_bit_identical(&base, &crashed);
+        }
+        // Natural-cadence handle driving matches the one-shot runner.
+        assert_eq!(bits(&runner.run(&g).unwrap()), bits(&base));
+    }
+}
+
+#[test]
+fn resume_survives_repeated_crashes_every_round() {
+    // Checkpoint after *every* advance and restart from each snapshot:
+    // the harshest cadence, fixed and adaptive.
+    let g = classic::petersen();
+    for runner in [
+        Runner::new(EstimatorConfig::recommended(3)).steps(6_000).seed(5),
+        Runner::new(EstimatorConfig::recommended(3)).until(rule()).seed(5),
+    ] {
+        let base = run_uninterrupted(&g, &runner, 1_000);
+        let mut handle = runner.start(&g).unwrap();
+        while !handle.is_finished() {
+            handle.advance(1_000);
+            let mut snap = Vec::new();
+            handle.checkpoint(&mut snap).unwrap();
+            drop(handle);
+            handle = Runner::resume(&g, &mut snap.as_slice()).unwrap();
+        }
+        assert_estimates_bit_identical(&base, &handle.finish());
+    }
+}
+
+#[test]
+fn checkpoint_images_are_deterministic() {
+    let g = classic::petersen();
+    let runner = Runner::new(EstimatorConfig::recommended(3)).steps(5_000).seed(9).walkers(2);
+    let mut handle = runner.start(&g).unwrap();
+    handle.advance(1_000);
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    handle.checkpoint(&mut a).unwrap();
+    handle.checkpoint(&mut b).unwrap();
+    assert_eq!(a, b, "back-to-back snapshots of an idle handle must be byte-identical");
+}
+
+// --- advance(0) is a documented no-op --------------------------------------
+
+#[test]
+fn advance_zero_is_a_noop_returning_current_progress() {
+    fn assert_progress_eq(a: &Progress, b: &Progress) {
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.batches, b.batches);
+        assert_eq!(a.width.to_bits(), b.width.to_bits());
+        assert_eq!(a.converged, b.converged);
+        assert_eq!(a.finished, b.finished);
+    }
+
+    let g = classic::lollipop(6, 5);
+    let runner = Runner::new(EstimatorConfig::recommended(3)).until(rule()).seed(3).walkers(2);
+    let base = run_uninterrupted(&g, &runner, 1_000);
+
+    let mut handle = runner.start(&g).unwrap();
+    let before = handle.progress();
+    assert_progress_eq(&before, &handle.advance(0));
+    while !handle.is_finished() {
+        handle.advance(1_000);
+        // Poll with both advance flavors mid-run: pure observation.
+        let snap = handle.progress();
+        assert_progress_eq(&snap, &handle.advance(0));
+        assert_progress_eq(&snap, &handle.advance_par(0));
+    }
+    assert_estimates_bit_identical(&base, &handle.finish());
+}
+
+// --- Corruption: typed errors, never panics --------------------------------
+
+/// A small valid snapshot to corrupt: adaptive, mid-run.
+fn sample_snapshot(g: &graphlet_rw::Graph) -> Vec<u8> {
+    let runner = Runner::new(EstimatorConfig::recommended(3)).until(rule()).seed(11);
+    let mut handle = runner.start(g).unwrap();
+    handle.advance(2_000);
+    let mut snap = Vec::new();
+    handle.checkpoint(&mut snap).unwrap();
+    snap
+}
+
+#[test]
+fn every_truncation_is_a_typed_checkpoint_error() {
+    let g = classic::petersen();
+    let snap = sample_snapshot(&g);
+    for len in 0..snap.len() {
+        let cut = Corruption::Truncate { len }.apply(&snap);
+        match Runner::resume(&g, &mut cut.as_slice()) {
+            Err(GxError::Checkpoint(_)) => {}
+            Err(e) => panic!("truncation at {len}: unexpected error {e:?}"),
+            Ok(_) => panic!("truncation at {len} resumed successfully"),
+        }
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_a_typed_checkpoint_error() {
+    // Exhaustive over the whole image: the envelope checksum (FNV-1a's
+    // per-byte bijection) catches every payload flip; header flips fall
+    // out as BadMagic / UnsupportedVersion / Truncated / mismatch.
+    let g = classic::petersen();
+    let snap = sample_snapshot(&g);
+    for bit in 0..snap.len() * 8 {
+        let bad = Corruption::FlipBit { bit }.apply(&snap);
+        match Runner::resume(&g, &mut bad.as_slice()) {
+            Err(GxError::Checkpoint(_)) => {}
+            Err(e) => panic!("flip at bit {bit}: unexpected error {e:?}"),
+            Ok(_) => panic!("flip at bit {bit} resumed successfully"),
+        }
+    }
+}
+
+mod corruption_properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Random double-corruptions (truncate then flip inside the
+        /// remainder) still come back typed — the property form of the
+        /// exhaustive single-fault sweeps above.
+        #[test]
+        fn compound_corruptions_never_panic(cut in 1usize..10_000, bit in 0usize..80_000) {
+            let g = classic::petersen();
+            let snap = sample_snapshot(&g);
+            let cut = cut % snap.len();
+            let damaged = Corruption::Truncate { len: cut }.apply(&snap);
+            let damaged = if damaged.is_empty() {
+                damaged
+            } else {
+                Corruption::FlipBit { bit: bit % (damaged.len() * 8) }.apply(&damaged)
+            };
+            match Runner::resume(&g, &mut damaged.as_slice()) {
+                Err(GxError::Checkpoint(_)) => {}
+                Err(e) => panic!("unexpected error {e:?}"),
+                Ok(_) => panic!("corrupted snapshot resumed successfully"),
+            }
+        }
+    }
+}
+
+#[test]
+fn resume_refuses_a_different_graph() {
+    let g = classic::petersen();
+    let snap = sample_snapshot(&g);
+    let other = classic::lollipop(6, 5);
+    match Runner::resume(&other, &mut snap.as_slice()) {
+        Err(GxError::Checkpoint(CheckpointError::GraphMismatch { expected, found })) => {
+            assert_ne!(expected, found);
+            assert_eq!(expected, graphlet_rw::graph_fingerprint(&g));
+            assert_eq!(found, graphlet_rw::graph_fingerprint(&other));
+        }
+        other => panic!("expected GraphMismatch, got {other:?}"),
+    }
+    // Same structure, different Graph value: fingerprints agree, resume
+    // works — the guard is structural, not pointer identity.
+    let twin = classic::petersen();
+    assert!(Runner::resume(&twin, &mut snap.as_slice()).is_ok());
+}
+
+// --- Checkpoint-write faults leave the run unharmed ------------------------
+
+#[test]
+fn failing_writer_yields_io_error_and_run_finishes_bit_identical() {
+    let g = classic::lollipop(6, 5);
+    let runner = Runner::new(EstimatorConfig::recommended(3)).until(rule()).seed(21).walkers(2);
+    let base = run_uninterrupted(&g, &runner, 1_000);
+
+    let mut handle = runner.start(&g).unwrap();
+    handle.advance(1_000);
+    // Every byte budget from zero up to (almost) the full image fails.
+    let full = {
+        let mut buf = Vec::new();
+        handle.checkpoint(&mut buf).unwrap();
+        buf.len()
+    };
+    for budget in [0usize, 1, 4, full / 2, full - 1] {
+        let mut w = FailingWriter::new(Vec::new(), budget);
+        match handle.checkpoint(&mut w) {
+            Err(GxError::Io(_)) => {}
+            other => panic!("budget {budget}: expected Io error, got {other:?}"),
+        }
+    }
+    // The failed writes must not have perturbed the run.
+    while !handle.is_finished() {
+        handle.advance(1_000);
+    }
+    assert_estimates_bit_identical(&base, &handle.finish());
+}
+
+#[test]
+fn fault_plan_fails_checkpoints_after_the_budget() {
+    let g = classic::petersen();
+    let plan = FaultPlan { fail_write_after: Some(1), poison: Vec::new() };
+    let runner =
+        Runner::new(EstimatorConfig::recommended(3)).steps(4_000).seed(2).faults(plan.clone());
+    let base = Runner::new(EstimatorConfig::recommended(3)).steps(4_000).seed(2).run(&g).unwrap();
+
+    let mut handle = runner.start(&g).unwrap();
+    handle.advance(2_000);
+    let mut first = Vec::new();
+    handle.checkpoint(&mut first).unwrap();
+    let mut second = Vec::new();
+    match handle.checkpoint(&mut second) {
+        Err(GxError::Io(_)) => {}
+        other => panic!("expected injected Io error, got {other:?}"),
+    }
+    assert!(second.is_empty(), "injected failure must fire before a byte is written");
+    // The successful snapshot resumes fine; the failed one changed nothing.
+    while !handle.is_finished() {
+        handle.advance(2_000);
+    }
+    assert_estimates_bit_identical(&base, &handle.finish());
+    let mut resumed = Runner::resume(&g, &mut first.as_slice()).unwrap();
+    while !resumed.is_finished() {
+        resumed.advance(2_000);
+    }
+    assert_estimates_bit_identical(&base, &resumed.finish());
+}
+
+#[test]
+fn checkpoint_files_are_atomic_and_resumable() {
+    let dir = std::env::temp_dir().join(format!("gxcp_resume_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.gxcp");
+
+    let g = classic::lollipop(6, 5);
+    let runner = Runner::new(EstimatorConfig::recommended(4)).steps(10_000).seed(13).walkers(2);
+    let base = run_uninterrupted(&g, &runner, 2_500);
+
+    let mut handle = runner.start(&g).unwrap();
+    handle.advance(2_500);
+    handle.checkpoint_to_file(&path).unwrap();
+    handle.advance(2_500);
+    handle.checkpoint_to_file(&path).unwrap(); // overwrite, atomically
+    assert!(!dir.join("run.gxcp.tmp").exists());
+    drop(handle);
+
+    let mut resumed = Runner::resume_from_file(&g, &path).unwrap();
+    while !resumed.is_finished() {
+        resumed.advance(2_500);
+    }
+    assert_estimates_bit_identical(&base, &resumed.finish());
+
+    // Missing file: typed I/O error, not a panic.
+    assert!(matches!(
+        Runner::resume_from_file::<_, _>(&g, dir.join("missing.gxcp")),
+        Err(GxError::Io(std::io::ErrorKind::NotFound))
+    ));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// --- Graceful degradation ---------------------------------------------------
+
+#[test]
+fn poisoned_walker_is_quarantined_and_run_completes_degraded() {
+    let g = classic::lollipop(6, 5);
+    let plan = FaultPlan { fail_write_after: None, poison: vec![(1, 2)] };
+    let runner = Runner::new(EstimatorConfig::recommended(3))
+        .until(StoppingRule {
+            target_rel_ci: 1e-9, // unreachable: runs to the cap
+            check_every: 1_000,
+            max_steps: 12_000,
+            batch_len: 128,
+            min_batches: 6,
+            ..Default::default()
+        })
+        .seed(17)
+        .walkers(4)
+        .faults(plan);
+
+    let mut handle = runner.start(&g).unwrap();
+    let mut rounds = 0usize;
+    while !handle.is_finished() {
+        handle.advance(1_000);
+        rounds += 1;
+        assert!(rounds < 100, "degraded run must terminate");
+    }
+    assert!(handle.degraded());
+    assert_eq!(handle.walker_status()[1], WalkerStatus::Quarantined { round: 2 });
+    assert_eq!(handle.walker_status()[0], WalkerStatus::Healthy);
+
+    let est = handle.finish();
+    let report = est.adaptive.expect("adaptive run carries a report");
+    assert!(report.degraded, "poisoned walker must mark the report degraded");
+    assert_eq!(report.walker_status.len(), 4);
+    assert_eq!(report.walker_status[1], WalkerStatus::Quarantined { round: 2 });
+    // Walker 1 contributed exactly one round before quarantine; its
+    // batches stay pooled and the healthy walkers ran out their shares.
+    assert_eq!(est.steps, 3 * 3_000 + 1_000);
+    assert!(est.accuracy.unwrap().batches() > 0);
+}
+
+#[test]
+fn degradation_is_identical_across_advance_flavors_and_survives_resume() {
+    let g = classic::petersen();
+    let plan = FaultPlan::from_seed(99, 3, 3);
+    let mk = || {
+        Runner::new(EstimatorConfig::recommended(3))
+            .steps(9_000)
+            .seed(23)
+            .walkers(3)
+            .faults(plan.clone())
+    };
+
+    let seq = {
+        let mut h = mk().start(&g).unwrap();
+        while !h.is_finished() {
+            h.advance(1_000);
+        }
+        h.finish()
+    };
+    let par = {
+        let mut h = mk().start(&g).unwrap();
+        while !h.is_finished() {
+            h.advance_par(1_000);
+        }
+        h.finish()
+    };
+    assert_estimates_bit_identical(&seq, &par);
+
+    // Quarantine state round-trips through a checkpoint.
+    let mut h = mk().start(&g).unwrap();
+    h.advance(1_000);
+    h.advance(1_000);
+    h.advance(1_000);
+    let status_before = h.walker_status().to_vec();
+    assert!(h.degraded(), "seeded plan poisons within three rounds");
+    let mut snap = Vec::new();
+    h.checkpoint(&mut snap).unwrap();
+    drop(h);
+    let mut resumed = Runner::resume(&g, &mut snap.as_slice()).unwrap();
+    assert_eq!(resumed.walker_status(), &status_before[..]);
+    while !resumed.is_finished() {
+        resumed.advance(1_000);
+    }
+    assert_estimates_bit_identical(&seq, &resumed.finish());
+}
+
+// --- Bounded-memory batch-mean series --------------------------------------
+
+#[test]
+fn bounded_memory_below_the_cap_is_bit_identical_to_unbounded() {
+    let g = classic::lollipop(6, 5);
+    let cfg = EstimatorConfig::recommended(3);
+    let unbounded = Runner::new(cfg.clone()).until(rule()).seed(31).run(&g).unwrap();
+    // A cap the run never reaches: identical to the letter.
+    let capped_rule = rule().bounded_memory(4_096);
+    let capped = Runner::new(cfg).until(capped_rule).seed(31).run(&g).unwrap();
+    assert_estimates_bit_identical(&unbounded, &capped);
+}
+
+#[test]
+fn bounded_memory_collapses_at_the_cap() {
+    let g = classic::petersen();
+    let cfg = EstimatorConfig::recommended(3);
+    let r = StoppingRule {
+        target_rel_ci: 1e-9, // run to the cap
+        check_every: 2_000,
+        max_steps: 16_000,
+        batch_len: 64,
+        min_batches: 6,
+        ..Default::default()
+    };
+    let capped = Runner::new(cfg.clone()).until(r.clone().bounded_memory(8)).seed(3).run(&g);
+    let capped = capped.unwrap();
+    let stats = capped.accuracy.as_ref().unwrap();
+    // 16_000 / 64 = 250 base batches; the cap keeps at most 8 stored.
+    assert!(stats.batches() <= 8, "series must stay under the cap, got {}", stats.batches());
+    assert!(
+        stats.batch_len() > 64 && stats.batch_len().is_multiple_of(64),
+        "R-batching doubles batch_len"
+    );
+    // Mass is conserved: raw scores are untouched by collapsing.
+    let unbounded = Runner::new(cfg).until(r).seed(3).run(&g).unwrap();
+    assert_eq!(bits(&capped), bits(&unbounded));
+    assert_eq!(capped.steps, unbounded.steps);
+
+    // A bounded-memory run checkpoints and resumes bit-identically too.
+    let runner =
+        Runner::new(EstimatorConfig::recommended(3)).until(rule().bounded_memory(8)).seed(3);
+    let base = run_uninterrupted(&g, &runner, 1_000);
+    let crashed = run_with_crash(&g, &runner, 1_000, 2);
+    assert_estimates_bit_identical(&base, &crashed);
+}
+
+#[test]
+fn bounded_memory_rejects_multi_walker_fanout() {
+    let g = classic::petersen();
+    let runner =
+        Runner::new(EstimatorConfig::recommended(3)).until(rule().bounded_memory(8)).walkers(2);
+    assert_eq!(runner.run(&g).unwrap_err(), GxError::BoundedMemoryParallel { walkers: 2 });
+    assert_eq!(runner.start(&g).unwrap_err(), GxError::BoundedMemoryParallel { walkers: 2 });
+    // And the rule itself validates its domain.
+    assert!(StoppingRule { max_series_batches: 3, ..rule() }.try_validate().is_err());
+    assert!(StoppingRule { max_series_batches: 6, ..rule() }.try_validate().is_ok());
+}
+
+#[test]
+fn bounded_memory_works_with_custom_walks() {
+    let g = classic::petersen();
+    let cfg = EstimatorConfig { k: 3, d: 1, ..Default::default() };
+    let r = StoppingRule {
+        target_rel_ci: 1e-9,
+        check_every: 1_000,
+        max_steps: 8_000,
+        batch_len: 64,
+        min_batches: 6,
+        ..Default::default()
+    };
+    let walk = || SrwWalk::new(&g, 0, false);
+    let unbounded = estimate_until_with_walk(&g, &cfg, walk(), &r, rng_from_seed(5));
+    let capped =
+        estimate_until_with_walk(&g, &cfg, walk(), &r.clone().bounded_memory(8), rng_from_seed(5));
+    assert_eq!(bits(&unbounded), bits(&capped));
+    assert!(capped.accuracy.as_ref().unwrap().batches() <= 8);
+}
