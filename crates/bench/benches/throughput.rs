@@ -85,6 +85,12 @@ fn main() {
     json.insert("edges".into(), serde_json::json!(g.num_edges()));
     json.insert("steps".into(), serde_json::json!(steps));
     json.insert("walkers".into(), serde_json::json!(walkers));
+    // Bench honesty: the speedup numbers below mean nothing without the
+    // hardware context they ran on.
+    json.insert(
+        "available_parallelism".into(),
+        serde_json::json!(gx_core::parallel::available_cores()),
+    );
     json.insert("trials".into(), serde_json::json!(trials()));
 
     // Raw walk stepping (no estimator), the paper's per-step cost unit.
@@ -313,6 +319,68 @@ fn main() {
         row.insert("file_roundtrip_secs".into(), serde_json::json!(file_secs));
         row.insert("resume_secs".into(), serde_json::json!(resume_secs));
         json.insert("srw2css_checkpoint".into(), serde_json::Value::Object(row));
+    }
+
+    // Multi-job serving throughput: eight equal jobs (the bench budget
+    // split evenly) multiplexed onto the service's worker pool. Tracks
+    // jobs/sec, the p50/p95 job-latency spread, and the fairness ratio
+    // (slowest job latency / fastest) — for identical jobs under
+    // deficit-round-robin the ratio should stay near 1, and a regression
+    // toward run-to-completion scheduling shows up here immediately.
+    {
+        use gx_service::{EstimationService, JobSpec, ServiceConfig};
+        let service_workers = walkers.max(1);
+        let service = EstimationService::start(ServiceConfig {
+            workers: service_workers,
+            ..ServiceConfig::default()
+        });
+        let shared = std::sync::Arc::new(g.clone());
+        let n_jobs = 8usize;
+        let job_steps = (steps / n_jobs).max(1_000);
+        let t0 = std::time::Instant::now();
+        let mut pending: Vec<(usize, gx_service::JobHandle)> = (0..n_jobs)
+            .map(|i| {
+                let spec = JobSpec::new(shared.clone(), cfg.clone())
+                    .steps(job_steps)
+                    .round_windows((job_steps / 8).max(1))
+                    .seed(42 + i as u64);
+                (i, service.submit(spec).expect("bench jobs fit under admission"))
+            })
+            .collect();
+        let mut latencies = vec![0.0f64; n_jobs];
+        while !pending.is_empty() {
+            pending.retain(|(i, handle)| match handle.try_result() {
+                Some(result) => {
+                    result.outcome.expect("fault-free bench job");
+                    latencies[*i] = t0.elapsed().as_secs_f64();
+                    false
+                }
+                None => true,
+            });
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        let total_secs = t0.elapsed().as_secs_f64();
+        service.shutdown();
+
+        let mut sorted = latencies.clone();
+        sorted.sort_by(f64::total_cmp);
+        let p50 = sorted[n_jobs / 2];
+        let p95 = sorted[((n_jobs as f64 * 0.95) as usize).min(n_jobs - 1)];
+        let fairness = sorted[n_jobs - 1] / sorted[0].max(1e-9);
+        let jobs_per_sec = n_jobs as f64 / total_secs;
+        println!(
+            "SRW2CSS service x{service_workers:<3}   {jobs_per_sec:>10.2} jobs/s   p50 {:.3} s  p95 {:.3} s  fairness {fairness:.2}",
+            p50, p95
+        );
+        let mut row = serde_json::Map::new();
+        row.insert("workers".into(), serde_json::json!(service_workers));
+        row.insert("jobs".into(), serde_json::json!(n_jobs));
+        row.insert("job_steps".into(), serde_json::json!(job_steps));
+        row.insert("jobs_per_sec".into(), serde_json::json!(jobs_per_sec));
+        row.insert("p50_latency_secs".into(), serde_json::json!(p50));
+        row.insert("p95_latency_secs".into(), serde_json::json!(p95));
+        row.insert("fairness_ratio".into(), serde_json::json!(fairness));
+        json.insert("srw2css_service".into(), serde_json::Value::Object(row));
     }
 
     // Persist at the repo root so the perf trajectory is tracked in-tree.

@@ -174,6 +174,59 @@ impl fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
+/// Why the estimation *service* terminated (or refused) a job.
+///
+/// These are the typed terminal outcomes of the multi-job serving layer
+/// (`gx-service`): every job submitted to a service ends in exactly one
+/// of `Ok(Estimate)` or one of these — never a hang, never an untyped
+/// panic escaping the worker pool. The variants that end a job in
+/// flight ([`ServiceError::DeadlineExceeded`],
+/// [`ServiceError::Cancelled`]) travel with a best-effort partial
+/// estimate at the service layer; the error itself stays `Copy` so
+/// [`GxError`] remains cheap to pass around and compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Admission control shed the job: the service's bounded queue was
+    /// full at submit time. Queuing it anyway would trade an honest
+    /// rejection now for unbounded latency later.
+    Rejected {
+        /// The service's estimate of when capacity frees up — resubmit
+        /// after roughly this long. A hint, not a reservation.
+        retry_after_hint: std::time::Duration,
+    },
+    /// The job's deadline passed before its budget (or stopping rule)
+    /// completed. The partial estimate accumulated so far is attached
+    /// at the service layer.
+    DeadlineExceeded,
+    /// The submitter cancelled the job. Cooperative: the worker observes
+    /// the flag between scheduler rounds, so cancellation is prompt but
+    /// never tears a round. The partial estimate is attached at the
+    /// service layer.
+    Cancelled,
+    /// The service shut down before the job completed. Waiters are
+    /// released with this instead of hanging on a dead pool.
+    Shutdown,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Self::Rejected { retry_after_hint } => write!(
+                f,
+                "job rejected: admission queue full (retry after ~{} ms)",
+                retry_after_hint.as_millis()
+            ),
+            Self::DeadlineExceeded => {
+                write!(f, "job deadline exceeded before the estimate completed")
+            }
+            Self::Cancelled => write!(f, "job cancelled by its submitter"),
+            Self::Shutdown => write!(f, "service shut down before the job completed"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
 /// Everything a [`crate::runner::Runner`] run can reject up front.
 ///
 /// Runner paths are panic-free on bad input: every invalid configuration,
@@ -215,6 +268,9 @@ pub enum GxError {
     /// A checkpoint payload was refused (truncated, corrupted, wrong
     /// version, or taken against a different graph).
     Checkpoint(CheckpointError),
+    /// The estimation service refused or terminated the job (shed load,
+    /// deadline passed, cancelled, or shut down).
+    Service(ServiceError),
     /// An I/O error while writing or reading a checkpoint. Only the
     /// [`std::io::ErrorKind`] is kept so the error stays `Copy` and
     /// comparable; the OS-level message is reported at the call site.
@@ -244,6 +300,7 @@ impl fmt::Display for GxError {
                  (requested {walkers}): pair-collapses would desynchronize pooled batch lengths"
             ),
             Self::Checkpoint(e) => write!(f, "checkpoint refused: {e}"),
+            Self::Service(e) => write!(f, "estimation service: {e}"),
             Self::Io(kind) => write!(f, "checkpoint I/O error: {kind}"),
         }
     }
@@ -255,6 +312,7 @@ impl std::error::Error for GxError {
             Self::Config(e) => Some(e),
             Self::Rule(e) => Some(e),
             Self::Checkpoint(e) => Some(e),
+            Self::Service(e) => Some(e),
             _ => None,
         }
     }
@@ -275,6 +333,12 @@ impl From<RuleError> for GxError {
 impl From<CheckpointError> for GxError {
     fn from(e: CheckpointError) -> Self {
         Self::Checkpoint(e)
+    }
+}
+
+impl From<ServiceError> for GxError {
+    fn from(e: ServiceError) -> Self {
+        Self::Service(e)
     }
 }
 
@@ -322,6 +386,38 @@ mod tests {
         assert!(GxError::NoBudget.source().is_none());
         let e = GxError::from(CheckpointError::ChecksumMismatch);
         assert!(e.source().unwrap().to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn service_errors_display_every_variant() {
+        use std::time::Duration;
+        // Exhaustive: one substring assertion per variant, so a renamed
+        // or reworded terminal outcome fails here before it confuses a
+        // service client matching on messages.
+        let rejected = ServiceError::Rejected { retry_after_hint: Duration::from_millis(250) };
+        assert!(rejected.to_string().contains("admission queue full"));
+        assert!(rejected.to_string().contains("250 ms"));
+        assert!(ServiceError::DeadlineExceeded.to_string().contains("deadline exceeded"));
+        assert!(ServiceError::Cancelled.to_string().contains("cancelled by its submitter"));
+        assert!(ServiceError::Shutdown.to_string().contains("shut down before"));
+    }
+
+    #[test]
+    fn service_errors_wire_into_gx_error() {
+        use std::error::Error;
+        // From + Display prefix + source chaining, matching the
+        // ConfigError/RuleError/CheckpointError pattern exactly.
+        let e = GxError::from(ServiceError::Cancelled);
+        assert_eq!(e, GxError::Service(ServiceError::Cancelled));
+        assert!(e.to_string().contains("estimation service:"));
+        assert!(e.source().unwrap().to_string().contains("cancelled"));
+        let hint = std::time::Duration::from_millis(5);
+        let e = GxError::from(ServiceError::Rejected { retry_after_hint: hint });
+        assert!(e.to_string().contains("retry after"));
+        assert_eq!(
+            e.source().unwrap().to_string(),
+            ServiceError::Rejected { retry_after_hint: hint }.to_string()
+        );
     }
 
     #[test]

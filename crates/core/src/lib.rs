@@ -47,7 +47,7 @@ pub use accuracy::{
 pub use checkpoint::{graph_fingerprint, write_atomic};
 pub use config::EstimatorConfig;
 pub use counts::relationship_edge_count;
-pub use error::{CheckpointError, ConfigError, GxError, RuleError};
+pub use error::{CheckpointError, ConfigError, GxError, RuleError, ServiceError};
 pub use estimator::{
     estimate, estimate_until, estimate_until_with_walk, estimate_with_walk, measure_burn_in,
 };

@@ -489,7 +489,34 @@ impl Runner {
     ) -> Result<RunHandle<'g, G>, GxError> {
         let payload = read_envelope(r)?;
         let mut rd = Reader::new(&payload);
-        let handle = RunHandle::decode_from(&mut rd, g)?;
+        let handle = RunHandle::decode_from(&mut rd, g, None)?;
+        rd.finish()?;
+        Ok(handle)
+    }
+
+    /// [`Runner::resume`] with a caller-supplied fingerprint of `g`,
+    /// skipping the O(edges) [`graph_fingerprint`] rescan — the
+    /// re-adoption path for serving layers that hold many jobs against
+    /// one cached snapshot and re-resume them every scheduler round.
+    ///
+    /// `fingerprint` **must** be the value `graph_fingerprint(g)` would
+    /// return (computed once when the snapshot was cached); passing a
+    /// stale or foreign fingerprint forfeits the wrong-graph protection
+    /// [`CheckpointError::GraphMismatch`] exists to provide. Debug
+    /// builds verify the claim against the graph.
+    pub fn resume_trusted<'g, G: GraphAccess, R: Read>(
+        g: &'g G,
+        fingerprint: u64,
+        r: &mut R,
+    ) -> Result<RunHandle<'g, G>, GxError> {
+        debug_assert_eq!(
+            fingerprint,
+            graph_fingerprint(g),
+            "resume_trusted fingerprint must match the offered graph"
+        );
+        let payload = read_envelope(r)?;
+        let mut rd = Reader::new(&payload);
+        let handle = RunHandle::decode_from(&mut rd, g, Some(fingerprint))?;
         rd.finish()?;
         Ok(handle)
     }
@@ -855,6 +882,33 @@ impl<'g, G: GraphAccess> RunHandle<'g, G> {
         self.progress = Some(Rc::new(f));
     }
 
+    /// (Re-)attaches a [`FaultPlan`] — the fault-injection half of
+    /// re-adoption. Plans never travel in snapshots (a resumed run
+    /// starts fault-free), so a robustness harness that resumes a job
+    /// re-arms its remaining faults here. Entries for already-quarantined
+    /// walkers are ignored, making it safe to re-attach a plan whose
+    /// earlier poisonings the snapshot already absorbed.
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.plan = plan;
+    }
+
+    /// Pre-seeds the handle's cached [`graph_fingerprint`] so the first
+    /// [`RunHandle::checkpoint`] skips the O(edges) scan — the fresh-start
+    /// counterpart of [`Runner::resume_trusted`] for serving layers that
+    /// fingerprint each snapshot once at cache-intern time.
+    ///
+    /// `fingerprint` **must** be `graph_fingerprint` of this handle's
+    /// graph; a wrong value would stamp every checkpoint with a foreign
+    /// identity and poison later resumes. Debug builds verify the claim.
+    pub fn adopt_fingerprint(&mut self, fingerprint: u64) {
+        debug_assert_eq!(
+            fingerprint,
+            graph_fingerprint(self.g),
+            "adopted fingerprint must match the handle's graph"
+        );
+        self.fingerprint = Some(fingerprint);
+    }
+
     /// The current progress snapshot (also what [`RunHandle::advance`]
     /// returns).
     pub fn progress(&self) -> Progress {
@@ -1065,9 +1119,11 @@ impl<'g, G: GraphAccess> RunHandle<'g, G> {
     /// against its domain, the graph, and the other fields — a
     /// checksum-valid but internally inconsistent payload is a typed
     /// [`CheckpointError`], never a panic.
-    fn decode_from(r: &mut Reader<'_>, g: &'g G) -> Result<Self, GxError> {
+    fn decode_from(r: &mut Reader<'_>, g: &'g G, trusted: Option<u64>) -> Result<Self, GxError> {
         let expected = r.u64("handle.fingerprint")?;
-        let found = graph_fingerprint(g);
+        // A trusted fingerprint (see `Runner::resume_trusted`) replaces
+        // the O(edges) rescan with the caller's cached value.
+        let found = trusted.unwrap_or_else(|| graph_fingerprint(g));
         if expected != found {
             return Err(CheckpointError::GraphMismatch { expected, found }.into());
         }

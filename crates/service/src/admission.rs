@@ -1,0 +1,126 @@
+//! Admission control: a bounded job queue that sheds load as a typed
+//! rejection instead of queuing unboundedly.
+//!
+//! The serving failure mode this prevents: a burst of submissions piles
+//! onto a fixed worker pool, every job's latency grows without bound,
+//! and by the time early jobs finish the late ones have blown their
+//! deadlines anyway. Shedding at admission keeps the jobs that *are*
+//! accepted schedulable, and the rejection carries an honest
+//! `retry_after_hint` derived from the observed lease rate so clients
+//! can back off intelligently rather than hammering.
+
+use std::time::Duration;
+
+/// The pure admission decision: compare incomplete jobs against the
+/// configured bound.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Admission {
+    /// Maximum incomplete (queued + in-flight) jobs the service holds.
+    pub max_pending: usize,
+}
+
+impl Admission {
+    /// Whether a new job fits under the bound right now.
+    pub(crate) fn admits(&self, incomplete: usize) -> bool {
+        incomplete < self.max_pending
+    }
+
+    /// How long a rejected client should wait before retrying: the time
+    /// until the backlog drains one slot, estimated from the observed
+    /// per-lease wall time. `incomplete / workers` leases must complete
+    /// before the queue head moves, but one slot frees as soon as any
+    /// job finishes, so the hint is one average *job's* remaining
+    /// share — approximated as one full queue drain divided by the
+    /// backlog, i.e. one lease round per worker. Clamped to
+    /// `[1ms, 10s]` so a cold clock (no lease observed yet) still
+    /// yields a usable hint.
+    pub(crate) fn retry_after_hint(
+        &self,
+        incomplete: usize,
+        workers: usize,
+        clock: &LeaseClock,
+    ) -> Duration {
+        let per_lease = clock.average().unwrap_or(Duration::from_millis(5));
+        let rounds_ahead = incomplete.div_ceil(workers.max(1)) as u32;
+        let hint = per_lease.saturating_mul(rounds_ahead.max(1));
+        hint.clamp(Duration::from_millis(1), Duration::from_secs(10))
+    }
+}
+
+/// Exponential moving average of lease wall time — the service's one
+/// piece of load telemetry, feeding the rejection hint and the service
+/// stats.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct LeaseClock {
+    ema_secs: f64,
+    observed: u64,
+}
+
+impl LeaseClock {
+    /// Smoothing factor: ~20-lease memory, enough to ride out one slow
+    /// lease without forgetting the steady state.
+    const ALPHA: f64 = 0.1;
+
+    /// Folds one completed lease's wall time into the average.
+    pub(crate) fn observe(&mut self, elapsed: Duration) {
+        let secs = elapsed.as_secs_f64();
+        self.ema_secs = if self.observed == 0 {
+            secs
+        } else {
+            Self::ALPHA * secs + (1.0 - Self::ALPHA) * self.ema_secs
+        };
+        self.observed += 1;
+    }
+
+    /// The smoothed per-lease wall time (`None` before any lease).
+    pub(crate) fn average(&self) -> Option<Duration> {
+        (self.observed > 0).then(|| Duration::from_secs_f64(self.ema_secs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_up_to_the_bound_exclusive() {
+        let a = Admission { max_pending: 3 };
+        assert!(a.admits(0));
+        assert!(a.admits(2));
+        assert!(!a.admits(3));
+        assert!(!a.admits(100));
+    }
+
+    #[test]
+    fn hint_is_clamped_and_positive_even_cold() {
+        let a = Admission { max_pending: 8 };
+        let cold = LeaseClock::default();
+        let hint = a.retry_after_hint(8, 2, &cold);
+        assert!(hint >= Duration::from_millis(1));
+        assert!(hint <= Duration::from_secs(10));
+    }
+
+    #[test]
+    fn hint_scales_with_backlog_and_observed_lease_time() {
+        let a = Admission { max_pending: 64 };
+        let mut clock = LeaseClock::default();
+        clock.observe(Duration::from_millis(10));
+        let shallow = a.retry_after_hint(2, 2, &clock);
+        let deep = a.retry_after_hint(40, 2, &clock);
+        assert!(deep > shallow, "deeper backlog must hint a longer wait");
+        assert!(deep <= Duration::from_secs(10));
+    }
+
+    #[test]
+    fn lease_clock_ema_tracks_and_smooths() {
+        let mut clock = LeaseClock::default();
+        assert_eq!(clock.average(), None);
+        clock.observe(Duration::from_millis(100));
+        assert_eq!(clock.average(), Some(Duration::from_millis(100)));
+        // One outlier moves the average by at most ALPHA of the gap.
+        clock.observe(Duration::from_millis(1100));
+        let avg = clock.average().unwrap();
+        assert!(avg > Duration::from_millis(100));
+        assert!(avg < Duration::from_millis(300));
+    }
+}

@@ -1,0 +1,159 @@
+//! The shared-snapshot cache: one loaded CSR per distinct graph, keyed
+//! by the checkpoint subsystem's [`graph_fingerprint`].
+//!
+//! N concurrent jobs over the same snapshot must share one in-memory
+//! CSR — both for memory (the snapshot dominates a job's footprint) and
+//! so the trusted-fingerprint resume path
+//! ([`gx_core::Runner::resume_trusted`]) can skip the O(edges)
+//! fingerprint rescan on every scheduler lease. [`SnapshotCache::intern`]
+//! canonicalizes a submitted `Arc<Graph>`: content-identical graphs
+//! (same fingerprint) collapse onto the first `Arc` seen, and
+//! re-submitting a previously-interned `Arc` is a pointer-equality hit
+//! that skips the fingerprint scan entirely.
+
+use gx_core::graph_fingerprint;
+use gx_graph::Graph;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Fingerprint-keyed cache of loaded graph snapshots.
+///
+/// Entries live until [`SnapshotCache::evict_unused`] removes the ones
+/// no job references anymore; the cache is bounded by the number of
+/// *distinct* graphs submitted, which a serving deployment controls.
+#[derive(Debug, Default)]
+pub struct SnapshotCache {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Canonical snapshot per fingerprint.
+    by_fp: HashMap<u64, Arc<Graph>>,
+    /// Data-pointer → fingerprint, for canonical `Arc`s only. Keys are
+    /// only ever pointers of `Arc`s held alive in `by_fp`, so a key can
+    /// never dangle onto a recycled allocation.
+    by_ptr: HashMap<usize, u64>,
+}
+
+impl SnapshotCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Canonicalizes `g`: returns the shared snapshot for its content
+    /// and the content's fingerprint. The first submission of a graph
+    /// pays one O(edges) fingerprint scan; re-submitting the *returned*
+    /// (canonical) `Arc` afterwards is a pointer lookup.
+    pub fn intern(&self, g: Arc<Graph>) -> (Arc<Graph>, u64) {
+        let mut inner = self.inner.lock().expect("snapshot cache poisoned");
+        let ptr = Arc::as_ptr(&g) as usize;
+        if let Some(&fp) = inner.by_ptr.get(&ptr) {
+            let canonical = inner.by_fp[&fp].clone();
+            return (canonical, fp);
+        }
+        let fp = graph_fingerprint(&*g);
+        let canonical = match inner.by_fp.get(&fp) {
+            Some(existing) => existing.clone(),
+            None => {
+                inner.by_fp.insert(fp, g.clone());
+                inner.by_ptr.insert(ptr, fp);
+                g
+            }
+        };
+        (canonical, fp)
+    }
+
+    /// Distinct snapshots currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("snapshot cache poisoned").by_fp.len()
+    }
+
+    /// Whether the cache holds no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every snapshot no longer referenced outside the cache,
+    /// returning how many were evicted. Call between bursts; jobs keep
+    /// their own `Arc` clones, so an in-flight job's snapshot is never
+    /// evicted from under it.
+    pub fn evict_unused(&self) -> usize {
+        let mut inner = self.inner.lock().expect("snapshot cache poisoned");
+        let dead: Vec<u64> = inner
+            .by_fp
+            .iter()
+            .filter(|(_, g)| Arc::strong_count(g) == 1)
+            .map(|(&fp, _)| fp)
+            .collect();
+        for fp in &dead {
+            if let Some(g) = inner.by_fp.remove(fp) {
+                inner.by_ptr.remove(&(Arc::as_ptr(&g) as usize));
+            }
+        }
+        dead.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gx_graph::generators::classic;
+
+    #[test]
+    fn content_identical_arcs_collapse_to_one_snapshot() {
+        let cache = SnapshotCache::new();
+        let a = Arc::new(classic::lollipop(8, 4));
+        let b = Arc::new(classic::lollipop(8, 4));
+        let (ca, fa) = cache.intern(a);
+        let (cb, fb) = cache.intern(b);
+        assert_eq!(fa, fb, "same content, same fingerprint");
+        assert!(Arc::ptr_eq(&ca, &cb), "jobs must share one CSR");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_graphs_keep_distinct_entries() {
+        let cache = SnapshotCache::new();
+        let (_, fa) = cache.intern(Arc::new(classic::lollipop(8, 4)));
+        let (_, fb) = cache.intern(Arc::new(classic::petersen()));
+        assert_ne!(fa, fb);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinterning_the_canonical_arc_is_a_pointer_hit() {
+        let cache = SnapshotCache::new();
+        let (canonical, fp) = cache.intern(Arc::new(classic::petersen()));
+        let (again, fp2) = cache.intern(canonical.clone());
+        assert_eq!(fp, fp2);
+        assert!(Arc::ptr_eq(&canonical, &again));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evict_unused_drops_only_unreferenced_snapshots() {
+        let cache = SnapshotCache::new();
+        let (held, _) = cache.intern(Arc::new(classic::lollipop(8, 4)));
+        let (dropped, _) = cache.intern(Arc::new(classic::petersen()));
+        drop(dropped);
+        assert_eq!(cache.evict_unused(), 1);
+        assert_eq!(cache.len(), 1);
+        // The held snapshot survived and is still the canonical entry.
+        let (again, _) = cache.intern(held.clone());
+        assert!(Arc::ptr_eq(&held, &again));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_matches_core_graph_fingerprint() {
+        // resume_trusted relies on the cached value being exactly what
+        // core would compute — a drifted cache would forfeit the
+        // wrong-graph protection.
+        let cache = SnapshotCache::new();
+        let g = Arc::new(classic::petersen());
+        let (_, fp) = cache.intern(g.clone());
+        assert_eq!(fp, graph_fingerprint(&*g));
+    }
+}

@@ -1,0 +1,74 @@
+//! Per-job deadlines: a small absolute-time wrapper the scheduler and
+//! the lease runner consult between rounds.
+//!
+//! Deadlines are **cooperative**, like cancellation: a worker checks at
+//! lease start and between scheduler rounds, so an expired job surfaces
+//! as a typed [`gx_core::ServiceError::DeadlineExceeded`] within one
+//! round of the expiry — it is never torn mid-round, and it never hangs
+//! waiting for a budget that cannot complete in time.
+
+use std::time::{Duration, Instant};
+
+/// A job's absolute deadline: `None` means "no deadline".
+///
+/// Stored as an [`Instant`] fixed at admission time, so the deadline
+/// clock keeps running while the job waits in the admission queue — a
+/// job that starves behind others still times out honestly instead of
+/// getting a fresh budget when finally scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline(Option<Instant>);
+
+impl Deadline {
+    /// No deadline: [`Deadline::expired`] is never true.
+    pub fn none() -> Self {
+        Self(None)
+    }
+
+    /// A deadline `budget` from now (admission time), or none.
+    pub fn after(budget: Option<Duration>) -> Self {
+        Self(budget.map(|d| Instant::now() + d))
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        match self.0 {
+            None => false,
+            Some(at) => Instant::now() >= at,
+        }
+    }
+
+    /// Time left before expiry (`None` if no deadline; zero if already
+    /// expired).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.0.map(|at| at.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_deadline_never_expires() {
+        let d = Deadline::none();
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), None);
+        assert_eq!(Deadline::after(None), Deadline::none());
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately() {
+        let d = Deadline::after(Some(Duration::ZERO));
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn generous_budget_is_not_expired_and_counts_down() {
+        let d = Deadline::after(Some(Duration::from_secs(3600)));
+        assert!(!d.expired());
+        let left = d.remaining().expect("deadline set");
+        assert!(left > Duration::from_secs(3599));
+        assert!(left <= Duration::from_secs(3600));
+    }
+}

@@ -55,12 +55,17 @@ pub use gx_baselines as baselines;
 /// Synthetic analogs of the paper's evaluation datasets.
 pub use gx_datasets as datasets;
 
+/// Estimation as a service: fair multi-job scheduling, deadlines,
+/// cancellation, overload shedding, checkpoint-based crash recovery.
+pub use gx_service as service;
+
 pub use gx_core::{
     estimate, estimate_parallel, estimate_until, estimate_until_parallel, estimate_until_with_walk,
     estimate_with_walk, graph_fingerprint, measure_burn_in, write_atomic, AdaptiveReport,
     BatchStats, BurnInReport, CheckpointError, ConfigError, Corruption, Estimate, EstimatorConfig,
     EstimatorPool, FailingWriter, FaultPlan, GxError, ParallelConfig, Progress, RuleError,
-    RunHandle, Runner, StoppingRule, WalkerStatus,
+    RunHandle, Runner, ServiceError, StoppingRule, WalkerStatus,
 };
 pub use gx_graph::{Graph, GraphAccess, NodeId};
 pub use gx_graphlets::GraphletId;
+pub use gx_service::{EstimationService, JobHandle, JobResult, JobSpec, ServiceConfig};
