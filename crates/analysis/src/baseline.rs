@@ -1,0 +1,201 @@
+//! The ratcheting baseline: committed per-file violation counts.
+//!
+//! `gx-lint.baseline` freezes the repo's *known* violations per
+//! `(rule, file)`. `--check` then enforces a one-way ratchet:
+//!
+//! - **count above baseline** → fail: new violations must be fixed or
+//!   explicitly `allow`-annotated with a justification;
+//! - **count below baseline** → *also* fail ("stale baseline"): a fix
+//!   must shrink the committed file (via `--update-baseline`) in the
+//!   same change, so the ratchet can never silently slacken back;
+//! - equal everywhere → pass.
+//!
+//! The file format is one `rule count path` line per entry, sorted, so
+//! diffs review like code.
+
+use crate::engine::{Finding, Rule};
+use std::collections::BTreeMap;
+
+/// Violation counts keyed by `(rule, workspace-relative path)`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    pub counts: BTreeMap<(Rule, String), usize>,
+}
+
+/// One baseline/current divergence, in ratchet terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Drift {
+    /// More findings than baselined: names the offending file+rule and
+    /// how many above the allowance.
+    New { rule: Rule, path: String, baseline: usize, found: usize },
+    /// Fewer findings than baselined: the committed file is stale.
+    Stale { rule: Rule, path: String, baseline: usize, found: usize },
+}
+
+impl std::fmt::Display for Drift {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Drift::New { rule, path, baseline, found } => write!(
+                f,
+                "{path}: {found} `{rule}` finding(s), baseline allows {baseline} — fix the new \
+                 violation(s) or add a justified `// gx-lint: allow({rule})`"
+            ),
+            Drift::Stale { rule, path, baseline, found } => write!(
+                f,
+                "{path}: {found} `{rule}` finding(s), baseline expects {baseline} — violations \
+                 were fixed; shrink the baseline with `cargo run -p gx-lint -- --update-baseline`"
+            ),
+        }
+    }
+}
+
+impl Baseline {
+    /// Builds a baseline from a finding set (what `--update-baseline`
+    /// commits).
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut counts: BTreeMap<(Rule, String), usize> = BTreeMap::new();
+        for f in findings {
+            *counts.entry((f.rule, f.path.clone())).or_default() += 1;
+        }
+        Baseline { counts }
+    }
+
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Compares current findings against this committed baseline.
+    /// Empty result = the ratchet holds.
+    pub fn drift(&self, current: &Baseline) -> Vec<Drift> {
+        let mut out = Vec::new();
+        let keys: std::collections::BTreeSet<_> =
+            self.counts.keys().chain(current.counts.keys()).cloned().collect();
+        for key in keys {
+            let base = self.counts.get(&key).copied().unwrap_or(0);
+            let found = current.counts.get(&key).copied().unwrap_or(0);
+            let (rule, path) = (key.0, key.1);
+            if found > base {
+                out.push(Drift::New { rule, path, baseline: base, found });
+            } else if found < base {
+                out.push(Drift::Stale { rule, path, baseline: base, found });
+            }
+        }
+        out
+    }
+
+    /// Serializes to the committed file format (sorted, commented).
+    pub fn render(&self, header: &str) -> String {
+        let mut s = String::new();
+        for line in header.lines() {
+            s.push_str("# ");
+            s.push_str(line);
+            s.push('\n');
+        }
+        for ((rule, path), count) in &self.counts {
+            if *count > 0 {
+                s.push_str(&format!("{rule} {count} {path}\n"));
+            }
+        }
+        s
+    }
+
+    /// Parses the committed file format. Unknown rules or malformed
+    /// lines are hard errors: a corrupt baseline must not weaken the
+    /// ratchet.
+    pub fn parse(content: &str) -> Result<Baseline, String> {
+        let mut counts = BTreeMap::new();
+        for (idx, raw) in content.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, ' ');
+            let (Some(rule_id), Some(count_s), Some(path)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!("baseline line {}: expected `rule count path`", idx + 1));
+            };
+            let Some(rule) = Rule::from_id(rule_id) else {
+                return Err(format!("baseline line {}: unknown rule `{rule_id}`", idx + 1));
+            };
+            let Ok(count) = count_s.parse::<usize>() else {
+                return Err(format!("baseline line {}: bad count `{count_s}`", idx + 1));
+            };
+            if counts.insert((rule, path.to_string()), count).is_some() {
+                return Err(format!("baseline line {}: duplicate entry", idx + 1));
+            }
+        }
+        Ok(Baseline { counts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: Rule, path: &str, line: u32) -> Finding {
+        Finding { rule, path: path.into(), line, col: 1, message: "m".into() }
+    }
+
+    fn sample() -> Baseline {
+        Baseline::from_findings(&[
+            finding(Rule::PanicSurface, "a.rs", 1),
+            finding(Rule::PanicSurface, "a.rs", 2),
+            finding(Rule::Determinism, "b.rs", 3),
+        ])
+    }
+
+    #[test]
+    fn round_trip() {
+        let b = sample();
+        let text = b.render("hello\nworld");
+        assert!(text.starts_with("# hello\n# world\n"));
+        let parsed = Baseline::parse(&text).expect("parses");
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.total(), 3);
+    }
+
+    #[test]
+    fn both_drift_directions_fail() {
+        let committed = sample();
+
+        // One *new* finding in a.rs → New drift.
+        let mut more = committed.clone();
+        *more.counts.get_mut(&(Rule::PanicSurface, "a.rs".into())).expect("entry") = 3;
+        let d = committed.drift(&more);
+        assert_eq!(d.len(), 1);
+        assert!(matches!(&d[0], Drift::New { found: 3, baseline: 2, .. }), "{d:?}");
+
+        // One finding *fixed* in a.rs → Stale drift (must re-ratchet).
+        let mut fewer = committed.clone();
+        *fewer.counts.get_mut(&(Rule::PanicSurface, "a.rs".into())).expect("entry") = 1;
+        let d = committed.drift(&fewer);
+        assert_eq!(d.len(), 1);
+        assert!(matches!(&d[0], Drift::Stale { found: 1, baseline: 2, .. }), "{d:?}");
+
+        // Equal → holds.
+        assert!(committed.drift(&committed.clone()).is_empty());
+    }
+
+    #[test]
+    fn files_appearing_and_disappearing() {
+        let committed = sample();
+        // A violation in a file the baseline has never seen.
+        let mut current = committed.clone();
+        current.counts.insert((Rule::NoAlloc, "new.rs".into()), 1);
+        assert!(matches!(committed.drift(&current)[..], [Drift::New { .. }]));
+
+        // A baselined file goes fully clean.
+        let mut current = committed.clone();
+        current.counts.remove(&(Rule::Determinism, "b.rs".into()));
+        assert!(matches!(committed.drift(&current)[..], [Drift::Stale { .. }]));
+    }
+
+    #[test]
+    fn corrupt_baselines_rejected() {
+        assert!(Baseline::parse("panic_surface two a.rs\n").is_err());
+        assert!(Baseline::parse("no_such_rule 1 a.rs\n").is_err());
+        assert!(Baseline::parse("panic_surface 1\n").is_err());
+        assert!(Baseline::parse("panic_surface 1 a.rs\npanic_surface 2 a.rs\n").is_err());
+    }
+}

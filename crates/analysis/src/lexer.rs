@@ -1,0 +1,515 @@
+//! A lightweight, span-accurate Rust lexer.
+//!
+//! `gx-lint` rules are lexical: they match token *sequences*, never an
+//! AST. That only works if the lexer never mistakes text inside a
+//! string, comment, or char literal for code, so this module handles
+//! the full set of Rust token-boundary subtleties that matter for that
+//! guarantee:
+//!
+//! - raw strings with arbitrary hash fences (`r##"…"##`, `br#"…"#`),
+//! - nested block comments (`/* /* */ */`),
+//! - lifetimes vs. char literals (`'a` vs. `'a'`, escapes, `'\u{…}'`),
+//! - raw identifiers (`r#match`),
+//! - line/column spans for every token (1-based, like rustc).
+//!
+//! Comments are not tokens, but line comments are scanned for
+//! `gx-lint:` [`Directive`]s (allow scoping and `no_alloc` markers) and
+//! surfaced to the engine alongside the token stream.
+
+/// What kind of token this is. Rules mostly dispatch on `Ident` and
+/// `Punct`; literal kinds exist so rule code can *skip* them safely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `HashMap`, `r#match`).
+    Ident,
+    /// A lifetime such as `'a` (without the leading quote in `text`).
+    Lifetime,
+    /// String literal of any flavor (plain, raw, byte, byte-raw).
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// A single punctuation character (`::` is two `:` tokens).
+    Punct,
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Token text. For `Str` the *contents are omitted* (rules must
+    /// never match inside literals); for `Ident` the `r#` prefix is
+    /// stripped so `r#match` compares equal to `match`.
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// A `gx-lint:` control comment found while lexing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirectiveKind {
+    /// `// gx-lint: allow(rule, rule2) -- justification` — suppress the
+    /// named rules on this line and the next.
+    Allow(Vec<String>),
+    /// `// gx-lint: no_alloc` — the next `fn` must not allocate.
+    NoAlloc,
+    /// Anything after `gx-lint:` the parser does not understand. The
+    /// engine reports these: a typo must not silently disable a rule.
+    Unknown(String),
+}
+
+/// A directive plus the line it appeared on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directive {
+    pub kind: DirectiveKind,
+    pub line: u32,
+}
+
+/// The lexer's full output for one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub directives: Vec<Directive>,
+}
+
+/// Marker every directive comment must contain.
+const DIRECTIVE_TAG: &str = "gx-lint:";
+
+/// Lexes `src` into tokens and directives. Never fails: unterminated
+/// literals simply end at end-of-file (the real compiler rejects the
+/// file anyway; the linter's job is only to never misclassify spans
+/// *before* the error point).
+pub fn lex(src: &str) -> Lexed {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self { chars: src.chars().peekable(), line: 1, col: 1, out: Lexed::default() }
+    }
+
+    /// Consumes one char, maintaining line/col.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    /// Peeks two chars ahead without consuming (clone is cheap: the
+    /// iterator is a pair of pointers).
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.chars.clone();
+        it.next();
+        it.next()
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.out.toks.push(Tok { kind, text, line, col });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek() {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' => match self.peek2() {
+                    Some('/') => self.line_comment(),
+                    Some('*') => self.block_comment(),
+                    _ => {
+                        self.bump();
+                        self.push(TokKind::Punct, "/".into(), line, col);
+                    }
+                },
+                '\'' => self.quote(line, col),
+                '"' => {
+                    self.bump();
+                    self.string_body();
+                    self.push(TokKind::Str, String::new(), line, col);
+                }
+                c if c.is_ascii_digit() => self.number(line, col),
+                c if c.is_alphabetic() || c == '_' => self.ident_or_prefixed(line, col),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// `// …` to end of line; scans for a `gx-lint:` directive.
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        // A directive must be the comment's entire content: strip the
+        // leading slashes (`//`, `///`, `//!`) and require the body to
+        // *start* with the tag, so prose that merely mentions
+        // `gx-lint:` (like this crate's own docs) is not a directive.
+        let body = text.trim_start_matches(['/', '!']).trim();
+        if let Some(rest) = body.strip_prefix(DIRECTIVE_TAG) {
+            self.out.directives.push(Directive { kind: parse_directive(rest.trim()), line });
+        }
+    }
+
+    /// `/* … */` with nesting, as in real Rust.
+    fn block_comment(&mut self) {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.bump() {
+                Some('/') if self.peek() == Some('*') => {
+                    self.bump();
+                    depth += 1;
+                }
+                Some('*') if self.peek() == Some('/') => {
+                    self.bump();
+                    depth -= 1;
+                }
+                Some(_) => {}
+                None => break,
+            }
+        }
+    }
+
+    /// After a `'`: lifetime, char literal, or escaped char literal.
+    ///
+    /// Disambiguation (mirrors rustc): `'` + ident-start + … is a char
+    /// literal only if a closing `'` immediately follows one ident
+    /// char; a longer ident or no closing quote makes it a lifetime.
+    fn quote(&mut self, line: u32, col: u32) {
+        self.bump(); // the opening '
+        match self.peek() {
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                // Could be 'a' (char) or 'a / 'abc (lifetime).
+                let mut name = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        name.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if name.chars().count() == 1 && self.peek() == Some('\'') {
+                    self.bump(); // closing '
+                    self.push(TokKind::Char, name, line, col);
+                } else {
+                    self.push(TokKind::Lifetime, name, line, col);
+                }
+            }
+            Some('\\') => {
+                // Escaped char literal: consume to the closing quote,
+                // honoring \' and \u{…}.
+                self.bump();
+                if let Some(e) = self.bump() {
+                    if e == 'u' && self.peek() == Some('{') {
+                        while let Some(c) = self.bump() {
+                            if c == '}' {
+                                break;
+                            }
+                        }
+                    }
+                }
+                if self.peek() == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokKind::Char, String::new(), line, col);
+            }
+            Some(_) => {
+                // '1', '+', etc. — any single char then closing quote.
+                self.bump();
+                if self.peek() == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokKind::Char, String::new(), line, col);
+            }
+            None => {}
+        }
+    }
+
+    /// Body of a plain `"…"` string (opening quote already consumed).
+    fn string_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Raw string body: `#`* `"` … `"` `#`*-with-matching-count. The
+    /// caller consumed the `r`/`br` prefix. Returns false if this was
+    /// not actually a raw string (caller falls back to ident).
+    fn raw_string_body(&mut self) -> bool {
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek() != Some('"') {
+            // `r#ident` (raw identifier) lands here with hashes == 1.
+            return false;
+        }
+        self.bump(); // opening quote
+        'outer: loop {
+            match self.bump() {
+                Some('"') => {
+                    // Need exactly `hashes` following '#'.
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek() == Some('#') {
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        break 'outer;
+                    }
+                }
+                Some(_) => {}
+                None => break 'outer,
+            }
+        }
+        true
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        // Loose numeric scan: digits, underscores, radix/exponent
+        // letters, and `.` only when followed by a digit (so `x[0].iter`
+        // does not swallow the dot). Precision here does not matter to
+        // any rule; not misclassifying the *next* token does.
+        while let Some(c) = self.peek() {
+            let take = c.is_ascii_alphanumeric()
+                || c == '_'
+                || (c == '.' && self.peek2().is_some_and(|d| d.is_ascii_digit()))
+                || ((c == '+' || c == '-')
+                    && matches!(text.chars().last(), Some('e') | Some('E'))
+                    && text.starts_with(|f: char| f.is_ascii_digit())
+                    && !text.starts_with("0x"));
+            if take {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, text, line, col);
+    }
+
+    /// Identifier, or a string literal introduced by an `r`/`b`/`br`
+    /// prefix, or a raw identifier `r#name`.
+    fn ident_or_prefixed(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match (text.as_str(), self.peek()) {
+            // r"…", r#"…"#, br"…", br##"…"## — raw (byte) strings.
+            ("r" | "br", Some('"' | '#')) => {
+                if self.raw_string_body() {
+                    self.push(TokKind::Str, String::new(), line, col);
+                } else {
+                    // `r#name`: raw identifier. The '#'s were consumed
+                    // by the probe; read the identifier proper.
+                    let mut name = String::new();
+                    while let Some(c) = self.peek() {
+                        if c.is_alphanumeric() || c == '_' {
+                            name.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokKind::Ident, name, line, col);
+                }
+            }
+            // b"…" / b'x' — byte string or byte char.
+            ("b", Some('"')) => {
+                self.bump();
+                self.string_body();
+                self.push(TokKind::Str, String::new(), line, col);
+            }
+            ("b", Some('\'')) => self.quote(line, col),
+            _ => self.push(TokKind::Ident, text, line, col),
+        }
+    }
+}
+
+/// Parses the text after `gx-lint:` in a comment.
+fn parse_directive(body: &str) -> DirectiveKind {
+    if body == "no_alloc" {
+        return DirectiveKind::NoAlloc;
+    }
+    if let Some(rest) = body.strip_prefix("allow(") {
+        if let Some(close) = rest.find(')') {
+            let rules: Vec<String> = rest[..close]
+                .split(',')
+                .map(|r| r.trim().to_string())
+                .filter(|r| !r.is_empty())
+                .collect();
+            if !rules.is_empty() {
+                return DirectiveKind::Allow(rules);
+            }
+        }
+    }
+    DirectiveKind::Unknown(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_hide_their_contents() {
+        // The `.unwrap()` inside the raw string must not surface as
+        // tokens — including fences the naive scanner would trip on.
+        let src = r####"let s = r#"x.unwrap() "quoted" end"#; s.len()"####;
+        let ids = idents(src);
+        assert!(ids.contains(&"len".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()), "{ids:?}");
+
+        let src2 = "let s = r##\"has \"# inside\"##; t.unwrap()";
+        let ids2 = idents(src2);
+        assert_eq!(ids2, vec!["let", "s", "t", "unwrap"]);
+    }
+
+    #[test]
+    fn byte_and_byte_raw_strings() {
+        let ids = idents(r##"let x = b"panic!"; let y = br#"unwrap"#; done()"##);
+        assert_eq!(ids, vec!["let", "x", "let", "y", "done"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ids = idents("a /* x /* deeper .unwrap() */ still comment */ b");
+        assert_eq!(ids, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn unterminated_nested_comment_consumes_rest() {
+        assert_eq!(idents("a /* open /* */ still open b"), vec!["a"]);
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let lexed =
+            lex("fn f<'a>(x: &'a str) { let c = 'a'; let d = '\\''; let z = '\\u{1F600}'; }");
+        let lifetimes: Vec<_> = lexed.toks.iter().filter(|t| t.kind == TokKind::Lifetime).collect();
+        let chars: Vec<_> = lexed.toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2, "{:?}", lexed.toks);
+        assert_eq!(chars.len(), 3, "{:?}", lexed.toks);
+    }
+
+    #[test]
+    fn long_lifetime_and_underscore() {
+        let lexed = lex("&'static str; &'_ T; 'label: loop {}");
+        let lts: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lts, vec!["static", "_", "label"]);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let lexed = lex("let r#match = 1; r#fn()");
+        let ids: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>();
+        assert_eq!(ids, vec!["let", "match", "fn"]);
+    }
+
+    #[test]
+    fn macro_bodies_lex_as_plain_tokens() {
+        // Rules look through macro invocations; the lexer must produce
+        // ordinary tokens for their bodies.
+        let lexed = lex("vec![x.unwrap(), 'a', \"s\"]");
+        let texts: Vec<_> = lexed.toks.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"unwrap"));
+        assert!(texts.contains(&"vec"));
+    }
+
+    #[test]
+    fn spans_are_one_based_and_accurate() {
+        let lexed = lex("ab\n  cd.unwrap()");
+        let unwrap = lexed.toks.iter().find(|t| t.text == "unwrap").expect("token");
+        assert_eq!((unwrap.line, unwrap.col), (2, 6));
+    }
+
+    #[test]
+    fn strings_with_escapes_do_not_leak() {
+        let ids = idents(r#"let s = "a\"b.unwrap()\\"; f()"#);
+        assert_eq!(ids, vec!["let", "s", "f"]);
+    }
+
+    #[test]
+    fn directives_parse() {
+        let lexed = lex(concat!(
+            "// gx-lint: allow(panic_surface, determinism) -- test harness\n",
+            "// gx-lint: no_alloc\n",
+            "// gx-lint: alow(typo)\n",
+            "// ordinary comment\n",
+        ));
+        assert_eq!(lexed.directives.len(), 3);
+        assert_eq!(
+            lexed.directives[0].kind,
+            DirectiveKind::Allow(vec!["panic_surface".into(), "determinism".into()])
+        );
+        assert_eq!(lexed.directives[0].line, 1);
+        assert_eq!(lexed.directives[1].kind, DirectiveKind::NoAlloc);
+        assert!(matches!(lexed.directives[2].kind, DirectiveKind::Unknown(_)));
+    }
+
+    #[test]
+    fn number_does_not_eat_method_dot() {
+        let lexed = lex("1.5e-3; x[0].iter(); 0x1f; 1_000u64");
+        let texts: Vec<_> = lexed.toks.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"iter"));
+        assert!(texts.contains(&"1.5e-3"));
+        assert!(texts.contains(&"0x1f"));
+        assert!(texts.contains(&"1_000u64"));
+    }
+}

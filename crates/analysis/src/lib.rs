@@ -1,0 +1,135 @@
+//! `gx-lint` — repo-invariant static analysis for the graphlet-rw
+//! workspace.
+//!
+//! Every guarantee this reproduction ships — golden-bit resume,
+//! service answers bit-identical to solo runs, the zero-allocation CSS
+//! hot loop — is an invariant the compiler cannot see. This crate
+//! machine-checks them with four lexical rule families (see
+//! [`engine`]) scoped by two committed manifests ([`manifest`]) and
+//! enforced through a ratcheting committed [`baseline`]: new
+//! violations fail CI, fixes must shrink the baseline, and drift in
+//! either direction is an error.
+//!
+//! Run it as a workspace binary:
+//!
+//! ```text
+//! cargo run -p gx-lint -- --check             # CI gate
+//! cargo run -p gx-lint -- --list              # print every finding
+//! cargo run -p gx-lint -- --update-baseline   # re-ratchet after fixes
+//! ```
+//!
+//! The library surface exists so the crate can test itself (fixture
+//! files, ratchet drills) and so the repo's own test suite can enforce
+//! the gate without shelling out.
+
+pub mod baseline;
+pub mod engine;
+pub mod lexer;
+pub mod manifest;
+
+pub use baseline::{Baseline, Drift};
+pub use engine::{lint_source, Finding, Rule};
+pub use manifest::{LockManifest, Manifest};
+
+use std::path::{Path, PathBuf};
+
+/// Names of the three committed control files, all at workspace root.
+pub const MANIFEST_FILE: &str = "gx-lint.manifest";
+/// Lock-order manifest file name.
+pub const LOCKS_FILE: &str = "gx-lint.locks";
+/// Ratchet baseline file name.
+pub const BASELINE_FILE: &str = "gx-lint.baseline";
+
+/// A fully loaded workspace: manifests plus the resolved file list.
+pub struct Workspace {
+    pub root: PathBuf,
+    pub manifest: Manifest,
+    pub locks: LockManifest,
+    pub files: Vec<String>,
+}
+
+/// Anything that stops a lint run before findings can be produced.
+#[derive(Debug)]
+pub enum LintError {
+    Io { path: PathBuf, error: std::io::Error },
+    Manifest(manifest::ManifestError),
+    Baseline(String),
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::Io { path, error } => write!(f, "{}: {error}", path.display()),
+            LintError::Manifest(e) => write!(f, "{e}"),
+            LintError::Baseline(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+impl From<manifest::ManifestError> for LintError {
+    fn from(e: manifest::ManifestError) -> Self {
+        LintError::Manifest(e)
+    }
+}
+
+fn read(path: &Path) -> Result<String, LintError> {
+    std::fs::read_to_string(path).map_err(|error| LintError::Io { path: path.to_path_buf(), error })
+}
+
+impl Workspace {
+    /// Loads manifests from `root` and walks the scan tree.
+    pub fn load(root: &Path) -> Result<Workspace, LintError> {
+        let manifest_path = root.join(MANIFEST_FILE);
+        let manifest = manifest::parse_manifest(&read(&manifest_path)?, &manifest_path)?;
+        let locks_path = root.join(LOCKS_FILE);
+        let locks = manifest::parse_locks(&read(&locks_path)?, &locks_path)?;
+        let files = manifest
+            .walk(root)
+            .map_err(|error| LintError::Io { path: root.to_path_buf(), error })?;
+        Ok(Workspace { root: root.to_path_buf(), manifest, locks, files })
+    }
+
+    /// Lints every in-scope file, returning all findings sorted by
+    /// path then span.
+    pub fn lint(&self) -> Result<Vec<Finding>, LintError> {
+        let mut findings = Vec::new();
+        for rel in &self.files {
+            let src = read(&self.root.join(rel))?;
+            findings.extend(lint_source(rel, &src, &self.manifest, &self.locks));
+        }
+        findings.sort_by(|a, b| {
+            (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
+        });
+        Ok(findings)
+    }
+
+    /// Loads the committed baseline.
+    pub fn baseline(&self) -> Result<Baseline, LintError> {
+        Baseline::parse(&read(&self.root.join(BASELINE_FILE))?).map_err(LintError::Baseline)
+    }
+
+    /// The full `--check`: lint, compare against the committed
+    /// baseline, return the findings and any ratchet drift.
+    pub fn check(&self) -> Result<(Vec<Finding>, Vec<Drift>), LintError> {
+        let findings = self.lint()?;
+        let committed = self.baseline()?;
+        let current = Baseline::from_findings(&findings);
+        Ok((findings, committed.drift(&current)))
+    }
+}
+
+/// Walks upward from `start` to the first directory containing
+/// [`MANIFEST_FILE`] (so the binary works from any subdirectory).
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join(MANIFEST_FILE).is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

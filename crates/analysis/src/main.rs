@@ -1,0 +1,141 @@
+//! The `gx-lint` command-line front end. See the crate docs
+//! ([`gx_lint`]) for what the rules protect and how the baseline
+//! ratchets.
+
+use gx_lint::{find_root, Baseline, Drift, Workspace, BASELINE_FILE};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+gx-lint — repo-invariant static analysis with a ratcheting baseline
+
+USAGE:
+    cargo run -p gx-lint -- [--check | --list | --update-baseline] [--root DIR]
+
+MODES (default --check):
+    --check             lint and enforce the committed gx-lint.baseline:
+                        counts above baseline fail (new violations), counts
+                        below fail too (stale baseline — re-ratchet)
+    --list              print every finding, ignoring the baseline
+    --update-baseline   rewrite gx-lint.baseline from the current scan
+
+OPTIONS:
+    --root DIR          workspace root (default: walk up from cwd to the
+                        directory containing gx-lint.manifest)
+";
+
+enum Mode {
+    Check,
+    List,
+    UpdateBaseline,
+}
+
+fn main() -> ExitCode {
+    let mut mode = Mode::Check;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => mode = Mode::Check,
+            "--list" => mode = Mode::List,
+            "--update-baseline" => mode = Mode::UpdateBaseline,
+            "--root" => match args.next() {
+                Some(dir) => root_arg = Some(PathBuf::from(dir)),
+                None => return fail("--root needs a directory"),
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+    }
+
+    let root =
+        match root_arg.or_else(|| std::env::current_dir().ok().and_then(|cwd| find_root(&cwd))) {
+            Some(r) => r,
+            None => return fail("no gx-lint.manifest found here or in any parent directory"),
+        };
+
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => return fail(&format!("{e}")),
+    };
+
+    match mode {
+        Mode::List => {
+            let findings = match ws.lint() {
+                Ok(f) => f,
+                Err(e) => return fail(&format!("{e}")),
+            };
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("gx-lint: {} finding(s) in {} file(s)", findings.len(), ws.files.len());
+            ExitCode::SUCCESS
+        }
+        Mode::UpdateBaseline => {
+            let findings = match ws.lint() {
+                Ok(f) => f,
+                Err(e) => return fail(&format!("{e}")),
+            };
+            let baseline = Baseline::from_findings(&findings);
+            let header = format!(
+                "gx-lint ratchet baseline: per-(rule, file) violation counts.\n\
+                 Checked by `cargo run -p gx-lint -- --check`: counts above an entry fail\n\
+                 (new violations), counts below fail too (stale baseline). Regenerate with\n\
+                 `cargo run -p gx-lint -- --update-baseline` in the same change that fixes\n\
+                 violations, so this file only ever shrinks.\n\
+                 total: {} finding(s)",
+                baseline.total()
+            );
+            let path = ws.root.join(BASELINE_FILE);
+            if let Err(e) = std::fs::write(&path, baseline.render(&header)) {
+                return fail(&format!("{}: {e}", path.display()));
+            }
+            println!(
+                "gx-lint: baselined {} finding(s) across {} (rule, file) pair(s)",
+                baseline.total(),
+                baseline.counts.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Mode::Check => {
+            let (findings, drift) = match ws.check() {
+                Ok(r) => r,
+                Err(e) => return fail(&format!("{e}")),
+            };
+            if drift.is_empty() {
+                println!(
+                    "gx-lint: ok — {} file(s) scanned, {} baselined finding(s), zero drift",
+                    ws.files.len(),
+                    findings.len()
+                );
+                return ExitCode::SUCCESS;
+            }
+            // Print the precise findings for every (rule, file) that
+            // grew, then the drift summary: the span list is what a
+            // developer actually navigates to.
+            for d in &drift {
+                if let Drift::New { rule, path, .. } = d {
+                    for f in findings.iter().filter(|f| f.rule == *rule && &f.path == path) {
+                        eprintln!("{f}");
+                    }
+                }
+            }
+            for d in &drift {
+                eprintln!("gx-lint: {d}");
+            }
+            eprintln!(
+                "gx-lint: FAILED — {} (rule, file) pair(s) drifted from baseline",
+                drift.len()
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("gx-lint: {msg}");
+    ExitCode::FAILURE
+}

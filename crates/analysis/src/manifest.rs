@@ -1,0 +1,260 @@
+//! The two committed manifests that scope `gx-lint`'s rules.
+//!
+//! Both use a deliberately trivial line format (`keyword value…`, `#`
+//! comments) so the linter stays std-only and the files read as
+//! documentation:
+//!
+//! - **`gx-lint.manifest`** — what to scan and which paths carry the
+//!   `determinism` and indexing contracts.
+//! - **`gx-lint.locks`** — the declared lock-acquisition order for the
+//!   scoped crate(s); see [`LockManifest`].
+//!
+//! Paths in both files are workspace-relative with `/` separators and
+//! match by prefix: `crates/core/src` covers every file below it.
+
+use std::path::{Path, PathBuf};
+
+/// Parsed `gx-lint.manifest`.
+#[derive(Debug, Default, Clone)]
+pub struct Manifest {
+    /// Directory roots to walk for `.rs` files.
+    pub scan: Vec<String>,
+    /// Path prefixes excluded from the walk (e.g. vendored shims).
+    pub exclude: Vec<String>,
+    /// Directory *components* excluded anywhere in a path (`tests`,
+    /// `benches`, `examples`): non-library code is out of scope.
+    pub exclude_components: Vec<String>,
+    /// Path prefixes whose modules are declared deterministic.
+    pub deterministic: Vec<String>,
+    /// Path prefixes where direct indexing counts as panic surface.
+    pub index: Vec<String>,
+}
+
+/// Parsed `gx-lint.locks`: where the lock rule applies and the one
+/// global acquisition order.
+///
+/// The discipline is: a lock may be acquired while holding only locks
+/// that appear *strictly earlier* in `order`. Re-acquiring a held lock
+/// or acquiring against the order is a violation, and so is calling
+/// `.lock()` on a receiver name the manifest does not declare — adding
+/// a mutex to a scoped crate forces a (reviewed) manifest edit.
+#[derive(Debug, Default, Clone)]
+pub struct LockManifest {
+    /// Path prefixes the lock-discipline rule applies to.
+    pub scope: Vec<String>,
+    /// Lock names (receiver field/variable names) in acquisition order.
+    pub order: Vec<String>,
+}
+
+impl LockManifest {
+    /// Rank of a lock name in the declared order (lower acquires
+    /// first), or `None` for undeclared names.
+    pub fn rank(&self, name: &str) -> Option<usize> {
+        self.order.iter().position(|n| n == name)
+    }
+
+    pub fn applies_to(&self, rel_path: &str) -> bool {
+        self.scope.iter().any(|p| path_has_prefix(rel_path, p))
+    }
+}
+
+impl Manifest {
+    pub fn is_deterministic(&self, rel_path: &str) -> bool {
+        self.deterministic.iter().any(|p| path_has_prefix(rel_path, p))
+    }
+
+    pub fn is_index_checked(&self, rel_path: &str) -> bool {
+        self.index.iter().any(|p| path_has_prefix(rel_path, p))
+    }
+
+    fn is_excluded(&self, rel_path: &str) -> bool {
+        self.exclude.iter().any(|p| path_has_prefix(rel_path, p))
+            || Path::new(rel_path)
+                .components()
+                .any(|c| self.exclude_components.iter().any(|e| c.as_os_str() == e.as_str()))
+    }
+
+    /// Walks the scan roots under `root`, returning the sorted,
+    /// workspace-relative paths of every `.rs` file in scope.
+    pub fn walk(&self, root: &Path) -> std::io::Result<Vec<String>> {
+        let mut files = Vec::new();
+        for scan_root in &self.scan {
+            let dir = root.join(scan_root);
+            if dir.is_dir() {
+                walk_dir(&dir, root, &mut files)?;
+            } else if dir.is_file() {
+                if let Some(rel) = relative_str(&dir, root) {
+                    files.push(rel);
+                }
+            }
+        }
+        files.retain(|f| !self.is_excluded(f));
+        files.sort();
+        files.dedup();
+        Ok(files)
+    }
+}
+
+/// True when `path` equals `prefix` or starts with `prefix/`.
+fn path_has_prefix(path: &str, prefix: &str) -> bool {
+    path == prefix
+        || (path.len() > prefix.len()
+            && path.starts_with(prefix)
+            && path.as_bytes()[prefix.len()] == b'/')
+}
+
+fn relative_str(path: &Path, root: &Path) -> Option<String> {
+    let rel = path.strip_prefix(root).ok()?;
+    let s = rel.to_string_lossy().replace('\\', "/");
+    Some(s)
+}
+
+fn walk_dir(dir: &Path, root: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            walk_dir(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            if let Some(rel) = relative_str(&path, root) {
+                out.push(rel);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A malformed manifest line (the linter refuses to run on a manifest
+/// it cannot fully understand — a typo must not silently narrow scope).
+#[derive(Debug)]
+pub struct ManifestError {
+    pub file: PathBuf,
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.file.display(), self.line, self.message)
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+/// Parses `gx-lint.manifest` content.
+pub fn parse_manifest(content: &str, file: &Path) -> Result<Manifest, ManifestError> {
+    let mut m = Manifest::default();
+    for (idx, raw) in content.lines().enumerate() {
+        let Some((keyword, rest)) = split_line(raw) else { continue };
+        let err =
+            |message: String| ManifestError { file: file.to_path_buf(), line: idx + 1, message };
+        if rest.is_empty() {
+            return Err(err(format!("`{keyword}` needs a value")));
+        }
+        match keyword {
+            "scan" => m.scan.push(rest.to_string()),
+            "exclude" => m.exclude.push(rest.to_string()),
+            "exclude-component" => m.exclude_components.push(rest.to_string()),
+            "deterministic" => m.deterministic.push(rest.to_string()),
+            "index" => m.index.push(rest.to_string()),
+            other => return Err(err(format!("unknown manifest keyword `{other}`"))),
+        }
+    }
+    Ok(m)
+}
+
+/// Parses `gx-lint.locks` content.
+pub fn parse_locks(content: &str, file: &Path) -> Result<LockManifest, ManifestError> {
+    let mut m = LockManifest::default();
+    for (idx, raw) in content.lines().enumerate() {
+        let Some((keyword, rest)) = split_line(raw) else { continue };
+        let err =
+            |message: String| ManifestError { file: file.to_path_buf(), line: idx + 1, message };
+        match keyword {
+            "scope" => {
+                if rest.is_empty() {
+                    return Err(err("`scope` needs a path".into()));
+                }
+                m.scope.push(rest.to_string());
+            }
+            "order" => {
+                for name in rest.split_whitespace() {
+                    if m.order.iter().any(|n| n == name) {
+                        return Err(err(format!("lock `{name}` listed twice in order")));
+                    }
+                    m.order.push(name.to_string());
+                }
+                if m.order.is_empty() {
+                    return Err(err("`order` needs at least one lock name".into()));
+                }
+            }
+            other => return Err(err(format!("unknown locks keyword `{other}`"))),
+        }
+    }
+    Ok(m)
+}
+
+/// Strips comments/blank lines; splits `keyword rest…`.
+fn split_line(raw: &str) -> Option<(&str, &str)> {
+    let line = match raw.find('#') {
+        Some(pos) => &raw[..pos],
+        None => raw,
+    }
+    .trim();
+    if line.is_empty() {
+        return None;
+    }
+    match line.split_once(char::is_whitespace) {
+        Some((k, r)) => Some((k, r.trim())),
+        None => Some((line, "")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_round_trip() {
+        let m = parse_manifest(
+            "# comment\nscan src\nscan crates\nexclude crates/vendor\n\
+             exclude-component tests\ndeterministic crates/core/src\nindex crates/service/src\n",
+            Path::new("gx-lint.manifest"),
+        )
+        .expect("parses");
+        assert_eq!(m.scan, vec!["src", "crates"]);
+        assert!(m.is_deterministic("crates/core/src/runner.rs"));
+        assert!(!m.is_deterministic("crates/core/srcx/evil.rs"));
+        assert!(m.is_index_checked("crates/service/src/api.rs"));
+        assert!(m.is_excluded("crates/vendor/rand/src/lib.rs"));
+        assert!(m.is_excluded("crates/core/tests/foo.rs"));
+        assert!(!m.is_excluded("crates/core/src/lib.rs"));
+    }
+
+    #[test]
+    fn unknown_keyword_rejected() {
+        let e = parse_manifest("scann src\n", Path::new("m")).expect_err("must fail");
+        assert!(e.message.contains("scann"), "{e}");
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn locks_round_trip_and_rank() {
+        let m = parse_locks(
+            "scope crates/service/src\norder state threads progress result inner\n",
+            Path::new("gx-lint.locks"),
+        )
+        .expect("parses");
+        assert!(m.applies_to("crates/service/src/scheduler.rs"));
+        assert!(!m.applies_to("crates/core/src/runner.rs"));
+        assert_eq!(m.rank("state"), Some(0));
+        assert_eq!(m.rank("inner"), Some(4));
+        assert_eq!(m.rank("nope"), None);
+    }
+
+    #[test]
+    fn duplicate_lock_name_rejected() {
+        let e = parse_locks("order a b a\n", Path::new("l")).expect_err("must fail");
+        assert!(e.message.contains("twice"), "{e}");
+    }
+}

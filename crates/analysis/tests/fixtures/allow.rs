@@ -1,0 +1,17 @@
+// Fixture: allow comments suppress findings on the same line and the
+// next line — and only for the named rule. Linted as `src/det/f.rs`
+// (deterministic scope), so `HashMap` mentions are determinism
+// findings unless allowed.
+
+// gx-lint: allow(determinism) -- fixture: justified membership-only use
+use std::collections::HashMap;
+
+pub fn suppressed() -> usize {
+    let m: HashMap<u32, u32> = HashMap::default(); // gx-lint: allow(determinism) -- fixture: same-line allow
+    m.len()
+}
+
+pub fn wrong_rule_does_not_suppress(xs: &[u32]) -> u32 {
+    // gx-lint: allow(determinism) -- fixture: names the wrong rule
+    *xs.first().unwrap()
+}

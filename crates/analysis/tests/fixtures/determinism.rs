@@ -1,0 +1,14 @@
+// Fixture: nondeterministic constructs in a declared-deterministic
+// module. Linted as `src/det/f.rs` (inside the test manifest's
+// `deterministic src/det` scope).
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut seen = HashMap::new();
+    for &x in xs {
+        *seen.entry(x).or_insert(0u32) += 1;
+    }
+    let started = std::time::Instant::now();
+    let _ = started;
+    seen.len()
+}

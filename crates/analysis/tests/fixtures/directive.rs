@@ -1,0 +1,8 @@
+// Fixture: malformed gx-lint directives are themselves findings, so a
+// typo cannot silently disable a rule. Linted as `src/f.rs`.
+
+// gx-lint: allow(not_a_rule) -- unknown rule name
+pub fn a() {}
+
+// gx-lint: alow(determinism) -- misspelled verb
+pub fn b() {}

@@ -1,0 +1,9 @@
+// Fixture: direct indexing in a declared index-checked path. Linted as
+// `src/idx/f.rs`. Type positions, array literals, and slice patterns
+// must not be flagged.
+pub fn pick(xs: &[u32], i: usize) -> u32 {
+    let table: [u8; 2] = [0; 2];
+    let [lo] = [table[0]];
+    let _ = lo;
+    xs[i]
+}

@@ -1,0 +1,21 @@
+// Fixture: pathological token sequences that must produce ZERO
+// findings. Linted as `src/det/f.rs` (the strictest scope): every
+// banned name below lives inside a literal or a comment, where a
+// span-accurate lexer must never match.
+//
+// HashMap::new() — banned name in a line comment, not code.
+/* Instant::now() inside a block comment.
+   /* nested: SystemTime::now() .unwrap() */
+   still comment: panic!("x") */
+
+pub fn torture<'a>(s: &'a str) -> usize {
+    let plain = "HashMap::new() and .unwrap() in a string";
+    let raw = r#"Instant::now() and "quoted" panic!()"#;
+    let fenced = r##"a raw string ending with "# is not the end: HashMap"##;
+    let byte = b"SystemTime in a byte string";
+    let braw = br#".expect("msg") in a raw byte string"#;
+    let ch = 'x';
+    let not_char_a_lifetime: &'a str = s;
+    let r#struct = plain.len() + raw.len() + fenced.len() + byte.len() + braw.len();
+    r#struct + (ch as usize) + not_char_a_lifetime.len()
+}

@@ -1,0 +1,19 @@
+// Fixture: lock-discipline violations against the test lock manifest
+// `order a b c` with scope `src`. Linted as `src/f.rs`.
+pub fn violations(s: &Shared) {
+    let _b = s.b.lock();
+    let _a = s.a.lock(); // inversion: a ranks before held b
+    let _b2 = s.b.lock(); // re-acquire of held b
+    let _z = s.z.lock(); // undeclared lock name
+}
+
+pub fn legal(s: &Shared) {
+    let _a = locked(&s.a);
+    let _c = s.c.lock(); // a -> c skips b: strictly later is fine
+    drop(_a);
+}
+
+pub fn temporaries_die_at_statement_end(s: &Shared) {
+    *s.c.lock() += 1;
+    let _a = s.a.lock(); // legal: the c guard above was a temporary
+}

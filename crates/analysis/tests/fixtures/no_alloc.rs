@@ -1,0 +1,18 @@
+// Fixture: allocation in a `no_alloc`-marked hot-loop function, and
+// the same constructs unmarked (not flagged). Linted as `src/f.rs`.
+
+// gx-lint: no_alloc
+pub fn hot(xs: &[u32]) -> u32 {
+    let buf = Vec::new();
+    let msg = format!("{}", xs.len());
+    let doubled: u32 = xs.iter().map(|x| x * 2).sum();
+    let _ = (buf, msg);
+    let copied = xs.to_vec();
+    doubled + copied.len() as u32
+}
+
+pub fn cold(xs: &[u32]) -> usize {
+    // Unmarked function: allocation is fine here.
+    let all: Vec<u32> = xs.iter().copied().collect();
+    all.len()
+}

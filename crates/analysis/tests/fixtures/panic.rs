@@ -1,0 +1,17 @@
+// Fixture: panic-surface constructs in non-test library code. Linted
+// as `src/f.rs` — outside the index scope, so the slicing at the end
+// is NOT flagged (indexing is only checked in declared index paths).
+pub fn first(xs: &[u32]) -> u32 {
+    let head = xs.first().unwrap();
+    let tail = xs.last().expect("nonempty");
+    if *head > *tail {
+        panic!("unsorted");
+    }
+    xs[0]
+}
+
+#[test]
+fn test_code_is_exempt() {
+    let xs = [1u32];
+    assert_eq!(xs.first().unwrap(), &1);
+}

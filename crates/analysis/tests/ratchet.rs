@@ -1,0 +1,107 @@
+//! End-to-end ratchet drills against a throwaway mini-workspace on
+//! disk: prove that *both* drift directions fail `--check` — new
+//! violations (count above baseline) and silently-fixed ones (count
+//! below baseline) — and that `--update-baseline`'s output round-trips.
+
+use gx_lint::baseline::Baseline;
+use gx_lint::{Drift, Workspace, BASELINE_FILE, LOCKS_FILE, MANIFEST_FILE};
+use std::path::PathBuf;
+
+/// One violation: `.unwrap()` in library code.
+const DIRTY_SRC: &str = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+/// Zero violations.
+const CLEAN_SRC: &str = "pub fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n";
+
+/// Builds a throwaway workspace under the target tmpdir with one
+/// source file and a baseline recording `baselined` findings for it.
+struct MiniRepo {
+    root: PathBuf,
+}
+
+impl MiniRepo {
+    fn new(tag: &str, src: &str, baseline: &str) -> MiniRepo {
+        let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("ratchet-{tag}"));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("src")).expect("mkdir src");
+        std::fs::write(root.join(MANIFEST_FILE), "scan src\n").expect("write manifest");
+        std::fs::write(root.join(LOCKS_FILE), "scope src\norder a\n").expect("write locks");
+        std::fs::write(root.join(BASELINE_FILE), baseline).expect("write baseline");
+        std::fs::write(root.join("src/f.rs"), src).expect("write src");
+        MiniRepo { root }
+    }
+
+    fn check(&self) -> Vec<Drift> {
+        let ws = Workspace::load(&self.root).expect("workspace loads");
+        let (_, drift) = ws.check().expect("check runs");
+        drift
+    }
+}
+
+#[test]
+fn in_baseline_violation_passes() {
+    let repo = MiniRepo::new("match", DIRTY_SRC, "panic_surface 1 src/f.rs\n");
+    assert!(repo.check().is_empty(), "baselined violation must not drift");
+}
+
+#[test]
+fn new_violation_fails_check() {
+    // Baseline says clean; the tree has one violation -> `New` drift.
+    let repo = MiniRepo::new("new", DIRTY_SRC, "");
+    let drift = repo.check();
+    assert_eq!(drift.len(), 1, "{drift:?}");
+    assert!(matches!(drift[0], Drift::New { found: 1, baseline: 0, .. }), "{drift:?}");
+}
+
+#[test]
+fn fixed_violation_without_reratchet_fails_check() {
+    // Baseline says one violation; the tree is clean -> `Stale` drift,
+    // forcing the fix and the baseline shrink into the same change.
+    let repo = MiniRepo::new("stale", CLEAN_SRC, "panic_surface 1 src/f.rs\n");
+    let drift = repo.check();
+    assert_eq!(drift.len(), 1, "{drift:?}");
+    assert!(matches!(drift[0], Drift::Stale { found: 0, baseline: 1, .. }), "{drift:?}");
+}
+
+#[test]
+fn reratcheting_restores_a_passing_check() {
+    // The documented recovery for either drift direction: regenerate
+    // the baseline from the current tree and re-check.
+    let repo = MiniRepo::new("reratchet", DIRTY_SRC, "");
+    assert!(!repo.check().is_empty(), "precondition: drifted");
+    let ws = Workspace::load(&repo.root).expect("workspace loads");
+    let rendered = Baseline::from_findings(&ws.lint().expect("lint")).render("# regenerated\n");
+    std::fs::write(repo.root.join(BASELINE_FILE), rendered).expect("rewrite baseline");
+    assert!(repo.check().is_empty(), "regenerated baseline must be drift-free");
+}
+
+#[test]
+fn every_rule_class_fails_check_when_injected() {
+    // The acceptance drill: inject one violation of each rule family
+    // into an otherwise-clean workspace and demand `--check` fails.
+    let cases: &[(&str, &str)] = &[
+        ("determinism", "use std::collections::HashMap;\npub fn f() {}\n"),
+        ("panic_surface", "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n"),
+        ("lock_discipline", "pub fn f(s: &S) { let _b = s.b.lock(); let _a = s.a.lock(); }\n"),
+        ("no_alloc", "// gx-lint: no_alloc\npub fn f() -> Vec<u32> { Vec::new() }\n"),
+        ("directive", "// gx-lint: allow(nonexistent_rule) -- typo\npub fn f() {}\n"),
+    ];
+    for (rule, src) in cases {
+        let tag = format!("inject-{rule}");
+        let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("ratchet-{tag}"));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("src/det")).expect("mkdir");
+        std::fs::write(root.join(MANIFEST_FILE), "scan src\ndeterministic src/det\n")
+            .expect("manifest");
+        std::fs::write(root.join(LOCKS_FILE), "scope src\norder a b\n").expect("locks");
+        std::fs::write(root.join(BASELINE_FILE), "").expect("baseline");
+        let path = if *rule == "determinism" { "src/det/f.rs" } else { "src/f.rs" };
+        std::fs::write(root.join(path), src).expect("src");
+        let ws = Workspace::load(&root).expect("workspace loads");
+        let (findings, drift) = ws.check().expect("check runs");
+        assert!(!drift.is_empty(), "injected {rule} violation must drift the empty baseline");
+        assert!(
+            findings.iter().any(|f| f.rule.id() == *rule),
+            "injected violation must be reported under `{rule}`: {findings:?}"
+        );
+    }
+}

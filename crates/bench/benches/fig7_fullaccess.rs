@@ -7,6 +7,9 @@
 //! graphs; the walks win as graphs get larger/sparser because they skip
 //! the preprocessing pass and generate samples faster (§6.3.2).
 
+// Benchmark harness: wall-clock timing is the whole point here.
+#![allow(clippy::disallowed_methods)]
+
 use gx_baselines::{path_sampling_counts, wedge_sampling};
 use gx_bench::{f, print_table, runs, write_json};
 use gx_core::eval::nrmse;

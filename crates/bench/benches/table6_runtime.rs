@@ -6,6 +6,9 @@
 //! `G(d)` gets cheaper as d shrinks because neighbor generation on G and
 //! G(2) is O(1) while G(3)/G(4) need per-step neighborhood enumeration.
 
+// Benchmark harness: wall-clock timing is the whole point here.
+#![allow(clippy::disallowed_methods)]
+
 use gx_bench::{print_table, steps, write_json};
 use gx_core::{estimate, EstimatorConfig};
 use gx_datasets::small_datasets;

@@ -18,6 +18,9 @@
 //! original ids are compacted and the largest connected component is
 //! used).
 
+// Benchmark harness: wall-clock timing is the whole point here.
+#![allow(clippy::disallowed_methods)]
+
 use gx_core::{EstimatorConfig, NodeWindow, Runner, StoppingRule};
 use gx_datasets::{dataset, LoadedDataset};
 use gx_graph::Graph;

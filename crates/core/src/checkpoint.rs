@@ -141,32 +141,34 @@ impl<'a> Reader<'a> {
         Self { buf, pos: 0 }
     }
 
-    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], CheckpointError> {
-        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
-        match end {
-            Some(end) => {
-                let s = &self.buf[self.pos..end];
-                self.pos = end;
-                Ok(s)
-            }
-            None => Err(CheckpointError::Malformed { what }),
-        }
+    /// Consumes the next `N` bytes as an owned fixed-size array — the
+    /// infallible bridge to `from_le_bytes`, so no width conversion
+    /// ever panics.
+    fn take_arr<const N: usize>(&mut self, what: &'static str) -> Result<[u8; N], CheckpointError> {
+        let (chunk, _) = self
+            .buf
+            .get(self.pos..)
+            .and_then(|rest| rest.split_first_chunk::<N>())
+            .ok_or(CheckpointError::Malformed { what })?;
+        self.pos += N;
+        Ok(*chunk)
     }
 
     pub(crate) fn u8(&mut self, what: &'static str) -> Result<u8, CheckpointError> {
-        Ok(self.take(1, what)?[0])
+        let [b] = self.take_arr(what)?;
+        Ok(b)
     }
 
     pub(crate) fn u32(&mut self, what: &'static str) -> Result<u32, CheckpointError> {
-        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_arr(what)?))
     }
 
     pub(crate) fn u64(&mut self, what: &'static str) -> Result<u64, CheckpointError> {
-        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_arr(what)?))
     }
 
     pub(crate) fn u128(&mut self, what: &'static str) -> Result<u128, CheckpointError> {
-        Ok(u128::from_le_bytes(self.take(16, what)?.try_into().unwrap()))
+        Ok(u128::from_le_bytes(self.take_arr(what)?))
     }
 
     pub(crate) fn f64(&mut self, what: &'static str) -> Result<f64, CheckpointError> {
@@ -223,22 +225,30 @@ pub(crate) fn write_envelope<W: Write>(payload: &[u8], w: &mut W) -> Result<(), 
 /// Reads and verifies an envelope, returning the checksum-verified
 /// payload. No payload byte is interpreted before the digest matches.
 pub(crate) fn read_envelope<R: Read>(r: &mut R) -> Result<Vec<u8>, GxError> {
-    let mut header = [0u8; 4 + 4 + 8 + 8];
-    read_exact_or_truncated(r, &mut header)?;
-    if header[..4] != MAGIC {
+    // Header fields are read as owned fixed-size words: no slicing, no
+    // fallible width conversion, so a short header is always the typed
+    // `Truncated` and never a panic.
+    let mut magic = [0u8; 4];
+    read_exact_or_truncated(r, &mut magic)?;
+    if magic != MAGIC {
         return Err(CheckpointError::BadMagic.into());
     }
-    let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    let mut word4 = [0u8; 4];
+    read_exact_or_truncated(r, &mut word4)?;
+    let version = u32::from_le_bytes(word4);
     if version != VERSION {
         return Err(CheckpointError::UnsupportedVersion { found: version }.into());
     }
-    let len = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    let mut word8 = [0u8; 8];
+    read_exact_or_truncated(r, &mut word8)?;
+    let len = u64::from_le_bytes(word8);
     if len > MAX_PAYLOAD {
         // A flipped length bit must not become a multi-gigabyte read
         // attempt; past the ceiling it is indistinguishable from rot.
         return Err(CheckpointError::Truncated.into());
     }
-    let expected = u64::from_le_bytes(header[16..24].try_into().unwrap());
+    read_exact_or_truncated(r, &mut word8)?;
+    let expected = u64::from_le_bytes(word8);
     let mut payload = Vec::new();
     r.take(len).read_to_end(&mut payload).map_err(GxError::from)?;
     if payload.len() as u64 != len {

@@ -220,6 +220,7 @@ impl Scorer {
 /// whole scoring computation between choosing the next node and probing
 /// its adjacency in `push`, giving the out-of-order core independent
 /// work to overlap that (cold, data-dependent) adjacency fetch with.
+// gx-lint: no_alloc
 #[inline(always)]
 fn step_and_accumulate<G: GraphAccess, W: StateWalk>(
     g: &G,

@@ -35,6 +35,7 @@ pub struct ParallelConfig {
 /// Usable cores on this host (`available_parallelism`, 1 on failure) —
 /// the single source of the core-count policy for walkers and threads.
 pub fn available_cores() -> usize {
+    // gx-lint: allow(determinism) -- host probe only sizes the walker pool; estimates are walker-count-independent given a seed (covered by parallel determinism tests)
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 

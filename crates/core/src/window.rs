@@ -290,6 +290,7 @@ impl NodeWindow {
 
     /// Pushes the walk's current state. `degree` is the state's degree in
     /// `G(d)` at this time.
+    // gx-lint: no_alloc
     pub fn push<G: GraphAccess>(&mut self, g: &G, state_nodes: &[NodeId], degree: usize) {
         debug_assert!(
             u32::try_from(degree).is_ok(),
@@ -423,6 +424,7 @@ impl NodeWindow {
     /// edges `(i, j)`, and the upper-triangle pair layout stores them
     /// contiguously — so each row contributes one shifted bit-block, no
     /// per-pair scan.
+    // gx-lint: no_alloc
     #[inline]
     pub fn sample(&self) -> (u32, &[NodeId]) {
         let m = self.dlen;

@@ -12,6 +12,7 @@
 use crate::cache::SnapshotCache;
 use crate::recovery::BackoffPolicy;
 use crate::scheduler::{self, JobShared, ServiceShared};
+use crate::sync::{locked, wait_timeout_unpoisoned, wait_unpoisoned};
 use gx_core::parallel::available_cores;
 use gx_core::{
     Estimate, EstimatorConfig, FaultPlan, GxError, Progress, ServiceError, StoppingRule,
@@ -241,35 +242,40 @@ impl JobHandle {
     /// The latest [`Progress`] snapshot (updated after every scheduler
     /// round), `None` before the job's first round.
     pub fn progress(&self) -> Option<Progress> {
-        *self.shared.progress.lock().expect("progress slot poisoned")
+        *locked(&self.shared.progress)
     }
 
     /// The result if the job already terminated, without blocking.
     pub fn try_result(&self) -> Option<JobResult> {
-        self.shared.result.lock().expect("result slot poisoned").clone()
+        locked(&self.shared.result).clone()
     }
 
     /// Blocks until the job terminates. Always returns on a live or
     /// shut-down service: shutdown resolves every incomplete job as
     /// [`ServiceError::Shutdown`] rather than leaving waiters hanging.
     pub fn wait(&self) -> JobResult {
-        let mut slot = self.shared.result.lock().expect("result slot poisoned");
-        while slot.is_none() {
-            slot = self.shared.done.wait(slot).expect("result slot poisoned");
+        let mut slot = locked(&self.shared.result);
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = wait_unpoisoned(&self.shared.done, slot);
         }
-        slot.clone().expect("checked above")
     }
 
     /// [`JobHandle::wait`] bounded by `timeout` — the watchdog form.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<JobResult> {
+        // Wall-clock deadline arithmetic is inherently timing code.
+        #[allow(clippy::disallowed_methods)]
         let deadline = Instant::now() + timeout;
-        let mut slot = self.shared.result.lock().expect("result slot poisoned");
+        let mut slot = locked(&self.shared.result);
         while slot.is_none() {
+            #[allow(clippy::disallowed_methods)]
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
                 return None;
             }
-            let (s, _) = self.shared.done.wait_timeout(slot, left).expect("result slot poisoned");
+            let (s, _) = wait_timeout_unpoisoned(&self.shared.done, slot, left);
             slot = s;
         }
         slot.clone()

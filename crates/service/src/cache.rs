@@ -11,6 +11,7 @@
 //! re-submitting a previously-interned `Arc` is a pointer-equality hit
 //! that skips the fingerprint scan entirely.
 
+use crate::sync::locked;
 use gx_core::graph_fingerprint;
 use gx_graph::Graph;
 use std::collections::HashMap;
@@ -47,11 +48,15 @@ impl SnapshotCache {
     /// pays one O(edges) fingerprint scan; re-submitting the *returned*
     /// (canonical) `Arc` afterwards is a pointer lookup.
     pub fn intern(&self, g: Arc<Graph>) -> (Arc<Graph>, u64) {
-        let mut inner = self.inner.lock().expect("snapshot cache poisoned");
+        let mut inner = locked(&self.inner);
         let ptr = Arc::as_ptr(&g) as usize;
         if let Some(&fp) = inner.by_ptr.get(&ptr) {
-            let canonical = inner.by_fp[&fp].clone();
-            return (canonical, fp);
+            // `by_ptr` keys are only ever canonical `Arc`s held in
+            // `by_fp`, but degrade to a rescan rather than panic if
+            // that invariant is ever broken.
+            if let Some(canonical) = inner.by_fp.get(&fp) {
+                return (canonical.clone(), fp);
+            }
         }
         let fp = graph_fingerprint(&*g);
         let canonical = match inner.by_fp.get(&fp) {
@@ -67,7 +72,7 @@ impl SnapshotCache {
 
     /// Distinct snapshots currently cached.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("snapshot cache poisoned").by_fp.len()
+        locked(&self.inner).by_fp.len()
     }
 
     /// Whether the cache holds no snapshots.
@@ -80,7 +85,7 @@ impl SnapshotCache {
     /// their own `Arc` clones, so an in-flight job's snapshot is never
     /// evicted from under it.
     pub fn evict_unused(&self) -> usize {
-        let mut inner = self.inner.lock().expect("snapshot cache poisoned");
+        let mut inner = locked(&self.inner);
         let dead: Vec<u64> = inner
             .by_fp
             .iter()

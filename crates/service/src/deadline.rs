@@ -7,6 +7,11 @@
 //! round of the expiry — it is never torn mid-round, and it never hangs
 //! waiting for a budget that cannot complete in time.
 
+// This module IS the service's wall-clock boundary: the repo-wide
+// `disallowed-methods` ban on `Instant::now` exists to funnel deadline
+// arithmetic here (estimator code must stay clock-free).
+#![allow(clippy::disallowed_methods)]
+
 use std::time::{Duration, Instant};
 
 /// A job's absolute deadline: `None` means "no deadline".

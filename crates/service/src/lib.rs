@@ -34,6 +34,7 @@ pub mod cache;
 pub mod deadline;
 pub mod recovery;
 mod scheduler;
+mod sync;
 
 pub use api::{
     EstimationService, JobFaults, JobHandle, JobId, JobResult, JobSpec, ServiceConfig, ServiceStats,

@@ -21,6 +21,7 @@
 use crate::api::{JobBudget, JobFaults};
 use crate::deadline::Deadline;
 use crate::scheduler::JobShared;
+use crate::sync::locked;
 use gx_core::{Estimate, FaultPlan, Runner};
 use gx_graph::Graph;
 use std::sync::atomic::Ordering;
@@ -186,6 +187,7 @@ pub(crate) fn run_lease(lease: Lease) -> LeaseEnd {
         |fail: Option<usize>| FaultPlan { fail_write_after: fail, poison: faults.poison.clone() };
     let mut handle = match &snapshot {
         Some(bytes) => Runner::resume_trusted(g, fingerprint, &mut bytes.as_slice())
+            // gx-lint: allow(panic_surface) -- deliberate: runs under the worker catch_unwind boundary; a snapshot we wrote that fails to resume is a checkpoint-subsystem bug, and panicking quarantines the worker and re-adopts the job
             .expect("own round-boundary snapshot must resume"),
         None => {
             let runner = match &budget {
@@ -196,6 +198,7 @@ pub(crate) fn run_lease(lease: Lease) -> LeaseEnd {
                 .seed(seed)
                 .walkers(walkers)
                 .start(g)
+                // gx-lint: allow(panic_surface) -- deliberate: admission already validated this spec; reaching here means the validators diverged, which the catch_unwind boundary converts into quarantine + re-adopt rather than a wedged job
                 .expect("job spec was validated at submit");
             h.adopt_fingerprint(fingerprint);
             h
@@ -226,7 +229,7 @@ pub(crate) fn run_lease(lease: Lease) -> LeaseEnd {
         }
         let progress = handle.advance(round_windows);
         rounds_run += 1;
-        *shared.progress.lock().expect("progress slot poisoned") = Some(progress);
+        *locked(&shared.progress) = Some(progress);
         if progress.finished {
             let degraded = handle.degraded();
             return LeaseEnd::Finished { estimate: Box::new(handle.finish()), degraded };

@@ -20,6 +20,7 @@ use crate::api::{
 use crate::cache::SnapshotCache;
 use crate::deadline::Deadline;
 use crate::recovery::{run_lease, BackoffPolicy, Lease, LeaseEnd};
+use crate::sync::{locked, wait_unpoisoned};
 use gx_core::{Estimate, EstimatorConfig, GxError, Progress, Runner, ServiceError};
 use gx_graph::Graph;
 use std::collections::{HashMap, VecDeque};
@@ -155,7 +156,7 @@ impl ServiceShared {
 
     /// A point-in-time stats snapshot.
     pub(crate) fn stats(&self) -> ServiceStats {
-        let st = self.state.lock().expect("scheduler state poisoned");
+        let st = locked(&self.state);
         ServiceStats {
             healthy_workers: st.healthy_workers,
             quarantined_workers: st.quarantined_workers,
@@ -200,7 +201,7 @@ pub(crate) fn submit(shared: &Arc<ServiceShared>, spec: JobSpec) -> Result<JobHa
     .max(1);
     let deadline = Deadline::after(spec.deadline);
 
-    let mut st = shared.state.lock().expect("scheduler state poisoned");
+    let mut st = locked(&shared.state);
     if st.shutdown {
         return Err(ServiceError::Shutdown.into());
     }
@@ -250,7 +251,7 @@ pub(crate) fn submit(shared: &Arc<ServiceShared>, spec: JobSpec) -> Result<JobHa
 /// jobs resolve as `Shutdown` unless the lease finished outright).
 pub(crate) fn shutdown(shared: &Arc<ServiceShared>) {
     {
-        let mut st = shared.state.lock().expect("scheduler state poisoned");
+        let mut st = locked(&shared.state);
         if !st.shutdown {
             st.shutdown = true;
             st.ready.clear();
@@ -267,8 +268,7 @@ pub(crate) fn shutdown(shared: &Arc<ServiceShared>) {
     // second drain catches it (its thread observes `shutdown` and exits
     // promptly).
     loop {
-        let handles: Vec<JoinHandle<()>> =
-            shared.threads.lock().expect("thread list poisoned").drain(..).collect();
+        let handles: Vec<JoinHandle<()>> = locked(&shared.threads).drain(..).collect();
         if handles.is_empty() {
             break;
         }
@@ -280,10 +280,10 @@ pub(crate) fn shutdown(shared: &Arc<ServiceShared>) {
 
 /// Spawns one pool worker and registers its join handle.
 fn spawn_worker(shared: &Arc<ServiceShared>) {
-    shared.state.lock().expect("scheduler state poisoned").healthy_workers += 1;
+    locked(&shared.state).healthy_workers += 1;
     let me = Arc::clone(shared);
     let handle = std::thread::spawn(move || worker_loop(me));
-    shared.threads.lock().expect("thread list poisoned").push(handle);
+    locked(&shared.threads).push(handle);
 }
 
 /// One worker: wait for a ready job, run one lease lock-free, settle.
@@ -293,18 +293,22 @@ fn spawn_worker(shared: &Arc<ServiceShared>) {
 fn worker_loop(shared: Arc<ServiceShared>) {
     loop {
         let (id, lease) = {
-            let mut st = shared.state.lock().expect("scheduler state poisoned");
+            let mut st = locked(&shared.state);
             loop {
                 if st.shutdown {
                     return;
                 }
                 if let Some(id) = st.ready.pop_front() {
-                    let lease = grant(&mut st, id, &shared);
-                    break (id, lease);
+                    if let Some(lease) = grant(&mut st, id, &shared) {
+                        break (id, lease);
+                    }
+                    continue;
                 }
-                st = shared.work.wait(st).expect("scheduler state poisoned");
+                st = wait_unpoisoned(&shared.work, st);
             }
         };
+        // Lease wall-time feeds the admission clock's retry hints.
+        #[allow(clippy::disallowed_methods)]
         let started = Instant::now();
         let end = catch_unwind(AssertUnwindSafe(|| run_lease(lease)));
         let elapsed = started.elapsed();
@@ -321,10 +325,12 @@ fn worker_loop(shared: Arc<ServiceShared>) {
 /// Copies a lease out of the job record (under the lock) and banks the
 /// job's DRR grant. The injected worker panic, if due within this
 /// lease, is *moved* onto the lease so re-adoption cannot re-fire it.
-fn grant(st: &mut State, id: JobId, shared: &ServiceShared) -> Lease {
+fn grant(st: &mut State, id: JobId, shared: &ServiceShared) -> Option<Lease> {
     let seq = st.lease_seq;
-    st.lease_seq += 1;
-    let job = st.jobs.get_mut(&id).expect("ready job must have a record");
+    // A ready id whose record is gone would be a scheduler bookkeeping
+    // bug; declining the grant keeps the pool alive instead of
+    // panicking a worker over a job that no longer exists.
+    let job = st.jobs.get_mut(&id)?;
     job.in_flight = true;
     if job.first_seq.is_none() {
         job.first_seq = Some(seq);
@@ -339,7 +345,7 @@ fn grant(st: &mut State, id: JobId, shared: &ServiceShared) -> Lease {
         }
         _ => None,
     };
-    Lease {
+    let lease = Lease {
         graph: job.graph.clone(),
         fingerprint: job.fingerprint,
         cfg: job.cfg.clone(),
@@ -358,16 +364,23 @@ fn grant(st: &mut State, id: JobId, shared: &ServiceShared) -> Lease {
         backoff: shared.backoff,
         deadline: job.deadline,
         shared: job.shared.clone(),
-    }
+    };
+    st.lease_seq += 1;
+    Some(lease)
 }
 
 /// Applies a lease's outcome to the job record: terminal ends resolve
 /// the job; `Yielded` banks the new snapshot and requeues (or resolves
 /// as `Shutdown` if the service stopped mid-lease).
 fn settle(shared: &ServiceShared, id: JobId, end: LeaseEnd, elapsed: Duration) {
-    let mut st = shared.state.lock().expect("scheduler state poisoned");
+    let mut st = locked(&shared.state);
     st.clock.observe(elapsed);
-    let job = st.jobs.get_mut(&id).expect("in-flight job must have a record");
+    let Some(job) = st.jobs.get_mut(&id) else {
+        // Only reachable if the job was already resolved out from under
+        // an in-flight lease — a bookkeeping bug, but one with nothing
+        // left to apply; dropping the outcome beats panicking a worker.
+        return;
+    };
     job.in_flight = false;
     job.leases += 1;
     match end {
@@ -416,7 +429,7 @@ fn settle(shared: &ServiceShared, id: JobId, end: LeaseEnd, elapsed: Duration) {
 /// grant.
 fn quarantine_and_readopt(shared: &Arc<ServiceShared>, id: JobId, elapsed: Duration) {
     let spawn_replacement = {
-        let mut st = shared.state.lock().expect("scheduler state poisoned");
+        let mut st = locked(&shared.state);
         st.clock.observe(elapsed);
         st.healthy_workers = st.healthy_workers.saturating_sub(1);
         st.quarantined_workers += 1;
@@ -448,7 +461,11 @@ fn resolve(
     partial: Option<Estimate>,
     degraded: bool,
 ) {
-    let job = st.jobs.remove(&id).expect("resolving job must have a record");
+    let Some(job) = st.jobs.remove(&id) else {
+        // Double-resolve (the caller raced another terminal path): the
+        // first resolution already published a result; nothing to do.
+        return;
+    };
     st.incomplete -= 1;
     st.completed += 1;
     let result = JobResult {
@@ -467,6 +484,6 @@ fn resolve(
     // still-held graph reference.
     let shared = job.shared.clone();
     drop(job);
-    *shared.result.lock().expect("result slot poisoned") = Some(result);
+    *locked(&shared.result) = Some(result);
     shared.done.notify_all();
 }

@@ -76,6 +76,7 @@ impl<'g, G: GraphAccess> G2Walk<'g, G> {
     /// Samples one uniformly random neighboring edge of the current edge,
     /// returned with its endpoint degrees (one fresh degree fetch per
     /// accepted candidate; the kept endpoint's degree is already cached).
+    // gx-lint: no_alloc
     #[inline]
     fn sample_neighbor(&self, rng: &mut WalkRng) -> ([NodeId; 2], [u32; 2]) {
         let [u, v] = self.state;
@@ -110,6 +111,7 @@ impl<G: GraphAccess> StateWalk for G2Walk<'_, G> {
         self.edge_degree()
     }
 
+    // gx-lint: no_alloc
     #[inline]
     fn step(&mut self, rng: &mut WalkRng) {
         let deg = self.edge_degree();

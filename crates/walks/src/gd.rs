@@ -268,6 +268,7 @@ impl<G: GraphAccess> StateWalk for GdWalk<'_, G> {
         self.neighbors.len()
     }
 
+    // gx-lint: no_alloc
     fn step(&mut self, rng: &mut WalkRng) {
         self.refresh_neighbors();
         debug_assert!(!self.neighbors.is_empty(), "connected G(d) state must have neighbors");

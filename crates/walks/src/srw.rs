@@ -67,6 +67,7 @@ impl<G: GraphAccess> StateWalk for SrwWalk<'_, G> {
         self.deg
     }
 
+    // gx-lint: no_alloc
     #[inline]
     fn step(&mut self, rng: &mut WalkRng) {
         let v = self.state[0];

@@ -16,6 +16,9 @@
 //!
 //! Run with `cargo run --release --example service`.
 
+// Demo prints wall-clock timings; the Instant ban guards library code.
+#![allow(clippy::disallowed_methods)]
+
 use graphlet_rw::graph::generators::holme_kim;
 use graphlet_rw::service::{silence_injected_panics, EstimationService, JobFaults, JobSpec};
 use graphlet_rw::{EstimatorConfig, Runner, ServiceConfig, ServiceError};

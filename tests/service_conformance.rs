@@ -18,6 +18,10 @@
 //!   estimates where one exists, and never hang (every wait here runs
 //!   under a watchdog timeout).
 
+// Watchdog timeouts here are real timing code; the Instant ban guards
+// library code.
+#![allow(clippy::disallowed_methods)]
+
 use graphlet_rw::graph::generators::classic;
 use graphlet_rw::service::{
     silence_injected_panics, EstimationService, JobFaults, JobHandle, JobResult, JobSpec,
