@@ -12,7 +12,11 @@
 //! SRW2CSS speedup check), `GX_WALKERS` (default: available cores),
 //! `GX_TRIALS` (default 3 — each section is timed this many times and
 //! the fastest trial is kept, the standard steady-state-throughput
-//! protocol on shared/noisy machines), `GX_DATASET` (path to a real
+//! protocol on shared/noisy machines), `GX_BATCH` (default 24 — the
+//! lock-step lane count for the batched-engine rows), `GX_LARGE_NODES`
+//! (default 16M — node count of the DRAM-resident Barabási–Albert
+//! workload behind the batched-vs-scalar acceptance comparison; 0
+//! skips that section), `GX_DATASET` (path to a real
 //! KONECT/SNAP edge list to bench on instead of the synthetic
 //! epinion-sim — loaded through `gx_datasets::LoadedDataset`, so sparse
 //! original ids are compacted and the largest connected component is
@@ -123,50 +127,70 @@ fn main() {
         json.insert("g2_raw_steps_per_sec".into(), serde_json::json!(rate));
     }
 
-    // Per-stage breakdown of the SRW2CSS(k=4) pipeline, so a regression
-    // in any single stage (walk, window bookkeeping, classification, CSS
-    // weighting) is visible in the telemetry instead of hiding inside the
-    // end-to-end number. Every stage uses the same seed and step budget.
-    {
+    // End-to-end SRW2CSS (the paper's recommended k=4 method) plus its
+    // per-stage breakdown (walk, window bookkeeping, classification —
+    // the full estimator is the "+css" row), so a regression in any
+    // single stage is visible in the telemetry instead of hiding inside
+    // the end-to-end number. Every stage uses the same seed and budget.
+    let cfg = EstimatorConfig::recommended(4);
+    assert_eq!(cfg.name(), "SRW2CSS");
+    // Warm-up: classification tables, dense CSS tables. The bench
+    // drives the `Runner` front door — the same entry point the legacy
+    // shorthands delegate to.
+    let _ = Runner::new(cfg.clone()).steps(2_000).seed(7).run(g).expect("valid config");
+    let seq_runner = Runner::new(cfg.clone()).steps(steps).seed(42);
+
+    // One trial = the three stage rows and the end-to-end sequential run,
+    // timed back to back; the reported breakdown is the one trial with
+    // the fastest *end-to-end* time. Taking per-metric minima instead
+    // (the protocol before this note) lets every row come from a
+    // different trial, so rows move independently under co-tenant noise
+    // — which is exactly why the sequential numbers appeared to drift
+    // between the PR 6 and PR 7 BENCH_walks.json snapshots with no code
+    // change behind them. A breakdown sampled from a single trial is
+    // internally consistent with the e2e number it decomposes.
+    struct StageTrial {
+        walk_secs: f64,
+        window_secs: f64,
+        classify_secs: f64,
+        e2e_secs: f64,
+    }
+    let mut best: Option<StageTrial> = None;
+    for _ in 0..trials() {
         // walk-only: the raw G(2) chain, nothing else.
-        let mut rng = rng_from_seed(42);
-        let (u, v) = random_start_edge(g, &mut rng);
-        let mut w = G2Walk::new(g, u, v, false);
-        let secs = time(|| {
+        let walk_secs = {
+            let mut rng = rng_from_seed(42);
+            let (u, v) = random_start_edge(g, &mut rng);
+            let mut w = G2Walk::new(g, u, v, false);
+            let t = Instant::now();
             for _ in 0..steps {
                 w.step(&mut rng);
             }
             black_box(w.state());
-        });
-        let rate = steps_per_sec(steps, secs);
-        println!("SRW2CSS stage: walk     {rate:>14.0} steps/s");
-        json.insert("srw2css_stage_walk_steps_per_sec".into(), serde_json::json!(rate));
-    }
-    {
+            t.elapsed().as_secs_f64()
+        };
         // + window: sliding-union maintenance (§5 bookkeeping).
-        let mut rng = rng_from_seed(42);
-        let (u, v) = random_start_edge(g, &mut rng);
-        let mut w = G2Walk::new(g, u, v, false);
-        let mut win = NodeWindow::new(3, 2);
-        let secs = time(|| {
+        let window_secs = {
+            let mut rng = rng_from_seed(42);
+            let (u, v) = random_start_edge(g, &mut rng);
+            let mut w = G2Walk::new(g, u, v, false);
+            let mut win = NodeWindow::new(3, 2);
+            let t = Instant::now();
             for _ in 0..steps {
                 let deg = w.state_degree();
                 win.push(g, w.state(), deg);
                 black_box(win.is_valid_sample());
                 w.step(&mut rng);
             }
-        });
-        let rate = steps_per_sec(steps, secs);
-        println!("SRW2CSS stage: +window  {rate:>14.0} steps/s");
-        json.insert("srw2css_stage_window_steps_per_sec".into(), serde_json::json!(rate));
-    }
-    {
+            t.elapsed().as_secs_f64()
+        };
         // + classify: mask extraction and graphlet identification.
-        let mut rng = rng_from_seed(42);
-        let (u, v) = random_start_edge(g, &mut rng);
-        let mut w = G2Walk::new(g, u, v, false);
-        let mut win = NodeWindow::new(3, 2);
-        let secs = time(|| {
+        let classify_secs = {
+            let mut rng = rng_from_seed(42);
+            let (u, v) = random_start_edge(g, &mut rng);
+            let mut w = G2Walk::new(g, u, v, false);
+            let mut win = NodeWindow::new(3, 2);
+            let t = Instant::now();
             for _ in 0..steps {
                 let deg = w.state_degree();
                 win.push(g, w.state(), deg);
@@ -176,29 +200,164 @@ fn main() {
                 }
                 w.step(&mut rng);
             }
-        });
-        let rate = steps_per_sec(steps, secs);
-        println!("SRW2CSS stage: +classify{rate:>14.0} steps/s");
-        json.insert("srw2css_stage_classify_steps_per_sec".into(), serde_json::json!(rate));
+            t.elapsed().as_secs_f64()
+        };
+        // + css = the full single-walker estimator, end to end.
+        let e2e_secs = {
+            let t = Instant::now();
+            let est = seq_runner.run(g).expect("valid config");
+            assert!(est.valid_samples > 0);
+            t.elapsed().as_secs_f64()
+        };
+        let trial = StageTrial { walk_secs, window_secs, classify_secs, e2e_secs };
+        if best.as_ref().is_none_or(|b| trial.e2e_secs < b.e2e_secs) {
+            best = Some(trial);
+        }
     }
+    let best = best.expect("GX_TRIALS is clamped to >= 1");
+    let seq_secs = best.e2e_secs;
+    let seq_rate = steps_per_sec(steps, seq_secs);
+    for (label, key, secs) in [
+        ("walk    ", "srw2css_stage_walk_steps_per_sec", best.walk_secs),
+        ("+window ", "srw2css_stage_window_steps_per_sec", best.window_secs),
+        ("+classify", "srw2css_stage_classify_steps_per_sec", best.classify_secs),
+    ] {
+        let rate = steps_per_sec(steps, secs);
+        println!("SRW2CSS stage: {label}{rate:>14.0} steps/s");
+        json.insert(key.into(), serde_json::json!(rate));
+    }
+    println!("SRW2CSS sequential      {seq_rate:>14.0} steps/s  ({seq_secs:.3} s)");
 
-    // End-to-end SRW2CSS (the paper's recommended k=4 method): the
-    // acceptance workload for the parallel engine. The full estimator is
-    // the "+css" stage of the breakdown above.
-    let cfg = EstimatorConfig::recommended(4);
-    assert_eq!(cfg.name(), "SRW2CSS");
-    // Warm-up: classification tables, dense CSS tables. The bench
-    // drives the `Runner` front door — the same entry point the legacy
-    // shorthands delegate to.
-    let _ = Runner::new(cfg.clone()).steps(2_000).seed(7).run(g).expect("valid config");
-
-    let seq_runner = Runner::new(cfg.clone()).steps(steps).seed(42);
-    let seq_secs = time(|| {
-        let est = seq_runner.run(g).expect("valid config");
+    // Lock-step batched engine on the same single-core budget — the
+    // tentpole's acceptance comparison, in the same invocation as the
+    // scalar number above. `GX_BATCH` walkers advance in lock-step on
+    // the calling thread (`run_local`), splitting the same total step
+    // budget; the win is memory-level parallelism, so the run is first
+    // pinned bit-identical to the scalar engine at the same fan-out
+    // before the clock starts.
+    let batch: usize =
+        std::env::var("GX_BATCH").ok().and_then(|v| v.parse().ok()).unwrap_or(24).max(1);
+    let bat_runner =
+        Runner::new(cfg.clone()).steps(steps).seed(42).walkers(batch).batch_width(batch);
+    {
+        let scalar = Runner::new(cfg.clone())
+            .steps(steps)
+            .seed(42)
+            .walkers(batch)
+            .run_local(g)
+            .expect("valid config");
+        let batched = bat_runner.run_local(g).expect("valid config");
+        let bits =
+            |e: &gx_core::Estimate| e.raw_scores.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&scalar), bits(&batched), "batched engine must be bit-identical");
+    }
+    let bat_secs = time(|| {
+        let est = bat_runner.run_local(g).expect("valid config");
         assert!(est.valid_samples > 0);
     });
-    let seq_rate = steps_per_sec(steps, seq_secs);
-    println!("SRW2CSS sequential      {seq_rate:>14.0} steps/s  ({seq_secs:.3} s)");
+    let bat_rate = steps_per_sec(steps, bat_secs);
+    let bat_speedup = seq_secs / bat_secs;
+    println!(
+        "SRW2CSS batched B={batch:<4} {bat_rate:>14.0} steps/s  ({bat_secs:.3} s)  vs seq {bat_speedup:.2}x"
+    );
+
+    // Memory-bound acceptance workload for the batched engine. The
+    // epinion-sim analog above fits in L2, where prefetching has
+    // nothing to hide (the batched row there is expected to sit at
+    // ~0.8–1.0× — pure lock-step overhead); batching exists for graphs
+    // that *miss*. A Barabási–Albert graph at `GX_LARGE_NODES`
+    // (default 16M nodes, m = 10: ~1.3 GB of CSR, far past LLC and TLB
+    // reach) makes every step a DRAM-latency neighbor-slice load, which
+    // is exactly
+    // what the one-tick-ahead prefetch overlaps across the B lanes.
+    // Scalar and batched runs share fan-out, seed, and total budget on
+    // one thread, differing in the engine alone — and the engines are
+    // bit-identical, so the speedup cannot come from a sampling change.
+    // `GX_LARGE_NODES=0` skips the section (smoke runs use a small n).
+    let large_nodes: usize =
+        std::env::var("GX_LARGE_NODES").ok().and_then(|v| v.parse().ok()).unwrap_or(16_000_000);
+    let large_m: usize =
+        std::env::var("GX_LARGE_M").ok().and_then(|v| v.parse().ok()).unwrap_or(10).max(1);
+    if large_nodes > 0 {
+        let mut grng = rng_from_seed(9);
+        let big = gx_graph::generators::barabasi_albert(large_nodes, large_m, &mut grng);
+        println!(
+            "large workload: barabasi-albert {} nodes, {} edges",
+            big.num_nodes(),
+            big.num_edges()
+        );
+        // 4× the standard budget: per-trial windows under ~100 ms are
+        // jitter-dominated at DRAM-bound step rates.
+        let large_steps = steps * 4;
+        let scalar_runner = Runner::new(cfg.clone()).steps(large_steps).seed(42).walkers(batch);
+        let large_bat_runner =
+            Runner::new(cfg.clone()).steps(large_steps).seed(42).walkers(batch).batch_width(batch);
+        // The two engines are timed *alternately* within each trial, not
+        // as two separate best-of-N blocks: machine conditions drift
+        // across a run (co-tenant load on the shared box, frequency
+        // steps), and a block protocol hands whichever engine runs
+        // later a different machine than the one the other was measured
+        // on. Alternation samples both engines across the same span, so
+        // the trial pairs — and the speedup ratio the acceptance gate
+        // reads — compare like with like.
+        //
+        // Unlike the small-graph rows, this section reports the *median*
+        // trial, not the minimum. Min-of-N answers "how fast on an idle
+        // machine" — but the scalar engine is a serial dependent-load
+        // chain, so any co-tenant memory traffic lands directly on its
+        // critical path, while the batched engine's overlapped misses
+        // absorb the same interference. Min-of-N therefore hands the
+        // scalar side its one quiet window and discards exactly the
+        // latency tolerance lock-step batching exists to provide;
+        // the median measures both engines under the machine conditions
+        // they actually share. Per-trial pairs are printed so the
+        // spread is visible in the log.
+        let mut scalar_trials: Vec<f64> = Vec::new();
+        let mut batched_trials: Vec<f64> = Vec::new();
+        for i in 0..trials().max(3) {
+            let t = Instant::now();
+            let est = scalar_runner.run_local(&big).expect("valid config");
+            assert!(est.valid_samples > 0);
+            scalar_trials.push(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            let est = large_bat_runner.run_local(&big).expect("valid config");
+            assert!(est.valid_samples > 0);
+            batched_trials.push(t.elapsed().as_secs_f64());
+            println!(
+                "  large trial {i}: scalar {:.3} s, batched {:.3} s",
+                scalar_trials[i], batched_trials[i]
+            );
+        }
+        // Upper median (element at len / 2 of the sorted trials).
+        let median = |xs: &[f64]| {
+            let mut s = xs.to_vec();
+            s.sort_by(|a, b| a.partial_cmp(b).expect("trial times are finite"));
+            s[s.len() / 2]
+        };
+        let scalar_secs = median(&scalar_trials);
+        let large_bat_secs = median(&batched_trials);
+        let scalar_rate = steps_per_sec(large_steps, scalar_secs);
+        let large_bat_rate = steps_per_sec(large_steps, large_bat_secs);
+        let large_speedup = scalar_secs / large_bat_secs;
+        println!("SRW2CSS large scalar    {scalar_rate:>14.0} steps/s  ({scalar_secs:.3} s)");
+        println!(
+            "SRW2CSS large B={batch:<4}   {large_bat_rate:>14.0} steps/s  ({large_bat_secs:.3} s)  vs scalar {large_speedup:.2}x"
+        );
+        let mut row = serde_json::Map::new();
+        row.insert("nodes".into(), serde_json::json!(big.num_nodes()));
+        row.insert("edges".into(), serde_json::json!(big.num_edges()));
+        row.insert("batch_width".into(), serde_json::json!(batch));
+        row.insert("scalar_steps_per_sec".into(), serde_json::json!(scalar_rate));
+        row.insert("batched_steps_per_sec".into(), serde_json::json!(large_bat_rate));
+        row.insert("batched_speedup".into(), serde_json::json!(large_speedup));
+        json.insert("srw2css_large".into(), serde_json::Value::Object(row));
+        json.insert("srw2css_large_scalar_steps_per_sec".into(), serde_json::json!(scalar_rate));
+        json.insert(
+            "srw2css_large_batched_steps_per_sec".into(),
+            serde_json::json!(large_bat_rate),
+        );
+        json.insert("srw2css_large_batched_speedup".into(), serde_json::json!(large_speedup));
+    }
 
     let par_runner = Runner::new(cfg.clone()).steps(steps).seed(42).walkers(walkers);
     let par_secs = time(|| {
@@ -213,6 +372,9 @@ fn main() {
 
     json.insert("srw2css_seq_steps_per_sec".into(), serde_json::json!(seq_rate));
     json.insert("srw2css_stage_css_steps_per_sec".into(), serde_json::json!(seq_rate));
+    json.insert("srw2css_batched_steps_per_sec".into(), serde_json::json!(bat_rate));
+    json.insert("srw2css_batched_width".into(), serde_json::json!(batch));
+    json.insert("srw2css_batched_speedup_vs_seq".into(), serde_json::json!(bat_speedup));
     json.insert("srw2css_par_steps_per_sec".into(), serde_json::json!(par_rate));
     json.insert("srw2css_speedup".into(), serde_json::json!(speedup));
 

@@ -400,6 +400,25 @@ impl CssWeights {
                     // d ≥ 3: reuse the degrees of the l states the walk
                     // visited (matched by slot bitmask); enumerate G(d)
                     // neighbors only for the remaining subsets.
+                    //
+                    // Audited for the duplicate-node / revisit case: the
+                    // bitmask match cannot alias. This path only runs for
+                    // a *valid* sample (`distinct_count == k`, asserted
+                    // above), where the l states' union has exactly
+                    // k = d + l − 1 nodes — each transition must have
+                    // introduced a union-new node, so the l states are
+                    // pairwise-distinct node sets. A node re-entering the
+                    // window shares its original slot (`acquire` keys
+                    // slots by node, bumping a refcount, never minting a
+                    // second slot), so distinct node sets always have
+                    // distinct slot bitmasks, every state mask has
+                    // popcount d, and a bitmask equal to a subset's mask
+                    // identifies exactly that subset's node set — whose
+                    // recorded degree is `gd_state_degree` of those
+                    // nodes, the same value the fallback would compute.
+                    // Revisit-heavy walks (windows with refcount > 1
+                    // slots) are pinned bitwise against the graph-derived
+                    // path by `windowed_matches_general_on_revisit_heavy_walks`.
                     let mut state_bits = [0u8; 8];
                     let mut state_degs = [0u32; 8];
                     let mut n_states = 0usize;
@@ -722,6 +741,54 @@ mod tests {
                 }
                 walk.step(&mut rng);
             }
+        }
+    }
+
+    /// Regression for the d ≥ 3 slot-bitmask degree-reuse audit (see the
+    /// comment in `sampling_probability_windowed`): on a revisit-heavy
+    /// graph — a lollipop's pendant path traps the walk into sliding the
+    /// same nodes in and out of the window — the windowed path must stay
+    /// bit-identical to the graph-derived path for every scored window,
+    /// plain and non-backtracking. A bitmask aliasing bug between two
+    /// states sharing nodes would surface here as a wrong reused degree.
+    #[test]
+    fn windowed_matches_general_on_revisit_heavy_walks() {
+        use crate::window::NodeWindow;
+        use gx_walks::{rng_from_seed, GdWalk, StateWalk};
+        // Small clique head + pendant path: states at the joint revisit
+        // clique nodes constantly, and the path forces backtracking.
+        let g = classic::lollipop(5, 4);
+        for nb in [false, true] {
+            let mut rng = rng_from_seed(29);
+            let mut walk = GdWalk::new(&g, &[0, 1, 2], nb);
+            let mut w = NodeWindow::new(3, 3); // k = 5, d = 3, l = 3
+            let mut css = CssWeights::new(5, 3);
+            let mut scored = 0usize;
+            for _ in 0..4_000 {
+                let deg = walk.state_degree();
+                w.push(&g, walk.state(), deg);
+                if w.is_valid_sample() {
+                    let (mask, nodes) = w.sample();
+                    let a = css.sampling_probability_windowed(&g, mask, &w, nb);
+                    let b = css.sampling_probability(&g, mask, nodes, nb);
+                    assert_eq!(a.to_bits(), b.to_bits(), "nb={nb} mask {mask:#x}");
+                    scored += 1;
+                    // The invariants the degree-reuse match rests on:
+                    // every state's slot bitmask has popcount d, and the
+                    // l states' bitmasks are pairwise distinct — even
+                    // though here 3 states × 3 nodes share only 5 slots,
+                    // so every window has refcount-shared slots.
+                    let masks: Vec<u8> = w.state_slot_masks().map(|(b, _)| b).collect();
+                    for (i, &bi) in masks.iter().enumerate() {
+                        assert_eq!(bi.count_ones(), 3, "state mask popcount");
+                        for &bj in &masks[i + 1..] {
+                            assert_ne!(bi, bj, "valid-sample states must have distinct masks");
+                        }
+                    }
+                }
+                walk.step(&mut rng);
+            }
+            assert!(scored > 50, "walk must score enough windows to exercise reuse ({scored})");
         }
     }
 }

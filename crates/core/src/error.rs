@@ -242,6 +242,9 @@ pub enum GxError {
     /// [`crate::runner::Runner::run`] was called before a budget was
     /// chosen with `.steps(n)` or `.until(rule)`.
     NoBudget,
+    /// A batch width of zero walkers was requested — the lock-step
+    /// engine needs at least one lane (width 1 is the scalar engine).
+    ZeroBatchWidth,
     /// A caller-supplied walk's dimension does not match the
     /// configuration's `d`.
     WalkDimensionMismatch {
@@ -285,6 +288,9 @@ impl fmt::Display for GxError {
             Self::NoWalkers => write!(f, "estimation needs at least one walker"),
             Self::NoBudget => {
                 write!(f, "runner has no budget: call .steps(n) or .until(rule) before running")
+            }
+            Self::ZeroBatchWidth => {
+                write!(f, "batch width must be at least 1 (1 selects the scalar engine)")
             }
             Self::WalkDimensionMismatch { walk_d, cfg_d } => write!(
                 f,

@@ -15,7 +15,7 @@ use gx_graphlets::{
 };
 use gx_walks::{
     effective_degree, export_rng_state, import_rng_state, random_start_edge, random_start_node,
-    random_start_state, rng_from_seed, G2Walk, GdWalk, SrwWalk, StateWalk, WalkRng,
+    random_start_state, rng_from_seed, BatchWalk, G2Walk, GdWalk, SrwWalk, StateWalk, WalkRng,
 };
 
 /// Runs the estimator with a walk chosen by `cfg.d` (SRW on `G`, the O(1)
@@ -404,6 +404,183 @@ impl<'g, G: GraphAccess, W: StateWalk> WalkSession<'g, G, W> {
     }
 }
 
+/// Per-walker bookkeeping for [`run_walk_batch`]'s lock-step loop: the
+/// remaining tick budget, whether the first tick's score is skipped
+/// (resume semantics — the scalar path's resume block pushes without
+/// scoring), and the staged-but-uncommitted choice whose target the
+/// previous tick prefetched.
+struct BatchLane<C> {
+    steps_left: usize,
+    skip_score: bool,
+    pending: Option<C>,
+    /// Scratch carried between the push sub-passes of one tick: the
+    /// state degree read at admission, and the first acquired node's
+    /// window slot (feeds the G(2) degree-reuse in the last sub-pass).
+    push_deg: usize,
+    push_slot: usize,
+}
+
+/// Advances a group of sessions in lock step, one walk step per lane per
+/// iteration, with software prefetches staged one step ahead.
+///
+/// Produces *bit-identical* per-walker streams to calling
+/// [`WalkSession::run`] on each lane in isolation: per lane the RNG draw
+/// order, score/push interleaving, and resume semantics are exactly the
+/// scalar schedule's —
+///
+/// * fresh lane (`scored == 0`, budget n): `n − 1` commits, each scoring
+///   the pre-push window, plus the trailing lone score;
+/// * resumed lane (`scored > 0`): `n` commits with the *first* tick's
+///   score skipped (the scalar resume block slides without scoring);
+///
+/// and the only reordering vs the scalar loop — drawing tick *j+1*'s
+/// choice before tick *j*'s window push — is observationally invisible
+/// because `choose` touches only walk + RNG while `push`/`score` touch
+/// only window + scorer. What the lock-step form buys is memory-level
+/// parallelism: while lane *i* runs its window/classify/CSS work, the
+/// other lanes' next CSR offset and adjacency lines are already in
+/// flight from their `prefetch_next`/`prefetch_entering` hints.
+pub(crate) fn run_walk_batch<'g, G: GraphAccess, W: BatchWalk>(
+    lanes: &mut [(&mut WalkSession<'g, G, W>, usize)],
+) {
+    let mut states: Vec<BatchLane<W::Choice>> = Vec::with_capacity(lanes.len());
+    for (s, n) in lanes.iter_mut() {
+        let n = *n;
+        // A fresh lane scores its primed window before the first step, so
+        // n windows need only n − 1 steps; a resumed lane must first
+        // slide over the state the previous call stopped at.
+        let steps_left = if n == 0 {
+            0
+        } else if s.scored > 0 {
+            n
+        } else {
+            n - 1
+        };
+        let mut lane = BatchLane {
+            steps_left,
+            skip_score: s.scored > 0,
+            pending: None,
+            push_deg: 0,
+            push_slot: 0,
+        };
+        if steps_left > 0 {
+            let c = s.walk.choose(&mut s.rng);
+            s.walk.prefetch_next(&c);
+            lane.pending = Some(c);
+        }
+        states.push(lane);
+    }
+    batched_ticks(lanes, &mut states);
+    for (s, n) in lanes.iter_mut() {
+        if *n > 0 {
+            // Trailing lone score (the scalar loop's advance-less tail).
+            s.scorer.score(s.g, &s.window);
+            s.scored += *n;
+        }
+    }
+}
+
+/// The hot tick loop of [`run_walk_batch`]. One tick advances every live
+/// lane one step, in three lock-step phases over the lane array:
+///
+/// 1. **commit** — apply last tick's staged choice and hint the lines
+///    the lane's upcoming `push` will probe. The commit's own loads were
+///    prefetched a full tick ago, so this pass retires without stalling.
+/// 2. **choose** — draw next tick's transition for every lane, back to
+///    back, and prefetch what its commit will load. Each draw's
+///    data-dependent neighbor read is independent of every other
+///    lane's, so up to B cache misses are in flight at once; this
+///    cross-lane overlap (the phase split keeps the draws within one
+///    out-of-order window) is most of the batched win on DRAM-resident
+///    graphs — a single interleaved loop puts a full lane-segment of
+///    window/CSS work between consecutive draws and overlaps almost
+///    nothing.
+/// 3. **score + push** — classification and CSS, then window
+///    maintenance as three further sub-passes (ring admission, first
+///    acquire, remaining acquires), all against lines phases 1 and 2
+///    already requested.
+///
+/// Per lane the phases preserve the scalar op order on every piece of
+/// shared state: `choose` touches only walk + RNG, `score`/`push` only
+/// window + scorer, so hoisting a lane's next draw above its score is
+/// unobservable (bit-identity is pinned by the `batched_identity`
+/// suite). Lanes with unequal budgets simply drop out of the rotation
+/// as they finish.
+// gx-lint: no_alloc
+#[inline(always)]
+fn batched_ticks<'g, G: GraphAccess, W: BatchWalk>(
+    lanes: &mut [(&mut WalkSession<'g, G, W>, usize)],
+    states: &mut [BatchLane<W::Choice>],
+) {
+    loop {
+        let mut live = false;
+        for ((s, _), lane) in lanes.iter_mut().zip(states.iter_mut()) {
+            if lane.steps_left == 0 {
+                continue;
+            }
+            live = true;
+            let Some(c) = lane.pending.take() else {
+                // Unreachable by construction — a live lane always has a
+                // staged choice; retire the lane rather than panic.
+                lane.steps_left = 0;
+                continue;
+            };
+            s.walk.commit(c);
+            s.walk.prefetch_entering(&c);
+        }
+        if !live {
+            break;
+        }
+        for ((s, _), lane) in lanes.iter_mut().zip(states.iter_mut()) {
+            if lane.steps_left > 1 {
+                let next = s.walk.choose(&mut s.rng);
+                s.walk.prefetch_next(&next);
+                lane.pending = Some(next);
+            }
+        }
+        for ((s, _), lane) in lanes.iter_mut().zip(states.iter_mut()) {
+            if lane.steps_left == 0 {
+                continue;
+            }
+            if lane.skip_score {
+                lane.skip_score = false;
+            } else {
+                s.scorer.score(s.g, &s.window);
+            }
+        }
+        // Push as three sub-passes mirroring the pieces `NodeWindow::push`
+        // is composed of. A whole push is hundreds of µops per lane —
+        // monolithic, it fills the out-of-order window with one or two
+        // lanes' work and serializes their probe chains; split, each
+        // sub-pass body is small enough that the cold acquire probes of
+        // many lanes (each a serial binary-search chain into an adjacency
+        // list) are in flight together. Per lane the operation sequence
+        // is exactly `push`'s, so bit-identity is untouched. The budget
+        // decrement lives in the last sub-pass, at the end of the tick,
+        // so every phase above sees the pre-step value.
+        for ((s, _), lane) in lanes.iter_mut().zip(states.iter_mut()) {
+            if lane.steps_left == 0 {
+                continue;
+            }
+            lane.push_deg = s.walk.state_degree();
+            s.window.push_admit(s.walk.state(), lane.push_deg);
+        }
+        for ((s, _), lane) in lanes.iter_mut().zip(states.iter_mut()) {
+            if lane.steps_left == 0 {
+                continue;
+            }
+            lane.push_slot = s.window.push_acquire_first(s.g, s.walk.state(), lane.push_deg);
+        }
+        for ((s, _), lane) in lanes.iter_mut().zip(states.iter_mut()) {
+            if lane.steps_left == 0 {
+                continue;
+            }
+            s.window.push_acquire_rest(s.g, s.walk.state(), lane.push_deg, lane.push_slot);
+            lane.steps_left -= 1;
+        }
+    }
+}
+
 /// [`WalkSession`] with the walk flavor resolved at runtime from
 /// `cfg.d`, replaying [`estimate`]'s exact start-state and RNG protocol
 /// — the persistent-chain form of the dispatch in [`estimate_batch`].
@@ -575,6 +752,49 @@ impl<'g, G: GraphAccess> AnySession<'g, G> {
             Self::D1(s) => s.run(n),
             Self::D2(s) => s.run(n),
             Self::Dn(s) => s.run(n),
+        }
+    }
+
+    /// Runs a group of sessions in lock step via [`run_walk_batch`],
+    /// dispatching once on the leading session's walk flavor (a runner's
+    /// sessions all share `cfg.d`, so a group is always homogeneous).
+    /// Any session of a different flavor — never produced in-tree — is
+    /// defensively run on the scalar path instead.
+    pub(crate) fn run_batch(group: &mut [(&mut Self, usize)]) {
+        let Some((first, _)) = group.first() else {
+            return;
+        };
+        match first {
+            Self::D1(_) => {
+                let mut lanes = Vec::with_capacity(group.len());
+                for (s, n) in group.iter_mut() {
+                    match &mut **s {
+                        Self::D1(inner) => lanes.push((inner, *n)),
+                        other => other.run(*n),
+                    }
+                }
+                run_walk_batch(&mut lanes);
+            }
+            Self::D2(_) => {
+                let mut lanes = Vec::with_capacity(group.len());
+                for (s, n) in group.iter_mut() {
+                    match &mut **s {
+                        Self::D2(inner) => lanes.push((inner, *n)),
+                        other => other.run(*n),
+                    }
+                }
+                run_walk_batch(&mut lanes);
+            }
+            Self::Dn(_) => {
+                let mut lanes = Vec::with_capacity(group.len());
+                for (s, n) in group.iter_mut() {
+                    match &mut **s {
+                        Self::Dn(inner) => lanes.push((inner, *n)),
+                        other => other.run(*n),
+                    }
+                }
+                run_walk_batch(&mut lanes);
+            }
         }
     }
 

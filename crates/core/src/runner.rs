@@ -259,6 +259,7 @@ pub struct Runner {
     cfg: EstimatorConfig,
     budget: Budget,
     walkers: usize,
+    batch_width: usize,
     seed: u64,
     progress: Option<ProgressFn>,
     plan: FaultPlan,
@@ -270,6 +271,7 @@ impl std::fmt::Debug for Runner {
             .field("cfg", &self.cfg)
             .field("budget", &self.budget)
             .field("walkers", &self.walkers)
+            .field("batch_width", &self.batch_width)
             .field("seed", &self.seed)
             .field("progress", &self.progress.as_ref().map(|_| "Fn(&Progress)"))
             .field("plan", &self.plan)
@@ -286,6 +288,7 @@ impl Runner {
             cfg,
             budget: Budget::Unset,
             walkers: 1,
+            batch_width: 1,
             seed: 0,
             progress: None,
             plan: FaultPlan::none(),
@@ -329,6 +332,19 @@ impl Runner {
         self.walkers(par.walkers)
     }
 
+    /// Advances walkers through the lock-step batched engine, `b` lanes
+    /// per group (clamped to the walker count at start). Width 1 — the
+    /// default — is the scalar engine; wider groups interleave one walk
+    /// step per lane per iteration, with each lane's next CSR lines
+    /// software-prefetched while the other lanes compute, which is pure
+    /// memory-level parallelism: every walker's sample stream is
+    /// **bit-identical** to the scalar engine's for every width. `0` is
+    /// reported as [`GxError::ZeroBatchWidth`] at run time.
+    pub fn batch_width(mut self, b: usize) -> Self {
+        self.batch_width = b;
+        self
+    }
+
     /// Seed of the run (walker 0 replays the sequential estimator's
     /// chain for this seed). Defaults to 0.
     pub fn seed(mut self, seed: u64) -> Self {
@@ -351,6 +367,9 @@ impl Runner {
         self.cfg.try_validate()?;
         if self.walkers == 0 {
             return Err(GxError::NoWalkers);
+        }
+        if self.batch_width == 0 {
+            return Err(GxError::ZeroBatchWidth);
         }
         match &self.budget {
             Budget::Unset => Err(GxError::NoBudget),
@@ -448,6 +467,10 @@ impl Runner {
             rule,
             batch_len,
             max_series_batches,
+            // Clamped here so a width wider than the fan-out (harmless —
+            // a group can never exceed the walker count) normalizes to
+            // the value checkpoints carry and `resume` validates.
+            batch_width: self.batch_width.min(self.walkers),
             seed: self.seed,
             caps: (0..self.walkers).map(|i| walker_steps(max_steps, self.walkers, i)).collect(),
             sessions,
@@ -487,9 +510,9 @@ impl Runner {
         g: &'g G,
         r: &mut R,
     ) -> Result<RunHandle<'g, G>, GxError> {
-        let payload = read_envelope(r)?;
+        let (version, payload) = read_envelope(r)?;
         let mut rd = Reader::new(&payload);
-        let handle = RunHandle::decode_from(&mut rd, g, None)?;
+        let handle = RunHandle::decode_from(&mut rd, g, None, version)?;
         rd.finish()?;
         Ok(handle)
     }
@@ -514,9 +537,9 @@ impl Runner {
             graph_fingerprint(g),
             "resume_trusted fingerprint must match the offered graph"
         );
-        let payload = read_envelope(r)?;
+        let (version, payload) = read_envelope(r)?;
         let mut rd = Reader::new(&payload);
-        let handle = RunHandle::decode_from(&mut rd, g, Some(fingerprint))?;
+        let handle = RunHandle::decode_from(&mut rd, g, Some(fingerprint), version)?;
         rd.finish()?;
         Ok(handle)
     }
@@ -688,6 +711,11 @@ pub struct RunHandle<'g, G: GraphAccess> {
     /// The adaptive rule's bounded-memory cap (0 = unbounded), threaded
     /// into every walker accumulator.
     max_series_batches: usize,
+    /// Lock-step engine group width (1 = scalar engine), clamped to the
+    /// walker count. Travels in checkpoints (format v2) so a resumed run
+    /// keeps its engine mode — though either engine resumes the other's
+    /// snapshots bit-identically.
+    batch_width: usize,
     seed: u64,
     /// Per-walker step budget (near-equal split of the total).
     caps: Vec<usize>,
@@ -783,17 +811,41 @@ impl<'g, G: GraphAccess> RunHandle<'g, G> {
         if shares.iter().all(|&s| s == 0) {
             return self.snapshot();
         }
-        for (i, &share) in shares.iter().enumerate() {
-            if share == 0 {
-                continue;
+        let (g, cfg, seed, batch_len, cap) =
+            (self.g, &self.cfg, self.seed, self.batch_len, self.max_series_batches);
+        if self.batch_width <= 1 {
+            for (i, &share) in shares.iter().enumerate() {
+                if share == 0 {
+                    continue;
+                }
+                self.sessions[i]
+                    .get_or_insert_with(|| {
+                        AnySession::new(g, cfg, walker_seed(seed, i), batch_len, cap)
+                    })
+                    .run(share);
             }
-            let (g, cfg, seed, batch_len, cap) =
-                (self.g, &self.cfg, self.seed, self.batch_len, self.max_series_batches);
-            self.sessions[i]
-                .get_or_insert_with(|| {
-                    AnySession::new(g, cfg, walker_seed(seed, i), batch_len, cap)
-                })
-                .run(share);
+        } else {
+            // Lock-step engine: walkers advance in groups of
+            // `batch_width` lanes. Grouping is pure scheduling — each
+            // lane's stream is bit-identical to its scalar run — so the
+            // group boundaries need no relation to thread chunks or
+            // checkpoint cadence.
+            let mut base = 0usize;
+            for chunk in self.sessions.chunks_mut(self.batch_width) {
+                let mut group = Vec::with_capacity(chunk.len());
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    let i = base + off;
+                    if shares[i] == 0 {
+                        continue;
+                    }
+                    let s = slot.get_or_insert_with(|| {
+                        AnySession::new(g, cfg, walker_seed(seed, i), batch_len, cap)
+                    });
+                    group.push((s, shares[i]));
+                }
+                AnySession::run_batch(&mut group);
+                base += chunk.len();
+            }
         }
         self.after_round(&shares)
     }
@@ -890,6 +942,20 @@ impl<'g, G: GraphAccess> RunHandle<'g, G> {
     /// earlier poisonings the snapshot already absorbed.
     pub fn set_faults(&mut self, plan: FaultPlan) {
         self.plan = plan;
+    }
+
+    /// The engine's lock-step group width (1 = scalar engine).
+    pub fn batch_width(&self) -> usize {
+        self.batch_width
+    }
+
+    /// Switches the engine mode for subsequent advances, clamped to
+    /// `1..=walkers`. Safe at any point — including on a handle resumed
+    /// from a snapshot taken under the other engine — because every
+    /// width's sample streams are bit-identical; checkpoints taken after
+    /// the switch carry the new width.
+    pub fn set_batch_width(&mut self, b: usize) {
+        self.batch_width = b.clamp(1, self.caps.len());
     }
 
     /// Pre-seeds the handle's cached [`graph_fingerprint`] so the first
@@ -1087,6 +1153,7 @@ impl<'g, G: GraphAccess> RunHandle<'g, G> {
         put_usize(&mut buf, self.batch_len);
         put_u64(&mut buf, self.seed);
         put_usize(&mut buf, self.caps.len());
+        put_usize(&mut buf, self.batch_width);
         for &c in &self.caps {
             put_usize(&mut buf, c);
         }
@@ -1119,7 +1186,12 @@ impl<'g, G: GraphAccess> RunHandle<'g, G> {
     /// against its domain, the graph, and the other fields — a
     /// checksum-valid but internally inconsistent payload is a typed
     /// [`CheckpointError`], never a panic.
-    fn decode_from(r: &mut Reader<'_>, g: &'g G, trusted: Option<u64>) -> Result<Self, GxError> {
+    fn decode_from(
+        r: &mut Reader<'_>,
+        g: &'g G,
+        trusted: Option<u64>,
+        version: u32,
+    ) -> Result<Self, GxError> {
         let expected = r.u64("handle.fingerprint")?;
         // A trusted fingerprint (see `Runner::resume_trusted`) replaces
         // the O(edges) rescan with the caller's cached value.
@@ -1172,6 +1244,18 @@ impl<'g, G: GraphAccess> RunHandle<'g, G> {
             // check() never lets this combination start a run.
             return Err(CheckpointError::Malformed { what: "rule.max_series_batches" }.into());
         }
+        // Format v2 added the engine's group width; v1 snapshots are the
+        // scalar engine (width 1). `start()` clamps the width to the
+        // walker count, so anything wider — or zero — is corruption.
+        let batch_width = if version >= 2 {
+            let bw = r.usize("handle.batch_width")?;
+            if bw == 0 || bw > walkers {
+                return Err(CheckpointError::Malformed { what: "handle.batch_width" }.into());
+            }
+            bw
+        } else {
+            1
+        };
         let mut caps = Vec::with_capacity(walkers);
         for _ in 0..walkers {
             caps.push(r.usize("handle.caps")?);
@@ -1234,6 +1318,7 @@ impl<'g, G: GraphAccess> RunHandle<'g, G> {
             rule,
             batch_len,
             max_series_batches,
+            batch_width,
             seed,
             caps,
             sessions,
@@ -1286,19 +1371,44 @@ impl<'g, G: GraphAccess + Sync> RunHandle<'g, G> {
         let chunk = self.sessions.len().div_ceil(threads);
         let (g, cfg, seed, batch_len, cap) =
             (self.g, &self.cfg, self.seed, self.batch_len, self.max_series_batches);
+        let bw = self.batch_width;
         std::thread::scope(|scope| {
             for (c, slots) in self.sessions.chunks_mut(chunk).enumerate() {
                 let shares = &shares;
                 scope.spawn(move || {
-                    for (off, slot) in slots.iter_mut().enumerate() {
-                        let i = c * chunk + off;
-                        if shares[i] == 0 {
-                            continue;
+                    if bw <= 1 {
+                        for (off, slot) in slots.iter_mut().enumerate() {
+                            let i = c * chunk + off;
+                            if shares[i] == 0 {
+                                continue;
+                            }
+                            slot.get_or_insert_with(|| {
+                                AnySession::new(g, cfg, walker_seed(seed, i), batch_len, cap)
+                            })
+                            .run(shares[i]);
                         }
-                        slot.get_or_insert_with(|| {
-                            AnySession::new(g, cfg, walker_seed(seed, i), batch_len, cap)
-                        })
-                        .run(shares[i]);
+                    } else {
+                        // Lock-step groups within this thread's walkers.
+                        // Group boundaries are scheduling-only (each
+                        // lane's stream is bit-identical regardless), so
+                        // sub-chunking the thread chunk is fine even when
+                        // the two chunk sizes do not divide evenly.
+                        let mut base = 0usize;
+                        for sub in slots.chunks_mut(bw) {
+                            let mut group = Vec::with_capacity(sub.len());
+                            for (off, slot) in sub.iter_mut().enumerate() {
+                                let i = c * chunk + base + off;
+                                if shares[i] == 0 {
+                                    continue;
+                                }
+                                let s = slot.get_or_insert_with(|| {
+                                    AnySession::new(g, cfg, walker_seed(seed, i), batch_len, cap)
+                                });
+                                group.push((s, shares[i]));
+                            }
+                            AnySession::run_batch(&mut group);
+                            base += sub.len();
+                        }
                     }
                 });
             }

@@ -15,6 +15,20 @@
 //! walk's own recorded state degree; for d ≥ 2 it is fetched once per node
 //! entry (an O(1) CSR offset difference) instead of once per CSS subset
 //! per sample.
+//!
+//! # Interplay with the batched walker engine
+//!
+//! The slot bookkeeping is laid out struct-of-arrays (`distinct`,
+//! `degrees`, `refcount`, `adj` are parallel fixed arrays) so that the
+//! window/classify/CSS work of one lock-step lane reads plain array
+//! loads with no pointer chasing — the only cache-miss-prone loads in
+//! `push` are against the *graph*: the entering node's CSR offset pair
+//! (for the `acquire` degree fill) and its neighbor slice (for the
+//! k − 1 adjacency probes, each a binary search of that one list).
+//! Those are precisely the lines [`gx_walks::BatchWalk::prefetch_next`]
+//! and [`gx_walks::BatchWalk::prefetch_entering`] hint one lane-batch
+//! tick ahead of this `push`, which is why the batched engine overlaps
+//! the probe misses of up to B walkers instead of serializing them.
 
 use crate::checkpoint::{put_u32, put_u64, put_u8, put_usize, Reader};
 use crate::error::CheckpointError;
@@ -290,8 +304,28 @@ impl NodeWindow {
 
     /// Pushes the walk's current state. `degree` is the state's degree in
     /// `G(d)` at this time.
+    ///
+    /// Composed from three crate-internal pieces (`push_admit`,
+    /// `push_acquire_first`, `push_acquire_rest`) so the batched walker engine can
+    /// run each piece as its own lock-step pass over the lanes (see
+    /// `estimator::batched_ticks`): both engines execute literally the
+    /// same sequence of window operations per push — the split exists so
+    /// the acquire probes of *different* lanes, each a serial
+    /// dependent-load chain into a cold adjacency list, sit close enough
+    /// together to overlap in one out-of-order window.
     // gx-lint: no_alloc
     pub fn push<G: GraphAccess>(&mut self, g: &G, state_nodes: &[NodeId], degree: usize) {
+        self.push_admit(state_nodes, degree);
+        let first = self.push_acquire_first(g, state_nodes, degree);
+        self.push_acquire_rest(g, state_nodes, degree, first);
+    }
+
+    /// Ring admission half of [`NodeWindow::push`]: evict the oldest
+    /// state once the window is full, then write the new record into its
+    /// ring slot. Touches only window-resident state — no graph probes.
+    // gx-lint: no_alloc
+    #[inline]
+    pub(crate) fn push_admit(&mut self, state_nodes: &[NodeId], degree: usize) {
         debug_assert!(
             u32::try_from(degree).is_ok(),
             "state degree {degree} exceeds u32 (would truncate)"
@@ -311,23 +345,56 @@ impl NodeWindow {
         rec.degree = degree as u32;
         rec.nodes[..state_nodes.len()].copy_from_slice(state_nodes);
         self.count += 1;
+    }
+
+    /// First acquire of [`NodeWindow::push`] — the probe-heavy entry of
+    /// the state's first node. Returns that node's slot so
+    /// [`NodeWindow::push_acquire_rest`] can reuse its cached degree.
+    // gx-lint: no_alloc
+    #[inline]
+    pub(crate) fn push_acquire_first<G: GraphAccess>(
+        &mut self,
+        g: &G,
+        state_nodes: &[NodeId],
+        degree: usize,
+    ) -> usize {
         if self.d == 2 && state_nodes.len() == 2 {
             // A G(2) state *is* an edge: each endpoint's adjacency to the
             // other is known without a probe (one of the paper's k − 1
-            // per-step probes comes for free on the edge walk), and since
-            // the state degree is d_a + d_b − 2, the second endpoint's
-            // node degree follows from the first's cached slot degree
-            // without touching the graph.
-            let (a, b) = (state_nodes[0], state_nodes[1]);
-            let pa = self.acquire(g, a, None, Some(b));
-            let db = (degree + 2 - self.degrees[pa] as usize) as u32;
-            self.acquire(g, b, Some(db), Some(a));
+            // per-step probes comes for free on the edge walk).
+            self.acquire(g, state_nodes[0], None, Some(state_nodes[1]))
         } else {
             // For d = 1 the state degree *is* the node degree — reuse it
             // so the walk's own degree lookups are never repeated.
             let known = if state_nodes.len() == 1 { Some(degree as u32) } else { None };
-            for &v in state_nodes {
-                let _ = self.acquire(g, v, known, None);
+            match state_nodes.first() {
+                Some(&v) => self.acquire(g, v, known, None),
+                None => 0,
+            }
+        }
+    }
+
+    /// Remaining acquires of [`NodeWindow::push`]. `first` is
+    /// [`NodeWindow::push_acquire_first`]'s slot: for a G(2) edge state
+    /// the second endpoint's node degree follows from the first's cached
+    /// slot degree (state degree = d_a + d_b − 2) without touching the
+    /// graph.
+    // gx-lint: no_alloc
+    #[inline]
+    pub(crate) fn push_acquire_rest<G: GraphAccess>(
+        &mut self,
+        g: &G,
+        state_nodes: &[NodeId],
+        degree: usize,
+        first: usize,
+    ) {
+        if self.d == 2 && state_nodes.len() == 2 {
+            let (a, b) = (state_nodes[0], state_nodes[1]);
+            let db = (degree + 2 - self.degrees[first] as usize) as u32;
+            self.acquire(g, b, Some(db), Some(a));
+        } else {
+            for &v in state_nodes.iter().skip(1) {
+                let _ = self.acquire(g, v, None, None);
             }
         }
     }

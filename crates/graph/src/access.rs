@@ -44,6 +44,18 @@ pub trait GraphAccess {
     fn neighbor_at(&self, v: NodeId, i: usize) -> NodeId {
         self.neighbors(v)[i]
     }
+
+    /// Hints that `degree(v)` will be asked soon. Purely a cache-warming
+    /// hint for in-memory backends; the default (and any remote/metered
+    /// backend, where "prefetch" would be a real API call) is a no-op.
+    /// Implementations must not change observable state.
+    #[inline]
+    fn prefetch_degree(&self, _v: NodeId) {}
+
+    /// Hints that `neighbors(v)` will be probed soon. Same contract as
+    /// [`GraphAccess::prefetch_degree`]: hint only, no-op by default.
+    #[inline]
+    fn prefetch_neighbors(&self, _v: NodeId) {}
 }
 
 impl GraphAccess for Graph {
@@ -70,6 +82,14 @@ impl GraphAccess for Graph {
         // the walk's per-step critical path.
         Graph::neighbor_at(self, v, i)
     }
+    #[inline]
+    fn prefetch_degree(&self, v: NodeId) {
+        Graph::prefetch_degree(self, v);
+    }
+    #[inline]
+    fn prefetch_neighbors(&self, v: NodeId) {
+        Graph::prefetch_neighbors(self, v);
+    }
 }
 
 impl<T: GraphAccess + ?Sized> GraphAccess for &T {
@@ -87,6 +107,12 @@ impl<T: GraphAccess + ?Sized> GraphAccess for &T {
     }
     fn neighbor_at(&self, v: NodeId, i: usize) -> NodeId {
         (**self).neighbor_at(v, i)
+    }
+    fn prefetch_degree(&self, v: NodeId) {
+        (**self).prefetch_degree(v);
+    }
+    fn prefetch_neighbors(&self, v: NodeId) {
+        (**self).prefetch_neighbors(v);
     }
 }
 

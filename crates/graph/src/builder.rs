@@ -74,6 +74,11 @@ impl GraphBuilder {
             degree[v as usize] += 1;
         }
         let mut offsets = Vec::with_capacity(n + 1);
+        // Advise hugepage backing *before* the fill loops below fault the
+        // pages in: walkers hit these two arrays at random, and for
+        // DRAM-sized graphs 4 KiB paging costs a TLB walk per step (and
+        // drops the batched engine's prefetch hints). See `advise_hugepages`.
+        crate::csr::advise_hugepages(offsets.as_ptr() as *const u8, (n + 1) * size_of::<usize>());
         let mut acc = 0usize;
         offsets.push(0);
         for d in &degree {
@@ -81,7 +86,9 @@ impl GraphBuilder {
             offsets.push(acc);
         }
         let mut cursor = offsets.clone();
-        let mut adjacency = vec![0 as NodeId; acc];
+        let mut adjacency = Vec::with_capacity(acc);
+        crate::csr::advise_hugepages(adjacency.as_ptr() as *const u8, acc * size_of::<NodeId>());
+        adjacency.resize(acc, 0 as NodeId);
         for &(u, v) in &self.edges {
             adjacency[cursor[u as usize]] = v;
             cursor[u as usize] += 1;

@@ -11,6 +11,89 @@ use crate::builder::GraphBuilder;
 use crate::error::GraphError;
 use crate::NodeId;
 
+/// Issues a read prefetch for the cache line holding `p` (T0 hint —
+/// all cache levels). On non-x86-64 targets this is a no-op, so callers
+/// can hint unconditionally.
+///
+/// `PREFETCHT0` never faults, regardless of the address, so hinting a
+/// pointer that is never dereferenced is sound — which is exactly how
+/// the batched walk engine uses it: the *next* step's line is requested
+/// while the current step's scoring work is still in flight. A real
+/// (discarded) demand load was tried here instead — it would also walk
+/// the page table on a TLB miss, which `PREFETCHT0` silently drops —
+/// but measured strictly slower on DRAM-sized graphs: demand misses
+/// occupy the ROB until in-order retirement catches up, stalling the
+/// very lanes the hint was meant to unblock.
+#[inline(always)]
+fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_mm_prefetch` is a pure cache hint; it performs no memory
+    // access that can fault and has no architectural side effects.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p as *const i8);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+/// Best-effort `madvise(MADV_HUGEPAGE)` on the buffer behind `ptr..+bytes`.
+///
+/// CSR arrays for DRAM-sized graphs span hundreds of megabytes; under 4 KiB
+/// pages that is far beyond TLB reach, so every random neighbor-slice access
+/// pays a page walk on top of the cache miss — and `PREFETCHT0` (see
+/// [`prefetch_read`]) is silently dropped on TLB misses, which blunts the
+/// batched engine's one-tick-ahead hints exactly where they matter most.
+/// Backing the arrays with 2 MiB transparent hugepages keeps the whole CSR
+/// within TLB reach (a ~1 GiB adjacency array needs ~512 entries).
+///
+/// Callers advise *before* populating the buffer: with THP in `madvise`
+/// mode the kernel then faults the region in as hugepages synchronously,
+/// instead of waiting for `khugepaged` to collapse already-faulted 4 KiB
+/// pages minutes later. The advice is a pure hint — the kernel may ignore
+/// it (THP disabled, memory pressure) and the return value is deliberately
+/// discarded; correctness never depends on it.
+///
+/// Implemented as a raw `madvise` syscall on x86-64 Linux (`std` exposes no
+/// allocator hints and the workspace takes no libc-style dependency); a
+/// no-op everywhere else.
+pub(crate) fn advise_hugepages(ptr: *const u8, bytes: usize) {
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    {
+        const SYS_MADVISE: usize = 28;
+        const MADV_HUGEPAGE: usize = 14;
+        const PAGE: usize = 4096;
+        // `madvise` demands a page-aligned start; round the range inward so
+        // a mid-page Vec allocation advises only the pages it fully owns.
+        let start = (ptr as usize).next_multiple_of(PAGE);
+        let end = (ptr as usize).saturating_add(bytes) & !(PAGE - 1);
+        if end <= start {
+            return;
+        }
+        let mut _ret: isize;
+        // SAFETY: the syscall only attaches advice to VMAs in our own
+        // address space; it reads/writes no user memory through the pointer
+        // and EINVAL/ENOMEM outcomes are ignored by design. The asm block
+        // declares every register the `syscall` instruction clobbers
+        // (rax, rcx, r11).
+        unsafe {
+            core::arch::asm!(
+                "syscall",
+                inlateout("rax") SYS_MADVISE as isize => _ret,
+                in("rdi") start,
+                in("rsi") end - start,
+                in("rdx") MADV_HUGEPAGE,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+    }
+    #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+    {
+        let _ = (ptr, bytes);
+    }
+}
+
 /// An immutable, undirected, simple graph in CSR form.
 ///
 /// Invariants (enforced by [`GraphBuilder`]):
@@ -190,6 +273,49 @@ impl Graph {
     pub fn neighbor_at(&self, v: NodeId, i: usize) -> NodeId {
         debug_assert!(i < self.degree(v), "neighbor_at({v}, {i}) out of range");
         self.adjacency[self.offsets[v as usize] + i]
+    }
+
+    /// Hints the CPU to pull `v`'s CSR offset pair into cache ahead of a
+    /// [`Graph::degree`] or [`Graph::neighbors`] call. Purely a
+    /// performance hint: never faults, never changes observable state,
+    /// and compiles to nothing off x86-64. Out-of-range `v` is a silent
+    /// no-op (the address is computed without loading through it).
+    // gx-lint: no_alloc
+    #[inline(always)]
+    pub fn prefetch_degree(&self, v: NodeId) {
+        let v = v as usize;
+        if v + 1 < self.offsets.len() {
+            // `offsets[v]` and `offsets[v + 1]` are 8 bytes apart, so a
+            // single line fetch covers both loads `degree` will issue.
+            prefetch_read(self.offsets.as_ptr().wrapping_add(v));
+        }
+    }
+
+    /// Hints the CPU to pull the probe lines of `v`'s adjacency slice
+    /// into cache ahead of a [`Graph::neighbors`] walk or binary search
+    /// — the slice head, and for longer lists the midpoint (a binary
+    /// search's first probe, whose next level stays within a line of
+    /// the head or midpoint for all but the heaviest hubs; quartile
+    /// pulls were tried and measured flat — extra hints past the first
+    /// search level just crowd the line-fill buffers, which silently
+    /// drop prefetches when full). Costs one offset load
+    /// (cheap when [`Graph::prefetch_degree`] ran earlier, or when the
+    /// caller just read the degree); same no-fault, no-op-off-x86-64
+    /// contract as [`Graph::prefetch_degree`].
+    // gx-lint: no_alloc
+    #[inline(always)]
+    pub fn prefetch_neighbors(&self, v: NodeId) {
+        let v = v as usize;
+        if v + 1 < self.offsets.len() {
+            let start = self.offsets[v];
+            let end = self.offsets[v + 1];
+            let base = self.adjacency.as_ptr();
+            prefetch_read(base.wrapping_add(start));
+            let len = end - start;
+            if len > 16 {
+                prefetch_read(base.wrapping_add(start + len / 2));
+            }
+        }
     }
 
     /// Iterator over all nodes.

@@ -11,9 +11,26 @@
 //! neighborhoods (the paper's core argument for small d).
 
 use crate::rng::WalkRng;
-use crate::traits::StateWalk;
+use crate::traits::{BatchWalk, StateWalk};
 use gx_graph::{GraphAccess, NodeId};
 use rand::Rng;
+
+/// An uncommitted [`G2Walk`] step: the next edge, the endpoint degrees
+/// known so far, and which endpoint's degree `commit` still has to
+/// fetch. Keeping that one data-dependent degree load out of `choose`
+/// is what gives the batched engine a window to prefetch it.
+#[derive(Debug, Clone, Copy)]
+pub struct G2Choice {
+    /// Next edge, sorted ascending.
+    edge: [NodeId; 2],
+    /// Endpoint degrees, parallel to `edge`; the `fetch` entry is a
+    /// placeholder until `commit` fills it.
+    deg: [u32; 2],
+    /// Index (0/1) of the endpoint whose degree `commit` must fetch, or
+    /// 2 when both are already known (forced backtrack reuses the
+    /// previous edge's cached degrees).
+    fetch: u8,
+}
 
 /// Random walk on the edges of `G`.
 pub struct G2Walk<'g, G: GraphAccess> {
@@ -73,12 +90,13 @@ impl<'g, G: GraphAccess> G2Walk<'g, G> {
         (self.deg[0] + self.deg[1]) as usize - 2
     }
 
-    /// Samples one uniformly random neighboring edge of the current edge,
-    /// returned with its endpoint degrees (one fresh degree fetch per
-    /// accepted candidate; the kept endpoint's degree is already cached).
+    /// Samples one uniformly random neighboring edge of the current edge
+    /// as an uncommitted [`G2Choice`]: the kept endpoint's degree is
+    /// already cached, the new endpoint's is left for `commit` (so the
+    /// batched engine can prefetch its offset line first).
     // gx-lint: no_alloc
     #[inline]
-    fn sample_neighbor(&self, rng: &mut WalkRng) -> ([NodeId; 2], [u32; 2]) {
+    fn sample_neighbor_choice(&self, rng: &mut WalkRng) -> G2Choice {
         let [u, v] = self.state;
         let [du, dv] = [self.deg[0] as usize, self.deg[1] as usize];
         debug_assert!(du + dv > 2, "isolated edge cannot step");
@@ -88,9 +106,12 @@ impl<'g, G: GraphAccess> G2Walk<'g, G> {
             let (a, b, da) = if pick_u { (u, v, du) } else { (v, u, dv) };
             let w = self.g.neighbor_at(a, rng.gen_range(0..da));
             if w != b {
-                let dw = self.g.degree(w) as u32;
                 let da = da as u32;
-                return if a < w { ([a, w], [da, dw]) } else { ([w, a], [dw, da]) };
+                return if a < w {
+                    G2Choice { edge: [a, w], deg: [da, 0], fetch: 1 }
+                } else {
+                    G2Choice { edge: [w, a], deg: [0, da], fetch: 0 }
+                };
             }
         }
     }
@@ -114,32 +135,71 @@ impl<G: GraphAccess> StateWalk for G2Walk<'_, G> {
     // gx-lint: no_alloc
     #[inline]
     fn step(&mut self, rng: &mut WalkRng) {
+        let c = self.choose(rng);
+        self.commit(c);
+    }
+
+    fn is_non_backtracking(&self) -> bool {
+        self.nb
+    }
+}
+
+impl<G: GraphAccess> BatchWalk for G2Walk<'_, G> {
+    type Choice = G2Choice;
+
+    // gx-lint: no_alloc
+    #[inline]
+    fn choose(&mut self, rng: &mut WalkRng) -> G2Choice {
         let deg = self.edge_degree();
-        let (next, next_deg) = if self.nb {
+        if self.nb {
             match self.prev {
                 Some((p, _)) if deg > 1 => loop {
-                    let cand = self.sample_neighbor(rng);
-                    if cand.0 != p {
+                    let cand = self.sample_neighbor_choice(rng);
+                    if cand.edge != p {
                         break cand;
                     }
                 },
-                Some(p) => p, // pendant edge-state: forced backtrack
-                None => self.sample_neighbor(rng),
+                // pendant edge-state: forced backtrack, both degrees
+                // still cached from when the previous edge was current.
+                Some((p, pd)) => G2Choice { edge: p, deg: pd, fetch: 2 },
+                None => self.sample_neighbor_choice(rng),
             }
         } else {
-            self.sample_neighbor(rng)
-        };
+            self.sample_neighbor_choice(rng)
+        }
+    }
+
+    // gx-lint: no_alloc
+    #[inline]
+    fn commit(&mut self, c: G2Choice) {
         if self.nb {
             // `prev` is only ever read on the non-backtracking path; the
             // plain walk skips the bookkeeping store entirely.
             self.prev = Some((self.state, self.deg));
         }
-        self.state = next;
-        self.deg = next_deg;
+        let mut deg = c.deg;
+        if c.fetch < 2 {
+            let i = c.fetch as usize;
+            deg[i] = self.g.degree(c.edge[i]) as u32;
+        }
+        self.state = c.edge;
+        self.deg = deg;
     }
 
-    fn is_non_backtracking(&self) -> bool {
-        self.nb
+    #[inline]
+    fn prefetch_next(&self, c: &G2Choice) {
+        if c.fetch < 2 {
+            self.g.prefetch_degree(c.edge[c.fetch as usize]);
+        }
+    }
+
+    #[inline]
+    fn prefetch_entering(&self, c: &G2Choice) {
+        // The window push probes with the entering node's own list; the
+        // kept endpoint is already resident in the window's union.
+        if c.fetch < 2 {
+            self.g.prefetch_neighbors(c.edge[c.fetch as usize]);
+        }
     }
 }
 
@@ -211,12 +271,14 @@ mod tests {
         // 4 neighboring edges must come up ~1/4 of the time.
         let g = classic::paper_figure1();
         let mut rng = rng_from_seed(13);
-        let w = G2Walk::new(&g, 0, 2, false);
+        let mut w = G2Walk::new(&g, 0, 2, false);
         let mut counts = std::collections::HashMap::new();
         let n = 80_000;
         for _ in 0..n {
-            let nb = w.sample_neighbor(&mut rng);
-            *counts.entry(nb).or_insert(0u64) += 1;
+            // `choose` draws without committing, so the current edge —
+            // and therefore the sampled distribution — never moves.
+            let nb = w.choose(&mut rng);
+            *counts.entry(nb.edge).or_insert(0u64) += 1;
         }
         assert_eq!(counts.len(), 4);
         for (&edge, &c) in &counts {

@@ -9,7 +9,7 @@
 //! same job in O(1).
 
 use crate::rng::WalkRng;
-use crate::traits::StateWalk;
+use crate::traits::{BatchWalk, StateWalk};
 use gx_graph::{GraphAccess, NodeId};
 use rand::Rng;
 
@@ -270,9 +270,25 @@ impl<G: GraphAccess> StateWalk for GdWalk<'_, G> {
 
     // gx-lint: no_alloc
     fn step(&mut self, rng: &mut WalkRng) {
+        let c = self.choose(rng);
+        self.commit(c);
+    }
+
+    fn is_non_backtracking(&self) -> bool {
+        self.nb
+    }
+}
+
+impl<G: GraphAccess> BatchWalk for GdWalk<'_, G> {
+    /// `(drop_position, incoming_node)` — one entry of the materialized
+    /// neighbor list.
+    type Choice = (u8, NodeId);
+
+    // gx-lint: no_alloc
+    fn choose(&mut self, rng: &mut WalkRng) -> (u8, NodeId) {
         self.refresh_neighbors();
         debug_assert!(!self.neighbors.is_empty(), "connected G(d) state must have neighbors");
-        let choice = if self.nb && self.has_prev {
+        if self.nb && self.has_prev {
             // uniform over neighbors != prev; forced backtrack if none.
             // `non_prev` is a reused scratch buffer — no per-step clone of
             // the previous state, no per-step index Vec.
@@ -295,12 +311,25 @@ impl<G: GraphAccess> StateWalk for GdWalk<'_, G> {
             }
         } else {
             self.neighbors[rng.gen_range(0..self.neighbors.len())]
-        };
-        self.apply(choice.0 as usize, choice.1);
+        }
     }
 
-    fn is_non_backtracking(&self) -> bool {
-        self.nb
+    // gx-lint: no_alloc
+    fn commit(&mut self, (drop, incoming): (u8, NodeId)) {
+        self.apply(drop as usize, incoming);
+    }
+
+    #[inline]
+    fn prefetch_next(&self, c: &(u8, NodeId)) {
+        self.g.prefetch_degree(c.1);
+    }
+
+    #[inline]
+    fn prefetch_entering(&self, c: &(u8, NodeId)) {
+        // The d ≥ 3 re-enumeration after commit reads every kept node's
+        // list too, but the incoming node's is the only one not already
+        // resident from building the last neighbor set.
+        self.g.prefetch_neighbors(c.1);
     }
 }
 

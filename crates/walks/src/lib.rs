@@ -28,10 +28,10 @@ pub mod srw;
 pub mod start;
 pub mod traits;
 
-pub use g2::G2Walk;
+pub use g2::{G2Choice, G2Walk};
 pub use gd::{gd_state_degree, gd_state_degree_with, GdDegreeScratch, GdWalk};
 pub use mh::MhWalk;
 pub use rng::{derive_seed, export_rng_state, import_rng_state, rng_from_seed, WalkRng};
 pub use srw::SrwWalk;
 pub use start::{random_start_edge, random_start_node, random_start_state};
-pub use traits::{effective_degree, effective_degree_recip, StateWalk};
+pub use traits::{effective_degree, effective_degree_recip, BatchWalk, StateWalk};

@@ -1,7 +1,7 @@
 //! Simple (and non-backtracking) random walk on `G` itself (d = 1).
 
 use crate::rng::WalkRng;
-use crate::traits::StateWalk;
+use crate::traits::{BatchWalk, StateWalk};
 use gx_graph::{GraphAccess, NodeId};
 use rand::Rng;
 
@@ -70,9 +70,27 @@ impl<G: GraphAccess> StateWalk for SrwWalk<'_, G> {
     // gx-lint: no_alloc
     #[inline]
     fn step(&mut self, rng: &mut WalkRng) {
+        let next = self.choose(rng);
+        self.commit(next);
+    }
+
+    fn is_non_backtracking(&self) -> bool {
+        self.nb
+    }
+}
+
+impl<G: GraphAccess> BatchWalk for SrwWalk<'_, G> {
+    /// The next node. Its degree is deliberately *not* fetched here:
+    /// deferring that data-dependent offset load to `commit` is what
+    /// lets the batched engine prefetch it in between.
+    type Choice = NodeId;
+
+    // gx-lint: no_alloc
+    #[inline]
+    fn choose(&mut self, rng: &mut WalkRng) -> NodeId {
         let v = self.state[0];
         let deg = self.deg;
-        let next = if self.nb {
+        if self.nb {
             match self.prev {
                 Some(p) if deg > 1 => loop {
                     let w = self.g.neighbor_at(v, rng.gen_range(0..deg));
@@ -85,16 +103,27 @@ impl<G: GraphAccess> StateWalk for SrwWalk<'_, G> {
             }
         } else {
             self.g.neighbor_at(v, rng.gen_range(0..deg))
-        };
+        }
+    }
+
+    // gx-lint: no_alloc
+    #[inline]
+    fn commit(&mut self, next: NodeId) {
         if self.nb {
-            self.prev = Some(v);
+            self.prev = Some(self.state[0]);
         }
         self.state[0] = next;
         self.deg = self.g.degree(next);
     }
 
-    fn is_non_backtracking(&self) -> bool {
-        self.nb
+    #[inline]
+    fn prefetch_next(&self, next: &NodeId) {
+        self.g.prefetch_degree(*next);
+    }
+
+    #[inline]
+    fn prefetch_entering(&self, next: &NodeId) {
+        self.g.prefetch_neighbors(*next);
     }
 }
 

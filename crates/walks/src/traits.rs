@@ -34,6 +34,48 @@ pub trait StateWalk {
     fn is_non_backtracking(&self) -> bool;
 }
 
+/// A [`StateWalk`] whose step splits into a *choose* half (draw the next
+/// state, consuming RNG) and a *commit* half (apply it), so the next
+/// state's memory addresses are known one iteration before they are
+/// touched.
+///
+/// This is the contract the batched lock-step engine is built on: with B
+/// walkers advanced one step per iteration, walker *i*'s `choose` result
+/// is prefetched (`prefetch_next`) while walkers *i+1..B* — and walker
+/// *i*'s own window/classify/CSS scoring — execute, hiding the
+/// data-dependent CSR misses a single in-flight walker cannot.
+///
+/// **Equivalence contract:** `choose(rng)` followed by `commit(choice)`
+/// must be *bit-identical* to [`StateWalk::step`] — same RNG draws in
+/// the same order, same resulting state, same cached degrees. Every
+/// in-tree walk implements `step` as exactly that composition so the
+/// two paths cannot drift. The prefetch methods are pure cache hints:
+/// they must not change observable state, and a correct implementation
+/// with both as no-ops is always legal.
+pub trait BatchWalk: StateWalk {
+    /// An uncommitted step decision — everything `commit` needs to apply
+    /// the transition without drawing more randomness.
+    type Choice: Copy;
+
+    /// Draws the next state, consuming exactly the RNG `step` would,
+    /// without applying it. The walk's observable state is unchanged.
+    fn choose(&mut self, rng: &mut WalkRng) -> Self::Choice;
+
+    /// Applies a decision from [`BatchWalk::choose`]. `choose` + `commit`
+    /// ≡ [`StateWalk::step`], bit for bit.
+    fn commit(&mut self, choice: Self::Choice);
+
+    /// Hints the graph to prefetch what `commit(choice)` will load (the
+    /// incoming state's CSR offset entries). Call between `choose` and
+    /// `commit`, ideally with unrelated work in between.
+    fn prefetch_next(&self, choice: &Self::Choice);
+
+    /// Hints the graph to prefetch the adjacency lines the *post-commit*
+    /// window push will binary-search (the entering nodes' neighbor
+    /// slices). Call right after `commit(choice)`, with the same choice.
+    fn prefetch_entering(&self, choice: &Self::Choice);
+}
+
 /// The effective degree used in stationary-distribution formulas: the true
 /// state degree for a simple walk, the nominal degree `max(deg − 1, 1)` for
 /// a non-backtracking walk (paper §4.2).
@@ -66,6 +108,45 @@ mod tests {
         assert_eq!(effective_degree(1, true), 1);
         assert_eq!(effective_degree(0, true), 1);
         assert_eq!(effective_degree(0, false), 0);
+    }
+
+    /// `choose` + `commit` (with prefetch hints interleaved) must be
+    /// bit-identical to `step`: same states, same cached degrees, same
+    /// RNG stream position after every transition. This is the contract
+    /// the batched lock-step engine's golden-bit guarantee rests on.
+    #[test]
+    fn choose_commit_composition_is_bit_identical_to_step() {
+        use crate::rng::{export_rng_state, rng_from_seed};
+        use crate::{G2Walk, GdWalk, SrwWalk};
+        use gx_graph::generators::classic;
+
+        fn check<W: crate::BatchWalk>(mut a: W, mut b: W, seed: u64, steps: usize) {
+            let mut ra = rng_from_seed(seed);
+            let mut rb = rng_from_seed(seed);
+            for _ in 0..steps {
+                a.step(&mut ra);
+                let c = b.choose(&mut rb);
+                b.prefetch_next(&c);
+                b.commit(c);
+                b.prefetch_entering(&c);
+                assert_eq!(a.state(), b.state());
+                assert_eq!(a.state_degree(), b.state_degree());
+                assert_eq!(export_rng_state(&ra), export_rng_state(&rb));
+            }
+        }
+
+        // Lollipop: degree range 1..=5, leaves force NB backtracks.
+        let g = classic::lollipop(6, 5);
+        for nb in [false, true] {
+            check(SrwWalk::new(&g, 0, nb), SrwWalk::new(&g, 0, nb), 99, 5_000);
+            check(G2Walk::new(&g, 0, 1, nb), G2Walk::new(&g, 0, 1, nb), 17, 5_000);
+            let start = [0, 1, 2];
+            check(GdWalk::new(&g, &start, nb), GdWalk::new(&g, &start, nb), 4, 400);
+        }
+        // Pendant-edge forced backtrack for G(2): P3's edge states have
+        // G(2)-degree 1, exercising the cached-degree reuse in `choose`.
+        let p = classic::path(3);
+        check(G2Walk::new(&p, 0, 1, true), G2Walk::new(&p, 0, 1, true), 2, 64);
     }
 
     #[test]

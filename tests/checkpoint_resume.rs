@@ -286,6 +286,109 @@ fn resume_refuses_a_different_graph() {
     assert!(Runner::resume(&twin, &mut snap.as_slice()).is_ok());
 }
 
+// --- Format v2: the batch_width field and v1 compatibility ------------------
+
+/// Re-wraps a payload in a fresh envelope (recomputed length + checksum)
+/// stamped with `version` — the tool for crafting checksum-valid
+/// snapshots of other format versions.
+fn seal(payload: &[u8], version: u32) -> Vec<u8> {
+    use graphlet_rw::core::checkpoint::{fnv1a, MAGIC};
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Byte offset of the handle's `batch_width` field inside the payload,
+/// found by diffing two snapshots of the same idle handle that differ
+/// only in the engine mode — the bit-identity contract guarantees
+/// nothing else moves.
+fn batch_width_offset(snap_a: &[u8], snap_b: &[u8]) -> usize {
+    const HEADER: usize = 24; // magic(4) + version(4) + len(8) + fnv(8)
+    assert_eq!(snap_a.len(), snap_b.len());
+    let diffs: Vec<usize> = (HEADER..snap_a.len()).filter(|&i| snap_a[i] != snap_b[i]).collect();
+    // Width 1 vs 2 and the checksum: the field's low byte plus digest
+    // bytes. The one payload diff is the field.
+    let payload_diffs: Vec<usize> = diffs.iter().copied().filter(|&i| i >= HEADER).collect();
+    assert_eq!(payload_diffs.len(), 1, "engine mode must be the only differing payload byte");
+    payload_diffs[0] - HEADER
+}
+
+/// Two snapshots of the same mid-run handle, scalar engine vs width-2
+/// lock-step engine — identical except the `batch_width` field (and the
+/// envelope checksum, which `batch_width_offset` ignores by diffing
+/// payload bytes only).
+fn engine_mode_snapshot_pair(g: &graphlet_rw::Graph) -> (Vec<u8>, Vec<u8>) {
+    let runner = Runner::new(EstimatorConfig::recommended(4)).steps(8_000).seed(13).walkers(2);
+    let mut handle = runner.start(g).unwrap();
+    handle.advance(1_000);
+    let (mut scalar, mut wide) = (Vec::new(), Vec::new());
+    handle.checkpoint(&mut scalar).unwrap();
+    handle.set_batch_width(2);
+    handle.checkpoint(&mut wide).unwrap();
+    (scalar, wide)
+}
+
+#[test]
+fn version1_snapshot_resumes_with_the_scalar_engine() {
+    let g = classic::lollipop(6, 5);
+    let runner = Runner::new(EstimatorConfig::recommended(4)).steps(8_000).seed(13).walkers(2);
+    let golden = run_uninterrupted(&g, &runner, 1_000);
+
+    let (v2, v2_wide) = engine_mode_snapshot_pair(&g);
+    // Splice the 8-byte batch_width field out of the v2 payload and
+    // re-seal as version 1 — a faithful image of what a v1 writer
+    // produced for this run.
+    let off = batch_width_offset(&v2, &v2_wide);
+    let mut payload = v2[24..].to_vec();
+    payload.drain(off..off + 8);
+    let v1 = seal(&payload, 1);
+
+    let mut resumed = Runner::resume(&g, &mut v1.as_slice()).unwrap();
+    assert_eq!(resumed.batch_width(), 1, "v1 snapshots default to the scalar engine");
+    while !resumed.is_finished() {
+        resumed.advance(1_000);
+    }
+    assert_estimates_bit_identical(&golden, &resumed.finish());
+}
+
+#[test]
+fn batch_width_out_of_domain_is_malformed() {
+    let g = classic::lollipop(6, 5);
+    let (v2, v2_wide) = engine_mode_snapshot_pair(&g);
+    let off = batch_width_offset(&v2, &v2_wide);
+    // Zero lanes, more lanes than the 2 walkers, and a giant value: all
+    // checksum-valid, all out of domain.
+    for bad in [0u64, 3, u64::MAX] {
+        let mut payload = v2[24..].to_vec();
+        payload[off..off + 8].copy_from_slice(&bad.to_le_bytes());
+        let crafted = seal(&payload, 2);
+        match Runner::resume(&g, &mut crafted.as_slice()) {
+            Err(GxError::Checkpoint(CheckpointError::Malformed { what })) => {
+                assert_eq!(what, "handle.batch_width");
+            }
+            other => panic!("batch_width={bad}: expected Malformed, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn future_format_version_is_refused_even_with_valid_checksum() {
+    let g = classic::petersen();
+    let snap = sample_snapshot(&g);
+    let ahead = graphlet_rw::core::checkpoint::VERSION + 1;
+    let crafted = seal(&snap[24..], ahead);
+    match Runner::resume(&g, &mut crafted.as_slice()) {
+        Err(GxError::Checkpoint(CheckpointError::UnsupportedVersion { found })) => {
+            assert_eq!(found, ahead);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
 // --- Checkpoint-write faults leave the run unharmed ------------------------
 
 #[test]
