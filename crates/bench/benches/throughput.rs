@@ -486,6 +486,113 @@ fn main() {
         json.insert("srw2css_checkpoint".into(), serde_json::Value::Object(row));
     }
 
+    // Out-of-core backend telemetry: the same SRW2CSS budget stepped off
+    // a `.gxsn` snapshot. Reports map+validate latency, steps/s mapped
+    // vs in-RAM, and the RSS cost of each open — the mapped open must
+    // not copy the neighbor arrays (its RSS delta is the O(nodes)
+    // offset-validation scan, not the adjacency), while the portable
+    // read-into-RAM fallback pays for the whole file. `GX_DATASET_MMAP`
+    // points the section at an existing snapshot (e.g. a KONECT crawl
+    // converted with `gx-snapshot`) instead of the bench graph's own.
+    {
+        use gx_graph::{disk, MmapGraph};
+        fn vm_rss_kb() -> u64 {
+            std::fs::read_to_string("/proc/self/status")
+                .ok()
+                .and_then(|s| {
+                    s.lines()
+                        .find(|l| l.starts_with("VmRSS:"))
+                        .and_then(|l| l.split_whitespace().nth(1))
+                        .and_then(|v| v.parse().ok())
+                })
+                .unwrap_or(0)
+        }
+        let override_path = std::env::var(gx_datasets::MMAP_ENV).ok();
+        let tmp_path = std::env::temp_dir().join("gx_bench_snapshot.gxsn");
+        let (snap_path, snap_bytes) = match &override_path {
+            Some(p) => {
+                let bytes = std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+                (std::path::PathBuf::from(p), bytes)
+            }
+            None => {
+                let info = disk::write_gxsn(g, None, &tmp_path).expect("write bench snapshot");
+                (tmp_path.clone(), info.bytes)
+            }
+        };
+
+        // Open latency = mmap + header checksum + O(nodes) offset
+        // validation; this is the whole cost of adopting a snapshot.
+        let map_secs = time(|| {
+            let m = MmapGraph::open(&snap_path).expect("mapped snapshot opens");
+            black_box(m.num_edges());
+        });
+
+        let rss0 = vm_rss_kb();
+        let mapped = MmapGraph::open(&snap_path).expect("mapped snapshot opens");
+        let mapped_rss_kb = vm_rss_kb().saturating_sub(rss0);
+        let rss0 = vm_rss_kb();
+        let in_ram = MmapGraph::open_in_ram(&snap_path).expect("snapshot reads into RAM");
+        let in_ram_rss_kb = vm_rss_kb().saturating_sub(rss0);
+        if in_ram_rss_kb > 1024 {
+            assert!(
+                mapped_rss_kb < in_ram_rss_kb,
+                "mapped open copied the snapshot: {mapped_rss_kb} kB vs {in_ram_rss_kb} kB in RAM"
+            );
+        }
+
+        let mmap_runner = Runner::new(cfg.clone()).steps(steps).seed(42);
+        // Pin bit-identity before the clock starts: storage must never
+        // move a sample. With an external override the reference is the
+        // fallback reader over the same bytes; without one it is the
+        // bench's own in-RAM CSR the snapshot was written from.
+        {
+            let a = mmap_runner.run_local(&mapped).expect("valid config");
+            let b = mmap_runner.run_local(&in_ram).expect("valid config");
+            let bits = |e: &gx_core::Estimate| {
+                e.raw_scores.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            };
+            assert_eq!(bits(&a), bits(&b), "mapped and fallback backends must agree");
+            if override_path.is_none() {
+                let c = mmap_runner.run_local(g).expect("valid config");
+                assert_eq!(bits(&a), bits(&c), "mapped must be bit-identical to the RAM graph");
+            }
+        }
+        let mapped_secs = time(|| {
+            let est = mmap_runner.run_local(&mapped).expect("valid config");
+            assert!(est.valid_samples > 0);
+        });
+        let ram_secs = match &override_path {
+            None => time(|| {
+                let est = mmap_runner.run_local(g).expect("valid config");
+                assert!(est.valid_samples > 0);
+            }),
+            // With an external snapshot there is no in-RAM `Graph` of the
+            // same content; the fallback reader is the RAM comparator.
+            Some(_) => time(|| {
+                let est = mmap_runner.run_local(&in_ram).expect("valid config");
+                assert!(est.valid_samples > 0);
+            }),
+        };
+        let mapped_rate = steps_per_sec(steps, mapped_secs);
+        let ram_rate = steps_per_sec(steps, ram_secs);
+        println!(
+            "SRW2CSS mmap            {mapped_rate:>14.0} steps/s  (RAM {ram_rate:.0}, map+validate {:.1} µs, RSS map {mapped_rss_kb} kB vs RAM {in_ram_rss_kb} kB)",
+            map_secs * 1e6
+        );
+        let mut row = serde_json::Map::new();
+        row.insert("snapshot_bytes".into(), serde_json::json!(snap_bytes));
+        row.insert("map_validate_secs".into(), serde_json::json!(map_secs));
+        row.insert("mapped_steps_per_sec".into(), serde_json::json!(mapped_rate));
+        row.insert("ram_steps_per_sec".into(), serde_json::json!(ram_rate));
+        row.insert("mapped_open_rss_delta_kb".into(), serde_json::json!(mapped_rss_kb));
+        row.insert("in_ram_open_rss_delta_kb".into(), serde_json::json!(in_ram_rss_kb));
+        row.insert("external_snapshot".into(), serde_json::json!(override_path.is_some()));
+        json.insert("srw2css_mmap".into(), serde_json::Value::Object(row));
+        if override_path.is_none() {
+            let _ = std::fs::remove_file(&tmp_path);
+        }
+    }
+
     // Multi-job serving throughput: eight equal jobs (the bench budget
     // split evenly) multiplexed onto the service's worker pool. Tracks
     // jobs/sec, the p50/p95 job-latency spread, and the fairness ratio

@@ -31,7 +31,6 @@
 //! [`CheckpointError::Truncated`] instead of a pathological allocation.
 
 use crate::error::{CheckpointError, GxError};
-use gx_graph::GraphAccess;
 use std::io::{Read, Write};
 use std::path::Path;
 
@@ -68,31 +67,13 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Structural fingerprint of a graph: FNV-1a over the node count, every
-/// degree, and every (sorted) neighbor list. Two graphs with the same
-/// fingerprint present the same adjacency structure to a walk, which is
-/// all a resumed run observes; a mismatch means resuming would silently
-/// estimate statistics of the wrong graph, so [`crate::Runner::resume`]
-/// refuses it.
-pub fn graph_fingerprint<G: GraphAccess>(g: &G) -> u64 {
-    let mut h = FNV_OFFSET;
-    let mut eat = |x: u64| {
-        for b in x.to_le_bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(FNV_PRIME);
-        }
-    };
-    let n = g.num_nodes();
-    eat(n as u64);
-    for v in 0..n {
-        let v = v as gx_graph::NodeId;
-        eat(g.degree(v) as u64);
-        for &w in g.neighbors(v) {
-            eat(u64::from(w));
-        }
-    }
-    h
-}
+/// Structural graph fingerprint — now defined next to
+/// [`gx_graph::GraphAccess`] itself (it is also embedded in on-disk
+/// snapshot headers by
+/// `gx_graph::disk`); re-exported here so `gx_core::graph_fingerprint`
+/// and every resume/cache call site keep compiling unchanged. Bit
+/// compatible: same FNV-1a constants, same traversal.
+pub use gx_graph::graph_fingerprint;
 
 // ---------------------------------------------------------------------------
 // Codec: little-endian primitives into a Vec<u8> / out of a slice

@@ -271,6 +271,9 @@ pub enum GxError {
     /// A checkpoint payload was refused (truncated, corrupted, wrong
     /// version, or taken against a different graph).
     Checkpoint(CheckpointError),
+    /// An on-disk graph snapshot (GXSN/GXSC) was refused — corrupted
+    /// header, truncated file, malformed index, or unreadable path.
+    Snapshot(gx_graph::SnapshotError),
     /// The estimation service refused or terminated the job (shed load,
     /// deadline passed, cancelled, or shut down).
     Service(ServiceError),
@@ -306,6 +309,7 @@ impl fmt::Display for GxError {
                  (requested {walkers}): pair-collapses would desynchronize pooled batch lengths"
             ),
             Self::Checkpoint(e) => write!(f, "checkpoint refused: {e}"),
+            Self::Snapshot(e) => write!(f, "graph snapshot refused: {e}"),
             Self::Service(e) => write!(f, "estimation service: {e}"),
             Self::Io(kind) => write!(f, "checkpoint I/O error: {kind}"),
         }
@@ -318,6 +322,7 @@ impl std::error::Error for GxError {
             Self::Config(e) => Some(e),
             Self::Rule(e) => Some(e),
             Self::Checkpoint(e) => Some(e),
+            Self::Snapshot(e) => Some(e),
             Self::Service(e) => Some(e),
             _ => None,
         }
@@ -345,6 +350,12 @@ impl From<CheckpointError> for GxError {
 impl From<ServiceError> for GxError {
     fn from(e: ServiceError) -> Self {
         Self::Service(e)
+    }
+}
+
+impl From<gx_graph::SnapshotError> for GxError {
+    fn from(e: gx_graph::SnapshotError) -> Self {
+        Self::Snapshot(e)
     }
 }
 
@@ -424,6 +435,22 @@ mod tests {
             e.source().unwrap().to_string(),
             ServiceError::Rejected { retry_after_hint: hint }.to_string()
         );
+    }
+
+    #[test]
+    fn snapshot_errors_wire_into_gx_error() {
+        use gx_graph::SnapshotError;
+        use std::error::Error;
+        // From + Display prefix + source chaining, matching the
+        // CheckpointError pattern exactly.
+        let e = GxError::from(SnapshotError::HeaderChecksumMismatch);
+        assert_eq!(e, GxError::Snapshot(SnapshotError::HeaderChecksumMismatch));
+        assert!(e.to_string().contains("graph snapshot refused:"));
+        assert!(e.source().unwrap().to_string().contains("checksum"));
+        let e = GxError::from(SnapshotError::Truncated { expected: 64, found: 7 });
+        assert!(e.to_string().contains("need 64 bytes, found 7"));
+        let e = GxError::from(SnapshotError::Io(std::io::ErrorKind::NotFound));
+        assert_eq!(e, GxError::Snapshot(SnapshotError::Io(std::io::ErrorKind::NotFound)));
     }
 
     #[test]

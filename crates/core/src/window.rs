@@ -424,22 +424,28 @@ impl NodeWindow {
         // the k − 1 probes — which measures faster than the generic
         // `has_edge` (no per-pair hub-index or degree-comparison
         // overhead, one hot list instead of k − 1 cold ones).
-        let nbrs = g.neighbors(v);
+        // `visit_neighbors` (rather than `neighbors`) lets out-of-core
+        // backends lend a scoped, cache-resident slice without any
+        // allocation or copy; on the in-RAM `Graph` it compiles to the
+        // same direct subslice as before.
+        let distinct = &self.distinct[..p];
+        let adj = &mut self.adj;
         let mut row = 0u64;
         let mut probed = 0u64;
-        for q in 0..p {
-            let u = self.distinct[q];
-            let adjacent = if known_adjacent == Some(u) {
-                true
-            } else {
-                probed += 1;
-                nbrs.binary_search(&u).is_ok()
-            };
-            if adjacent {
-                row |= 1 << q;
-                self.adj[q] |= 1 << p;
+        g.visit_neighbors(v, &mut |nbrs| {
+            for (q, &u) in distinct.iter().enumerate() {
+                let adjacent = if known_adjacent == Some(u) {
+                    true
+                } else {
+                    probed += 1;
+                    nbrs.binary_search(&u).is_ok()
+                };
+                if adjacent {
+                    row |= 1 << q;
+                    adj[q] |= 1 << p;
+                }
             }
-        }
+        });
         self.probes += probed;
         self.adj[p] = row;
         self.distinct[p] = v;

@@ -11,10 +11,15 @@
 //! examples assumed dense ids) made results on remapped graphs
 //! unreportable.
 
-use gx_graph::io::{read_edge_list_compact, NodeIdMap};
-use gx_graph::{Graph, GraphError, NodeId};
+use gx_graph::io::{read_edge_list_compact, read_edge_list_compact_file, NodeIdMap};
+use gx_graph::{Graph, GraphError, MmapGraph, NodeId, SnapshotError};
 use std::io::Read;
 use std::path::Path;
+use std::sync::Arc;
+
+/// Environment variable naming a `.gxsn` snapshot to map instead of
+/// parsing an edge list (see [`MappedDataset::from_env`]).
+pub const MMAP_ENV: &str = "GX_DATASET_MMAP";
 
 /// A graph loaded from an external edge list, with the id remap needed
 /// to translate results back to the file's original ids.
@@ -33,14 +38,18 @@ impl LoadedDataset {
     /// per line, `#`/`%` comments, duplicates tolerated) with id
     /// compaction. A stray id like 10⁹ costs one map entry, not a
     /// billion-node allocation.
+    ///
+    /// Path-based loads stream the file twice (degree count, then CSR
+    /// fill) instead of buffering every edge, so peak RAM is the final
+    /// CSR plus the id map — edge lists larger than memory convert fine.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, GraphError> {
         let path = path.as_ref();
         let name = path
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_else(|| "dataset".to_string());
-        let file = std::fs::File::open(path)?;
-        Self::from_reader(name, file)
+        let (graph, ids) = read_edge_list_compact_file(path)?;
+        Ok(Self { name, graph, ids })
     }
 
     /// [`LoadedDataset::load`] from any reader, with an explicit name.
@@ -64,6 +73,70 @@ impl LoadedDataset {
     /// back to original file ids, preserving order.
     pub fn originals_of(&self, nodes: &[NodeId]) -> Vec<u64> {
         nodes.iter().map(|&n| self.ids.original(n)).collect()
+    }
+}
+
+/// A dataset served straight from an on-disk `.gxsn` snapshot — the
+/// out-of-core analog of [`LoadedDataset`].
+///
+/// The adjacency arrays stay in the page cache (zero-copy mmap on
+/// Linux/x86-64, read-into-RAM elsewhere), and the id translation reads
+/// the snapshot's embedded id-map section in place instead of
+/// materializing a [`NodeIdMap`]. Snapshots without an id map use
+/// identity ids (`original == compact`), which is what `gx-snapshot`
+/// writes for already-dense inputs.
+#[derive(Debug)]
+pub struct MappedDataset {
+    /// Dataset name (the file stem of the snapshot path).
+    pub name: String,
+    /// The mapped graph; `Arc` so jobs and caches can share one mapping.
+    pub graph: Arc<MmapGraph>,
+}
+
+impl MappedDataset {
+    /// Maps a `.gxsn` snapshot. Header, section bounds, and offset
+    /// monotonicity are validated before any accessor is exposed.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        let path = path.as_ref();
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "dataset".to_string());
+        let graph = Arc::new(MmapGraph::open(path)?);
+        Ok(Self { name, graph })
+    }
+
+    /// Maps the snapshot named by `GX_DATASET_MMAP`, if set. Returns
+    /// `None` when the variable is absent so callers fall back to their
+    /// default dataset; a set-but-unreadable path is an error, not a
+    /// silent fallback.
+    pub fn from_env() -> Option<Result<Self, SnapshotError>> {
+        std::env::var_os(MMAP_ENV).map(Self::open)
+    }
+
+    /// Original file id of compact node `node` (identity when the
+    /// snapshot carries no id map).
+    pub fn original_id(&self, node: NodeId) -> u64 {
+        match self.graph.original_ids() {
+            Some(ids) => ids[node as usize],
+            None => u64::from(node),
+        }
+    }
+
+    /// Compact node of original file id `original` (`None` if the id is
+    /// not present).
+    pub fn compact_id(&self, original: u64) -> Option<NodeId> {
+        match self.graph.original_ids() {
+            Some(ids) => ids.binary_search(&original).ok().map(|i| i as NodeId),
+            None if original < self.graph.num_nodes() as u64 => Some(original as NodeId),
+            None => None,
+        }
+    }
+
+    /// Translates a compact node set back to original ids, preserving
+    /// order.
+    pub fn originals_of(&self, nodes: &[NodeId]) -> Vec<u64> {
+        nodes.iter().map(|&n| self.original_id(n)).collect()
     }
 }
 
@@ -120,5 +193,43 @@ mod tests {
     fn load_missing_file_is_an_io_error() {
         let err = LoadedDataset::load("/nonexistent/gx-no-such-file.txt").unwrap_err();
         assert!(matches!(err, GraphError::Io(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn mapped_dataset_round_trips_ids_through_the_snapshot() {
+        let d = LoadedDataset::from_reader("sparse", SPARSE.as_bytes()).unwrap();
+        let path = std::env::temp_dir().join("gx_datasets_mapped_fixture.gxsn");
+        gx_graph::write_gxsn(&d.graph, Some(d.ids.originals()), &path).unwrap();
+        let m = MappedDataset::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(m.name, "gx_datasets_mapped_fixture");
+        assert_eq!(m.graph.num_nodes(), d.graph.num_nodes());
+        assert_eq!(m.graph.num_edges(), d.graph.num_edges());
+        // Same id translation as the in-RAM loader, read from the mapped
+        // id-map section.
+        for n in 0..d.graph.num_nodes() as NodeId {
+            assert_eq!(m.original_id(n), d.original_id(n));
+            assert_eq!(m.compact_id(m.original_id(n)), Some(n));
+        }
+        assert_eq!(m.compact_id(999), None);
+        assert_eq!(m.originals_of(&[2, 0]), d.originals_of(&[2, 0]));
+    }
+
+    #[test]
+    fn mapped_dataset_without_id_map_uses_identity() {
+        let g = gx_graph::generators::classic::cycle(5);
+        let path = std::env::temp_dir().join("gx_datasets_mapped_identity.gxsn");
+        gx_graph::write_gxsn(&g, None, &path).unwrap();
+        let m = MappedDataset::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(m.original_id(3), 3);
+        assert_eq!(m.compact_id(4), Some(4));
+        assert_eq!(m.compact_id(5), None, "past num_nodes");
+    }
+
+    #[test]
+    fn mapped_dataset_missing_file_is_a_typed_snapshot_error() {
+        let err = MappedDataset::open("/nonexistent/gx-no-such.gxsn").unwrap_err();
+        assert_eq!(err, SnapshotError::Io(std::io::ErrorKind::NotFound));
     }
 }

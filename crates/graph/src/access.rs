@@ -45,6 +45,37 @@ pub trait GraphAccess {
         self.neighbors(v)[i]
     }
 
+    /// Visits the sorted adjacency list of `v` through a scoped borrow.
+    ///
+    /// Semantically identical to calling `f` on
+    /// [`GraphAccess::neighbors`] — and that is the default — but the
+    /// slice is only guaranteed to live for the duration of the call.
+    /// Backends that *decode* adjacency on demand (the compressed
+    /// on-disk variant, `gx_graph::disk::CompressedGraph`) implement
+    /// this without materializing a long-lived slice, which is what
+    /// keeps their decode cache bounded. Hot paths that probe a list
+    /// transiently (the scoring window's per-step binary searches)
+    /// should prefer this over `neighbors`.
+    ///
+    /// `f` is `&mut dyn FnMut` rather than a generic closure so the
+    /// trait stays object-safe; for concrete backends the indirect call
+    /// devirtualizes after inlining.
+    #[inline]
+    fn visit_neighbors(&self, v: NodeId, f: &mut dyn FnMut(&[NodeId])) {
+        f(self.neighbors(v));
+    }
+
+    /// Appends the sorted adjacency list of `v` to `out` — the copy-out
+    /// form of [`GraphAccess::visit_neighbors`], for callers that were
+    /// going to `extend_from_slice` anyway (e.g. the G(d) walk's
+    /// candidate enumeration). Same default, same motivation: decoding
+    /// backends fill `out` straight from their block cache without
+    /// pinning a slice.
+    #[inline]
+    fn extend_neighbors(&self, v: NodeId, out: &mut Vec<NodeId>) {
+        out.extend_from_slice(self.neighbors(v));
+    }
+
     /// Hints that `degree(v)` will be asked soon. Purely a cache-warming
     /// hint for in-memory backends; the default (and any remote/metered
     /// backend, where "prefetch" would be a real API call) is a no-op.
@@ -108,12 +139,58 @@ impl<T: GraphAccess + ?Sized> GraphAccess for &T {
     fn neighbor_at(&self, v: NodeId, i: usize) -> NodeId {
         (**self).neighbor_at(v, i)
     }
+    // The scoped/copy-out accessors must forward explicitly: the trait
+    // defaults would route through `self.neighbors` on the *reference*,
+    // bypassing a backend's own bounded-cache implementation.
+    fn visit_neighbors(&self, v: NodeId, f: &mut dyn FnMut(&[NodeId])) {
+        (**self).visit_neighbors(v, f);
+    }
+    fn extend_neighbors(&self, v: NodeId, out: &mut Vec<NodeId>) {
+        (**self).extend_neighbors(v, out);
+    }
     fn prefetch_degree(&self, v: NodeId) {
         (**self).prefetch_degree(v);
     }
     fn prefetch_neighbors(&self, v: NodeId) {
         (**self).prefetch_neighbors(v);
     }
+}
+
+/// Structural fingerprint of a graph: FNV-1a over the node count, every
+/// degree, and every (sorted) neighbor list. Two graphs with the same
+/// fingerprint present the same adjacency structure to a walk, which is
+/// all a resumed run observes; a mismatch means resuming would silently
+/// estimate statistics of the wrong graph, so `gx_core::Runner::resume`
+/// refuses it.
+///
+/// The same value is embedded in on-disk snapshot headers
+/// ([`crate::disk`]), which is what lets a mapped snapshot be adopted by
+/// trusted-resume paths and fingerprint-keyed caches without an O(edges)
+/// rescan: the converter computes it once, over exactly this traversal.
+pub fn graph_fingerprint<G: GraphAccess + ?Sized>(g: &G) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn eat(h: &mut u64, x: u64) {
+        for b in x.to_le_bytes() {
+            *h ^= u64::from(b);
+            *h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    let mut h = FNV_OFFSET;
+    let n = g.num_nodes();
+    eat(&mut h, n as u64);
+    for v in 0..n {
+        let v = v as NodeId;
+        eat(&mut h, g.degree(v) as u64);
+        // Scoped visit instead of `neighbors`: fingerprinting a
+        // decode-on-demand backend must not materialize every list.
+        g.visit_neighbors(v, &mut |nbrs| {
+            for &w in nbrs {
+                eat(&mut h, u64::from(w));
+            }
+        });
+    }
+    h
 }
 
 /// Usage statistics reported by [`ApiGraph`].

@@ -25,7 +25,7 @@ use crate::NodeId;
 /// occupy the ROB until in-order retirement catches up, stalling the
 /// very lanes the hint was meant to unblock.
 #[inline(always)]
-fn prefetch_read<T>(p: *const T) {
+pub(crate) fn prefetch_read<T>(p: *const T) {
     #[cfg(target_arch = "x86_64")]
     // SAFETY: `_mm_prefetch` is a pure cache hint; it performs no memory
     // access that can fault and has no architectural side effects.
@@ -57,10 +57,23 @@ fn prefetch_read<T>(p: *const T) {
 /// allocator hints and the workspace takes no libc-style dependency); a
 /// no-op everywhere else.
 pub(crate) fn advise_hugepages(ptr: *const u8, bytes: usize) {
+    madvise_raw(ptr, bytes, MADV_HUGEPAGE);
+}
+
+/// `madvise` advice values used by the workspace (Linux ABI).
+pub(crate) const MADV_WILLNEED: usize = 3;
+pub(crate) const MADV_HUGEPAGE: usize = 14;
+
+/// Best-effort raw `madvise(advice)` over the pages fully inside
+/// `ptr..ptr+bytes` — the shared syscall plumbing behind
+/// [`advise_hugepages`] and the mapped-snapshot reader's
+/// `MADV_WILLNEED`/`MADV_HUGEPAGE` hints. Pure hint: the return value is
+/// discarded and correctness never depends on the kernel honoring it.
+/// No-op off x86-64 Linux.
+pub(crate) fn madvise_raw(ptr: *const u8, bytes: usize, advice: usize) {
     #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
     {
         const SYS_MADVISE: usize = 28;
-        const MADV_HUGEPAGE: usize = 14;
         const PAGE: usize = 4096;
         // `madvise` demands a page-aligned start; round the range inward so
         // a mid-page Vec allocation advises only the pages it fully owns.
@@ -81,7 +94,7 @@ pub(crate) fn advise_hugepages(ptr: *const u8, bytes: usize) {
                 inlateout("rax") SYS_MADVISE as isize => _ret,
                 in("rdi") start,
                 in("rsi") end - start,
-                in("rdx") MADV_HUGEPAGE,
+                in("rdx") advice,
                 lateout("rcx") _,
                 lateout("r11") _,
                 options(nostack),
@@ -90,7 +103,7 @@ pub(crate) fn advise_hugepages(ptr: *const u8, bytes: usize) {
     }
     #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
     {
-        let _ = (ptr, bytes);
+        let _ = (ptr, bytes, advice);
     }
 }
 
@@ -166,6 +179,35 @@ impl HubIndex {
         Self { row_of, words, bits }
     }
 
+    /// [`HubIndex::build`] over any [`crate::GraphAccess`] backend —
+    /// the generalization that gives the mapped on-disk CSR
+    /// (`gx_graph::disk::MmapGraph`) the same O(1) hub `has_edge`
+    /// asymptotics as the in-RAM [`Graph`]. One O(|E|) scan; rows are
+    /// bit-identical to the slice-based builder for the same adjacency
+    /// structure.
+    pub(crate) fn build_from_access<G: crate::GraphAccess + ?Sized>(g: &G) -> Self {
+        let n = g.num_nodes();
+        let threshold = hub_threshold(n);
+        let hubs: Vec<usize> = (0..n).filter(|&v| g.degree(v as NodeId) >= threshold).collect();
+        if hubs.is_empty() {
+            return Self::default();
+        }
+        let words = n.div_ceil(64);
+        let mut row_of = vec![u32::MAX; n];
+        let mut bits = vec![0u64; hubs.len() * words];
+        for (row, &v) in hubs.iter().enumerate() {
+            row_of[v] = row as u32;
+            let base = row * words;
+            let row_bits = &mut bits[base..base + words];
+            g.visit_neighbors(v as NodeId, &mut |nbrs| {
+                for &w in nbrs {
+                    row_bits[w as usize / 64] |= 1 << (w % 64);
+                }
+            });
+        }
+        Self { row_of, words, bits }
+    }
+
     /// True when the graph has no hubs (fast-path bypass).
     #[inline]
     pub(crate) fn is_empty(&self) -> bool {
@@ -219,6 +261,20 @@ impl Graph {
             b.add_edge_unchecked(u, v);
         }
         b.build()
+    }
+
+    /// Assembles a graph directly from already-built CSR arrays, building
+    /// only the hub index. The caller must guarantee the [`Graph`]
+    /// invariants (sorted, deduplicated, symmetric, self-loop-free
+    /// adjacency; `offsets.len() == num_nodes + 1` with `offsets[0] == 0`
+    /// and `offsets[n] == adjacency.len()`). Used by the streaming
+    /// edge-list loader, which establishes those invariants without ever
+    /// materializing the full edge list.
+    pub(crate) fn from_csr_parts(offsets: Vec<usize>, adjacency: Vec<NodeId>) -> Self {
+        debug_assert!(!offsets.is_empty() && offsets[0] == 0);
+        debug_assert_eq!(*offsets.last().unwrap_or(&0), adjacency.len());
+        let hubs = HubIndex::build(&offsets, &adjacency);
+        Self { offsets, adjacency, hubs }
     }
 
     /// Number of nodes (including isolated ones).

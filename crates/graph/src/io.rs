@@ -11,19 +11,21 @@ use crate::error::GraphError;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-/// Parses the raw `u v` pairs of an edge list: the shared front half of
-/// [`read_edge_list`] and [`read_edge_list_compact`]. Returns the edges
-/// plus the maximum node id seen (0 for an empty list).
-fn parse_edges<R: Read>(reader: R) -> Result<(Vec<(u64, u64)>, u64), GraphError> {
-    let mut edges: Vec<(u64, u64)> = Vec::new();
-    let mut max_id: u64 = 0;
+/// Streams the raw `u v` pairs of an edge list to a callback, one line
+/// at a time, without materializing anything: the shared front half of
+/// every reader in this module, and what lets the two-pass compact file
+/// loader convert edge lists larger than RAM.
+fn for_each_edge<R: Read>(
+    reader: R,
+    mut f: impl FnMut(u64, u64) -> Result<(), GraphError>,
+) -> Result<(), GraphError> {
     let mut r = BufReader::new(reader);
     let mut line = String::new();
     let mut lineno = 0usize;
     loop {
         line.clear();
         if r.read_line(&mut line)? == 0 {
-            break;
+            return Ok(());
         }
         lineno += 1;
         let t = line.trim();
@@ -41,9 +43,22 @@ fn parse_edges<R: Read>(reader: R) -> Result<(Vec<(u64, u64)>, u64), GraphError>
         };
         let u = parse(it.next(), lineno)?;
         let v = parse(it.next(), lineno)?;
+        f(u, v)?;
+    }
+}
+
+/// Parses the raw `u v` pairs of an edge list into a vector: the
+/// buffered front half of [`read_edge_list`] and
+/// [`read_edge_list_compact`]. Returns the edges plus the maximum node
+/// id seen (0 for an empty list).
+fn parse_edges<R: Read>(reader: R) -> Result<(Vec<(u64, u64)>, u64), GraphError> {
+    let mut edges: Vec<(u64, u64)> = Vec::new();
+    let mut max_id: u64 = 0;
+    for_each_edge(reader, |u, v| {
         max_id = max_id.max(u).max(v);
         edges.push((u, v));
-    }
+        Ok(())
+    })?;
     Ok((edges, max_id))
 }
 
@@ -144,12 +159,107 @@ pub fn read_edge_list_compact<R: Read>(reader: R) -> Result<(Graph, NodeIdMap), 
     Ok((b.build(), map))
 }
 
-/// Reads an edge list from a file path with id compaction
-/// (see [`read_edge_list_compact`]).
+/// Reads an edge list file with id compaction — **streaming**, in two
+/// passes, so peak memory is the finished CSR plus an id→count table
+/// (O(distinct ids)), never a buffered copy of the edge list. This is
+/// what lets `gx-snapshot` convert KONECT dumps larger than RAM; the
+/// reader-based [`read_edge_list_compact`] necessarily buffers (a
+/// generic `Read` cannot be rewound) and should be reserved for
+/// in-memory or pipe inputs.
+///
+/// Pass 1 counts each id's non-self-loop incidences (duplicates
+/// included); the sorted distinct ids become the [`NodeIdMap`] and the
+/// counts become CSR offsets. Pass 2 re-reads the file and drops every
+/// edge directly into its final slot; per-node sort + dedup then
+/// compacts the lists in place. The result is bit-identical to the
+/// buffered path (same sort-dedup-drop-loops semantics as
+/// [`GraphBuilder`]). If the file changes between the passes the
+/// mismatch is detected and reported as [`GraphError::Parse`] rather
+/// than producing a silently wrong graph.
 pub fn read_edge_list_compact_file(
     path: impl AsRef<Path>,
 ) -> Result<(Graph, NodeIdMap), GraphError> {
-    read_edge_list_compact(std::fs::File::open(path)?)
+    let path = path.as_ref();
+    let drift = || GraphError::Parse {
+        line: 0,
+        message: "edge list changed between the two streaming passes".into(),
+    };
+
+    // Pass 1: id -> incidence count (self-loops register the id but add
+    // no adjacency slot, matching the builder's drop-loops semantics).
+    let mut counts: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    for_each_edge(std::fs::File::open(path)?, |u, v| {
+        let inc = u64::from(u != v);
+        *counts.entry(u).or_insert(0) += inc;
+        *counts.entry(v).or_insert(0) += inc;
+        Ok(())
+    })?;
+    let mut originals: Vec<u64> = counts.keys().copied().collect();
+    originals.sort_unstable();
+    if originals.len() > u32::MAX as usize {
+        return Err(GraphError::NodeOutOfRange {
+            node: originals.last().copied().unwrap_or(0),
+            num_nodes: u32::MAX as usize,
+        });
+    }
+    let n = originals.len();
+    let mut offsets = vec![0usize; n + 1];
+    for (c, &id) in originals.iter().enumerate() {
+        offsets[c + 1] = offsets[c] + counts[&id] as usize;
+    }
+    drop(counts);
+    let map = NodeIdMap { originals };
+    let mut adjacency = vec![0 as crate::NodeId; offsets[n]];
+    // Same pre-fill hugepage advice as the builder: the fill below is
+    // random-access across the whole array.
+    crate::csr::advise_hugepages(offsets.as_ptr().cast(), offsets.len() * 8);
+    crate::csr::advise_hugepages(adjacency.as_ptr().cast(), adjacency.len() * 4);
+
+    // Pass 2: drop each endpoint into its node's cursor slot.
+    let mut cursor: Vec<usize> = offsets[..n].to_vec();
+    for_each_edge(std::fs::File::open(path)?, |u, v| {
+        if u == v {
+            return Ok(());
+        }
+        let (cu, cv) = match (map.compact(u), map.compact(v)) {
+            (Some(cu), Some(cv)) => (cu, cv),
+            _ => return Err(drift()),
+        };
+        let (iu, iv) = (cu as usize, cv as usize);
+        if cursor[iu] >= offsets[iu + 1] || cursor[iv] >= offsets[iv + 1] {
+            return Err(drift());
+        }
+        adjacency[cursor[iu]] = cv;
+        cursor[iu] += 1;
+        adjacency[cursor[iv]] = cu;
+        cursor[iv] += 1;
+        Ok(())
+    })?;
+    if (0..n).any(|c| cursor[c] != offsets[c + 1]) {
+        return Err(drift());
+    }
+    drop(cursor);
+
+    // Per-node sort + dedup, compacting leftwards in place (the write
+    // cursor never passes the read cursor).
+    let mut write = 0usize;
+    let mut start = 0usize;
+    for c in 0..n {
+        let end = offsets[c + 1];
+        adjacency[start..end].sort_unstable();
+        let node_start = write;
+        for i in start..end {
+            let w = adjacency[i];
+            if write == node_start || adjacency[write - 1] != w {
+                adjacency[write] = w;
+                write += 1;
+            }
+        }
+        start = end;
+        offsets[c + 1] = write;
+    }
+    adjacency.truncate(write);
+    Ok((Graph::from_csr_parts(offsets, adjacency), map))
 }
 
 /// Writes each edge once as `u v` with `u < v`, preceded by a summary
@@ -252,6 +362,46 @@ mod tests {
         assert_eq!(g.num_nodes(), 2);
         assert_eq!(g.num_edges(), 1); // dup + self-loop dropped at build
         assert_eq!(map.originals(), &[5, 9]);
+    }
+
+    #[test]
+    fn streaming_file_loader_matches_buffered_reader_exactly() {
+        // Sparse ids, duplicate edges (both orders), self-loops, a
+        // self-loop-only id (must become an isolated node), comments.
+        let text = "# messy KONECT-style dump\n\
+                    1000000000 7\n\
+                    7 1000000000\n\
+                    7 42\n\
+                    42 7\n\
+                    42 42\n\
+                    999 999\n\
+                    % trailing comment\n\
+                    7 13\n";
+        let (buffered, buffered_map) = read_edge_list_compact(text.as_bytes()).unwrap();
+        let dir = std::env::temp_dir().join("gx_graph_io_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("messy.txt");
+        std::fs::write(&path, text).unwrap();
+        let (streamed, streamed_map) = read_edge_list_compact_file(&path).unwrap();
+        assert_eq!(streamed, buffered);
+        assert_eq!(streamed_map, buffered_map);
+        // The self-loop-only id 999 is present but isolated.
+        let c999 = streamed_map.compact(999).unwrap();
+        assert_eq!(streamed.degree(c999), 0);
+        assert_eq!(streamed.num_edges(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streaming_loader_empty_file() {
+        let dir = std::env::temp_dir().join("gx_graph_io_stream_empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.txt");
+        std::fs::write(&path, "# only comments\n\n").unwrap();
+        let (g, map) = read_edge_list_compact_file(&path).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert!(map.is_empty());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

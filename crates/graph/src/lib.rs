@@ -17,7 +17,12 @@
 //!   graph `G(d)` for small graphs, used to validate stationary
 //!   distributions and mixing times against theory;
 //! * [`connectivity`] — BFS, connected components and LCC extraction (the
-//!   paper evaluates on the largest connected component of every dataset).
+//!   paper evaluates on the largest connected component of every dataset);
+//! * [`disk`] — out-of-core snapshots: the page-aligned `GXSN` format
+//!   served zero-copy by [`MmapGraph`], the delta-varint `GXSC` format
+//!   behind [`CompressedGraph`]'s bounded decode cache, and atomic
+//!   writers for both. Both implement [`GraphAccess`], so every walk
+//!   engine runs unmodified — and bit-identically — off disk.
 //!
 //! All randomness is injected through [`rand::Rng`], and the workspace uses
 //! PCG64 seeds everywhere so experiments are exactly reproducible.
@@ -26,15 +31,20 @@ pub mod access;
 pub mod builder;
 pub mod connectivity;
 pub mod csr;
+pub mod disk;
 pub mod error;
 pub mod generators;
 pub mod io;
 pub mod stats;
 pub mod subrel;
 
-pub use access::{ApiGraph, ApiStats, GraphAccess};
+pub use access::{graph_fingerprint, ApiGraph, ApiStats, GraphAccess};
 pub use builder::GraphBuilder;
 pub use csr::Graph;
+pub use disk::{
+    read_header, write_gxsc, write_gxsn, CompressedGraph, MmapGraph, SnapshotError, SnapshotHeader,
+    SnapshotInfo, SnapshotKind,
+};
 pub use error::GraphError;
 
 /// Node identifier. Kept as a bare `u32`: graphs in this workspace are

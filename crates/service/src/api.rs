@@ -9,7 +9,7 @@
 //! [`ServiceError`] — never a hang, never an
 //! escaped panic.
 
-use crate::cache::SnapshotCache;
+use crate::cache::{SharedGraph, SnapshotCache};
 use crate::recovery::BackoffPolicy;
 use crate::scheduler::{self, JobShared, ServiceShared};
 use crate::sync::{locked, wait_timeout_unpoisoned, wait_unpoisoned};
@@ -17,7 +17,7 @@ use gx_core::parallel::available_cores;
 use gx_core::{
     Estimate, EstimatorConfig, FaultPlan, GxError, Progress, ServiceError, StoppingRule,
 };
-use gx_graph::Graph;
+use gx_graph::{Graph, MmapGraph};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -97,7 +97,7 @@ impl JobFaults {
 /// submitted via [`EstimationService::submit`].
 #[derive(Debug, Clone)]
 pub struct JobSpec {
-    pub(crate) graph: Arc<Graph>,
+    pub(crate) graph: SharedGraph,
     pub(crate) cfg: EstimatorConfig,
     pub(crate) budget: Option<JobBudget>,
     pub(crate) walkers: usize,
@@ -114,8 +114,21 @@ impl JobSpec {
     /// same `Arc` (or the canonical one a previous submit shared) skips
     /// the per-submit fingerprint scan.
     pub fn new(g: Arc<Graph>, cfg: EstimatorConfig) -> Self {
+        Self::over(SharedGraph::Ram(g), cfg)
+    }
+
+    /// [`JobSpec::new`] over a mapped `.gxsn` snapshot (see
+    /// [`gx_graph::MmapGraph`]): the job runs straight off the page
+    /// cache, and submissions of the same snapshot share one mapping
+    /// through the service's [`SnapshotCache`].
+    pub fn new_mapped(g: Arc<MmapGraph>, cfg: EstimatorConfig) -> Self {
+        Self::over(SharedGraph::Mapped(g), cfg)
+    }
+
+    /// The common constructor over either backend.
+    pub fn over(graph: SharedGraph, cfg: EstimatorConfig) -> Self {
         Self {
-            graph: g,
+            graph,
             cfg,
             budget: None,
             walkers: 1,

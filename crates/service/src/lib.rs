@@ -39,7 +39,7 @@ mod sync;
 pub use api::{
     EstimationService, JobFaults, JobHandle, JobId, JobResult, JobSpec, ServiceConfig, ServiceStats,
 };
-pub use cache::SnapshotCache;
+pub use cache::{SharedGraph, SnapshotCache};
 pub use deadline::Deadline;
 pub use gx_core::ServiceError;
 pub use recovery::{BackoffPolicy, InjectedWorkerPanic};

@@ -19,11 +19,11 @@
 //! still terminates the job with a typed outcome.
 
 use crate::api::{JobBudget, JobFaults};
+use crate::cache::SharedGraph;
 use crate::deadline::Deadline;
 use crate::scheduler::JobShared;
 use crate::sync::locked;
 use gx_core::{Estimate, FaultPlan, Runner};
-use gx_graph::Graph;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
@@ -85,7 +85,7 @@ pub struct InjectedWorkerPanic;
 /// worker holds **no lock** while running a lease, so a panicking lease
 /// can never poison the scheduler.
 pub(crate) struct Lease {
-    pub graph: Arc<Graph>,
+    pub graph: SharedGraph,
     pub fingerprint: u64,
     pub cfg: gx_core::EstimatorConfig,
     pub budget: JobBudget,
@@ -156,7 +156,7 @@ pub(crate) fn run_lease(lease: Lease) -> LeaseEnd {
         deadline,
         shared,
     } = lease;
-    let g: &Graph = &graph;
+    let g: &SharedGraph = &graph;
 
     // Cheap pre-checks before any handle is built: a job cancelled or
     // expired while queued terminates here, with a partial estimate

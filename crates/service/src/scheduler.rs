@@ -17,12 +17,11 @@ use crate::admission::{Admission, LeaseClock};
 use crate::api::{
     JobBudget, JobFaults, JobHandle, JobId, JobResult, JobSpec, ServiceConfig, ServiceStats,
 };
-use crate::cache::SnapshotCache;
+use crate::cache::{SharedGraph, SnapshotCache};
 use crate::deadline::Deadline;
 use crate::recovery::{run_lease, BackoffPolicy, Lease, LeaseEnd};
 use crate::sync::{locked, wait_unpoisoned};
 use gx_core::{Estimate, EstimatorConfig, GxError, Progress, Runner, ServiceError};
-use gx_graph::Graph;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::AtomicBool;
@@ -63,7 +62,7 @@ impl JobShared {
 /// job's entire run state is `snapshot` — see the module docs of
 /// [`crate::recovery`] for why that single representation is the point.
 struct JobRecord {
-    graph: Arc<Graph>,
+    graph: SharedGraph,
     fingerprint: u64,
     cfg: EstimatorConfig,
     budget: JobBudget,
@@ -181,13 +180,13 @@ pub(crate) fn submit(shared: &Arc<ServiceShared>, spec: JobSpec) -> Result<JobHa
     // graph, ever), then validate the full spec by building — not
     // running — the same handle a worker would, so every config error
     // surfaces at the door with the exact core error it deserves.
-    let (graph, fingerprint) = shared.cache.intern(spec.graph.clone());
+    let (graph, fingerprint) = shared.cache.intern_shared(spec.graph.clone());
     {
         let runner = match &budget {
             JobBudget::Fixed(steps) => Runner::new(spec.cfg.clone()).steps(*steps),
             JobBudget::Until(rule) => Runner::new(spec.cfg.clone()).until(rule.clone()),
         };
-        runner.seed(spec.seed).walkers(spec.walkers).start(&*graph)?;
+        runner.seed(spec.seed).walkers(spec.walkers).start(&graph)?;
     }
 
     // Adaptive budgets advance on the rule's own cadence so the service

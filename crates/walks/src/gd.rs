@@ -108,7 +108,10 @@ impl<'g, G: GraphAccess> GdWalk<'g, G> {
                 if pos == drop {
                     continue;
                 }
-                self.candidates.extend_from_slice(self.g.neighbors(b));
+                // Copy-out accessor: out-of-core backends append straight
+                // from their decode cache instead of lending a slice whose
+                // lifetime they cannot guarantee.
+                self.g.extend_neighbors(b, &mut self.candidates);
             }
             self.candidates.sort_unstable();
             self.candidates.dedup();

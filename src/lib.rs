@@ -66,6 +66,11 @@ pub use gx_core::{
     EstimatorPool, FailingWriter, FaultPlan, GxError, ParallelConfig, Progress, RuleError,
     RunHandle, Runner, ServiceError, StoppingRule, WalkerStatus,
 };
-pub use gx_graph::{Graph, GraphAccess, NodeId};
+pub use gx_graph::{
+    read_header, write_gxsc, write_gxsn, CompressedGraph, Graph, GraphAccess, MmapGraph, NodeId,
+    SnapshotError, SnapshotHeader, SnapshotInfo, SnapshotKind,
+};
 pub use gx_graphlets::GraphletId;
-pub use gx_service::{EstimationService, JobHandle, JobResult, JobSpec, ServiceConfig};
+pub use gx_service::{
+    EstimationService, JobHandle, JobResult, JobSpec, ServiceConfig, SharedGraph,
+};
